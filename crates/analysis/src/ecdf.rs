@@ -1,0 +1,183 @@
+//! Empirical cumulative distribution functions over possibly-infinite samples.
+//!
+//! The paper's delay distributions (Figures 9–11) include an atom at `+∞` for
+//! source/destination/start-time triples from which no path ever succeeds, so
+//! the ECDF here keeps infinite samples and reports a total mass that may stay
+//! strictly below 1 at every finite point.
+
+/// Empirical CDF built from a batch of samples.
+///
+/// Samples may be `f64::INFINITY` (never-successful observations); they count
+/// toward the denominator but never toward `P[X <= x]` at finite `x`.
+/// `NaN` samples are rejected at construction.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    /// Finite samples, sorted ascending.
+    sorted: Vec<f64>,
+    /// Total number of samples including infinite ones.
+    total: usize,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples. Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "ECDF samples must not be NaN"
+        );
+        let total = samples.len();
+        samples.retain(|x| x.is_finite() || *x == f64::NEG_INFINITY);
+        samples.sort_by(f64::total_cmp);
+        Ecdf {
+            sorted: samples,
+            total,
+        }
+    }
+
+    /// Builds an ECDF where each sample carries an explicit weight pair
+    /// `(value, weight)`; used when aggregating closed-form per-pair success
+    /// measures rather than raw observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of finite samples.
+    pub fn finite(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Fraction of samples that are infinite (never successful).
+    pub fn infinite_mass(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.total - self.sorted.len()) as f64 / self.total as f64
+        }
+    }
+
+    /// `P[X <= x]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|v| *v <= x);
+        count as f64 / self.total as f64
+    }
+
+    /// Evaluates the ECDF on every point of `grid`.
+    pub fn eval_grid(&self, grid: &[f64]) -> Vec<f64> {
+        grid.iter().map(|&x| self.eval(x)).collect()
+    }
+
+    /// The `q`-quantile (0 < q <= 1), or `None` if it falls in the infinite
+    /// tail.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as usize;
+        if rank > self.sorted.len() {
+            None
+        } else {
+            Some(self.sorted[rank - 1])
+        }
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+/// Empirical complementary CDF, `P[X > x]`, as used by Figure 7 (contact
+/// duration CCDF, log-log).
+#[derive(Debug, Clone)]
+pub struct Ccdf {
+    inner: Ecdf,
+}
+
+impl Ccdf {
+    /// Builds a CCDF from samples. Panics if any sample is NaN.
+    pub fn new(samples: Vec<f64>) -> Self {
+        Ccdf {
+            inner: Ecdf::new(samples),
+        }
+    }
+
+    /// `P[X > x]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        1.0 - self.inner.eval(x)
+    }
+
+    /// Evaluates the CCDF on every point of `grid`.
+    pub fn eval_grid(&self, grid: &[f64]) -> Vec<f64> {
+        grid.iter().map(|&x| self.eval(x)).collect()
+    }
+
+    /// Underlying ECDF.
+    pub fn ecdf(&self) -> &Ecdf {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ecdf_is_zero() {
+        let e = Ecdf::new(vec![]);
+        assert_eq!(e.eval(10.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+    }
+
+    #[test]
+    fn step_values() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 0.75);
+        assert_eq!(e.eval(5.0), 1.0);
+    }
+
+    #[test]
+    fn infinite_samples_count_in_denominator() {
+        let e = Ecdf::new(vec![1.0, f64::INFINITY, f64::INFINITY, 3.0]);
+        assert_eq!(e.total(), 4);
+        assert_eq!(e.finite(), 2);
+        assert_eq!(e.eval(10.0), 0.5);
+        assert_eq!(e.infinite_mass(), 0.5);
+    }
+
+    #[test]
+    fn quantile_in_infinite_tail_is_none() {
+        let e = Ecdf::new(vec![1.0, f64::INFINITY]);
+        assert_eq!(e.quantile(0.5), Some(1.0));
+        assert_eq!(e.quantile(0.9), None);
+    }
+
+    #[test]
+    fn quantile_matches_order_statistics() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(e.quantile(0.2), Some(1.0));
+        assert_eq!(e.quantile(0.4), Some(2.0));
+        assert_eq!(e.median(), Some(3.0));
+        assert_eq!(e.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn ccdf_complements_ecdf() {
+        let c = Ccdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.0), 1.0);
+        assert_eq!(c.eval(2.0), 0.5);
+        assert_eq!(c.eval(4.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Ecdf::new(vec![f64::NAN]);
+    }
+}

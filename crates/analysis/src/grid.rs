@@ -1,0 +1,67 @@
+//! Evaluation grids.
+//!
+//! The paper evaluates delay distributions between 2 minutes and one week on
+//! a logarithmic axis (Figures 9–12); `log_grid` produces exactly that kind
+//! of axis.
+
+/// `n` points spaced logarithmically between `lo` and `hi` (inclusive).
+///
+/// Panics unless `0 < lo <= hi` and `n >= 2` (or `n == 1` with `lo == hi`).
+pub fn log_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && lo <= hi, "log grid requires 0 < lo <= hi");
+    assert!(n >= 1, "log grid requires at least one point");
+    if n == 1 {
+        assert!(lo == hi, "single-point grid requires lo == hi");
+        return vec![lo];
+    }
+    let (la, lb) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (la + (lb - la) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// `n` points spaced linearly between `lo` and `hi` (inclusive).
+pub fn linear_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo <= hi, "linear grid requires lo <= hi");
+    assert!(n >= 1, "linear grid requires at least one point");
+    if n == 1 {
+        return vec![lo];
+    }
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_grid_endpoints_and_monotonicity() {
+        let g = log_grid(120.0, 604_800.0, 40);
+        assert_eq!(g.len(), 40);
+        assert!((g[0] - 120.0).abs() < 1e-9);
+        assert!((g[39] - 604_800.0).abs() < 1e-6);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn log_grid_ratio_constant() {
+        let g = log_grid(1.0, 1024.0, 11);
+        for w in g.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_grid_endpoints() {
+        let g = linear_grid(0.0, 10.0, 6);
+        assert_eq!(g, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn single_point_grids() {
+        assert_eq!(linear_grid(3.0, 9.0, 1), vec![3.0]);
+        assert_eq!(log_grid(5.0, 5.0, 1), vec![5.0]);
+    }
+}

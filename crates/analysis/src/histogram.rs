@@ -1,0 +1,143 @@
+//! Log-binned histograms.
+//!
+//! Heavy-tailed quantities (contact durations, inter-contact times) are
+//! summarized on logarithmic bins, the standard presentation for the
+//! Figure-7-style distributions.
+
+/// A histogram over logarithmically spaced bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    edges: Vec<f64>,
+    counts: Vec<usize>,
+    below: usize,
+    above: usize,
+}
+
+impl LogHistogram {
+    /// Builds a histogram with `bins` bins spanning `[lo, hi)`
+    /// geometrically. Samples below `lo` / at or above `hi` are tallied in
+    /// the under/overflow counters. Panics unless `0 < lo < hi`, `bins ≥ 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize, samples: &[f64]) -> LogHistogram {
+        assert!(lo > 0.0 && lo < hi, "need 0 < lo < hi");
+        assert!(bins >= 1, "need at least one bin");
+        let ratio = (hi / lo).powf(1.0 / bins as f64);
+        let edges: Vec<f64> = (0..=bins).map(|i| lo * ratio.powi(i as i32)).collect();
+        let mut counts = vec![0usize; bins];
+        let mut below = 0usize;
+        let mut above = 0usize;
+        let log_lo = lo.ln();
+        let log_ratio = ratio.ln();
+        for &x in samples {
+            assert!(!x.is_nan(), "histogram over NaN is meaningless");
+            if x < lo {
+                below += 1;
+            } else if x >= hi {
+                above += 1;
+            } else {
+                let bin = ((x.ln() - log_lo) / log_ratio) as usize;
+                counts[bin.min(bins - 1)] += 1;
+            }
+        }
+        LogHistogram {
+            edges,
+            counts,
+            below,
+            above,
+        }
+    }
+
+    /// Bin edges (`bins + 1` values).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Samples below the first edge.
+    pub fn below(&self) -> usize {
+        self.below
+    }
+
+    /// Samples at or above the last edge.
+    pub fn above(&self) -> usize {
+        self.above
+    }
+
+    /// Total samples tallied (including under/overflow).
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum::<usize>() + self.below + self.above
+    }
+
+    /// Per-bin densities normalized by bin width and total count
+    /// (a proper pdf estimate on the log grid).
+    pub fn densities(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.counts
+            .iter()
+            .zip(self.edges.windows(2))
+            .map(|(c, e)| *c as f64 / total / (e[1] - e[0]))
+            .collect()
+    }
+
+    /// The geometric midpoints of the bins (for plotting).
+    pub fn centers(&self) -> Vec<f64> {
+        self.edges.windows(2).map(|e| (e[0] * e[1]).sqrt()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_geometric() {
+        let h = LogHistogram::new(1.0, 1024.0, 10, &[]);
+        assert_eq!(h.edges().len(), 11);
+        for w in h.edges().windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_land_in_the_right_bins() {
+        let h = LogHistogram::new(1.0, 100.0, 2, &[0.5, 1.0, 5.0, 9.9, 10.0, 50.0, 100.0, 200.0]);
+        // bins: [1, 10), [10, 100)
+        assert_eq!(h.below(), 1);
+        assert_eq!(h.above(), 2);
+        assert_eq!(h.counts(), &[3, 2]);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let h = LogHistogram::new(1.0, 8.0, 3, &[1.0, 2.0, 4.0, 7.999]);
+        assert_eq!(h.counts(), &[1, 1, 2]);
+        assert_eq!(h.below(), 0);
+        assert_eq!(h.above(), 0);
+    }
+
+    #[test]
+    fn densities_integrate_to_binned_mass() {
+        let samples: Vec<f64> = (1..1000).map(|i| i as f64).collect();
+        let h = LogHistogram::new(1.0, 1000.0, 12, &samples);
+        let total_mass: f64 = h
+            .densities()
+            .iter()
+            .zip(h.edges().windows(2))
+            .map(|(d, e)| d * (e[1] - e[0]))
+            .sum();
+        let expected = (h.total() - h.below() - h.above()) as f64 / h.total() as f64;
+        assert!((total_mass - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centers_are_geometric_means() {
+        let h = LogHistogram::new(1.0, 100.0, 2, &[]);
+        let c = h.centers();
+        assert!((c[0] - (10.0f64).sqrt()).abs() < 1e-9);
+        assert!((c[1] - (1000.0f64).sqrt()).abs() < 1e-6);
+    }
+}

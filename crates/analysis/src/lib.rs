@@ -1,0 +1,27 @@
+//! Statistical and presentation machinery shared by the experiment harness.
+//!
+//! This crate is deliberately free of any temporal-network types: it deals in
+//! plain `f64` samples and renders plain-text tables and series, which is how
+//! the harness "plots" every figure of the paper (one CSV-like series per
+//! curve). It also hosts the small scoped-thread parallel helper used by the
+//! CPU-bound sweeps (the workload is pure computation, so no async runtime is
+//! involved; see DESIGN.md §6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecdf;
+pub mod fit;
+pub mod grid;
+pub mod histogram;
+pub mod parallel;
+pub mod summary;
+pub mod table;
+
+pub use ecdf::{Ccdf, Ecdf};
+pub use fit::{fit_tail, linear_regression, TailFit};
+pub use grid::{linear_grid, log_grid};
+pub use histogram::LogHistogram;
+pub use parallel::par_map;
+pub use summary::Summary;
+pub use table::{Series, Table};

@@ -1,0 +1,97 @@
+//! Five-number-style summaries of sample batches.
+
+/// Summary statistics of a finite sample batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample, `NaN` when empty.
+    pub min: f64,
+    /// Largest sample, `NaN` when empty.
+    pub max: f64,
+    /// Arithmetic mean, `NaN` when empty.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator), `NaN` when count < 2.
+    pub stddev: f64,
+    /// Median (lower median for even counts), `NaN` when empty.
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes a summary over the finite values of `samples`; infinite
+    /// values are ignored (callers track them separately via [`crate::Ecdf`]).
+    /// Panics on NaN input.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "summary over NaN is meaningless"
+        );
+        let mut finite: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        finite.sort_by(f64::total_cmp);
+        let count = finite.len();
+        if count == 0 {
+            return Summary {
+                count: 0,
+                min: f64::NAN,
+                max: f64::NAN,
+                mean: f64::NAN,
+                stddev: f64::NAN,
+                median: f64::NAN,
+            };
+        }
+        let sum: f64 = finite.iter().sum();
+        let mean = sum / count as f64;
+        let var = if count >= 2 {
+            finite.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count - 1) as f64
+        } else {
+            f64::NAN
+        };
+        Summary {
+            count,
+            min: finite[0],
+            max: finite[count - 1],
+            mean,
+            stddev: var.sqrt(),
+            median: finite[(count - 1) / 2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.median, 4.0);
+    }
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn infinities_are_skipped() {
+        let s = Summary::of(&[1.0, f64::INFINITY, 3.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_nan_stddev() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.median, 42.0);
+        assert!(s.stddev.is_nan());
+    }
+}

@@ -1,0 +1,199 @@
+//! Plain-text rendering of tables and data series.
+//!
+//! Every figure of the paper is regenerated as a printed series (x column
+//! plus one column per curve) and every table as an aligned text table, so
+//! the harness output can be diffed, grepped, or piped into a plotting tool.
+
+use std::fmt::Write as _;
+
+/// A column-aligned text table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the arity does not match the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "table row arity must match the header"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with two-space column gaps, left-aligned first column and
+    /// right-aligned numeric-looking columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |row: &[String], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{:<w$}", cell, w = width[i]);
+                } else {
+                    let _ = write!(out, "{:>w$}", cell, w = width[i]);
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let rule: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        emit(&rule, &mut out);
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+/// A figure rendered as one x-column plus one column per named curve.
+#[derive(Debug, Clone)]
+pub struct Series {
+    x_label: String,
+    x: Vec<f64>,
+    curves: Vec<(String, Vec<f64>)>,
+}
+
+impl Series {
+    /// Creates a series over the given x axis.
+    pub fn new<S: Into<String>>(x_label: S, x: Vec<f64>) -> Series {
+        Series {
+            x_label: x_label.into(),
+            x,
+            curves: Vec::new(),
+        }
+    }
+
+    /// Adds a curve; panics if its length differs from the x axis.
+    pub fn curve<S: Into<String>>(&mut self, name: S, y: Vec<f64>) -> &mut Series {
+        assert_eq!(y.len(), self.x.len(), "curve length must match the x axis");
+        self.curves.push((name.into(), y));
+        self
+    }
+
+    /// X axis values.
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Curve by name.
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.curves
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, y)| y.as_slice())
+    }
+
+    /// Renders as an aligned table with six significant digits.
+    pub fn render(&self) -> String {
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.curves.iter().map(|(n, _)| n.clone()));
+        let mut t = Table::new(header);
+        for (i, &x) in self.x.iter().enumerate() {
+            let mut row = vec![fmt_num(x)];
+            row.extend(self.curves.iter().map(|(_, y)| fmt_num(y[i])));
+            t.row(row);
+        }
+        t.render()
+    }
+}
+
+/// Compact numeric formatting: six significant digits, `inf` for infinities.
+pub fn fmt_num(x: f64) -> String {
+    if x.is_nan() {
+        "nan".to_string()
+    } else if x == f64::INFINITY {
+        "inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-4 {
+        format!("{:.4e}", x)
+    } else {
+        let s = format!("{:.6}", x);
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "contacts"]);
+        t.row(["Infocom05", "22459"]);
+        t.row(["HK", "500"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].contains("22459"));
+        // right alignment of the numeric column
+        assert!(lines[3].ends_with("500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn series_roundtrip() {
+        let mut s = Series::new("delay", vec![1.0, 2.0, 4.0]);
+        s.curve("1 hop", vec![0.1, 0.2, 0.3]);
+        s.curve("inf", vec![0.2, 0.5, 0.9]);
+        assert_eq!(s.get("inf"), Some(&[0.2, 0.5, 0.9][..]));
+        assert_eq!(s.get("missing"), None);
+        let text = s.render();
+        assert!(text.contains("delay"));
+        assert!(text.contains("1 hop"));
+    }
+
+    #[test]
+    fn fmt_num_special_cases() {
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(0.25), "0.25");
+        assert_eq!(fmt_num(2.5e7), "2.5000e7");
+    }
+}

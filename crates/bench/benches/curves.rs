@@ -1,0 +1,52 @@
+//! Cost of regenerating the empirical figures: the all-pairs success-curve
+//! computation behind Figures 9–12, per data-set slice.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use omnet_core::{CurveOptions, SuccessCurves};
+use omnet_mobility::Dataset;
+use omnet_temporal::transform::internal_only;
+use omnet_temporal::Dur;
+
+fn grid() -> Vec<Dur> {
+    omnet_analysis::log_grid(120.0, 86_400.0, 12)
+        .into_iter()
+        .map(Dur::secs)
+        .collect()
+}
+
+fn bench_fig9_curves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("curves/fig9_success_curves");
+    g.sample_size(10);
+    let cases = [
+        (Dataset::Infocom05, 0.5),
+        (Dataset::HongKong, 2.0),
+        (Dataset::RealityMining, 7.0),
+    ];
+    for (ds, days) in cases {
+        let trace = internal_only(&ds.generate_days(days, 7));
+        let label = format!("{}_{}ct", ds.label().replace(' ', ""), trace.num_contacts());
+        g.bench_with_input(BenchmarkId::from_parameter(label), &trace, |b, t| {
+            b.iter(|| {
+                black_box(SuccessCurves::compute(
+                    t,
+                    &CurveOptions::standard(6, grid()),
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_diameter_extraction(c: &mut Criterion) {
+    let trace = internal_only(&Dataset::Infocom05.generate_days(0.5, 7));
+    let curves = SuccessCurves::compute(&trace, &CurveOptions::standard(8, grid()));
+    c.bench_function("curves/diameter_from_curves", |b| {
+        b.iter(|| black_box(curves.diameter(0.01)));
+    });
+    c.bench_function("curves/fig12_diameter_curve", |b| {
+        b.iter(|| black_box(curves.diameter_curve(0.01)));
+    });
+}
+
+criterion_group!(benches, bench_fig9_curves, bench_diameter_extraction);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the delivery-function Pareto frontier — the data
+//! structure every higher-level result is built from (§4.3, condition 4).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use omnet_core::DeliveryFunction;
+use omnet_temporal::{Dur, Interval, LdEa, Time};
+
+/// A synthetic frontier with `n` pairs spread over a day.
+fn frontier(n: usize) -> DeliveryFunction {
+    DeliveryFunction::from_pairs((0..n).map(|i| {
+        let base = i as f64 * 86_400.0 / n as f64;
+        LdEa {
+            ld: Time::secs(base + 60.0),
+            ea: Time::secs(base + 30.0),
+        }
+    }))
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontier/insert");
+    for n in [16usize, 256, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let f = frontier(n);
+            let probe = LdEa {
+                ld: Time::secs(43_200.5),
+                ea: Time::secs(43_100.0),
+            };
+            b.iter(|| {
+                let mut f2 = f.clone();
+                black_box(f2.insert(black_box(probe)));
+                f2
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_extend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontier/extend_with_contact");
+    for n in [16usize, 256, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let f = frontier(n);
+            let iv = Interval::secs(40_000.0, 50_000.0);
+            b.iter(|| black_box(f.extend_with(black_box(iv))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_success_curve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontier/success_curve");
+    let grid: Vec<Dur> = omnet_analysis::log_grid(120.0, 604_800.0, 25)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
+    let window = Interval::secs(0.0, 86_400.0);
+    for n in [16usize, 256, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let f = frontier(n);
+            b.iter(|| black_box(f.success_curve(window, &grid)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontier/merge");
+    for n in [256usize, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let a = frontier(n);
+            // interleaved second frontier
+            let other = DeliveryFunction::from_pairs((0..n).map(|i| {
+                let base = (i as f64 + 0.5) * 86_400.0 / n as f64;
+                LdEa {
+                    ld: Time::secs(base + 60.0),
+                    ea: Time::secs(base + 30.0),
+                }
+            }));
+            b.iter(|| {
+                let mut m = a.clone();
+                m.merge(black_box(&other));
+                black_box(m)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_extend,
+    bench_success_curve,
+    bench_merge
+);
+criterion_main!(benches);

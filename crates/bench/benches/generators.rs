@@ -1,0 +1,41 @@
+//! Trace-generation throughput per calibrated data set (the Table 1
+//! workloads) and the discrete/continuous random models of §3.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use omnet_mobility::Dataset;
+use omnet_random::{ContinuousModel, DiscreteModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_datasets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators/table1_datasets");
+    g.sample_size(10);
+    for ds in Dataset::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(ds.label().replace(' ', "")),
+            &ds,
+            |b, ds| {
+                b.iter(|| black_box(ds.generate_days(1.0, 3)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_random_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators/random_models");
+    g.bench_function("discrete_slot_n1000_l1", |b| {
+        let m = DiscreteModel::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(m.sample_slot(&mut rng)));
+    });
+    g.bench_function("continuous_trace_n100_l1_t100", |b| {
+        let m = ContinuousModel::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(m.generate(100.0, &mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_datasets, bench_random_models);
+criterion_main!(benches);

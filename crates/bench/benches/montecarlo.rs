@@ -1,0 +1,65 @@
+//! Cost of the §3 Monte-Carlo machinery behind Figures 1–3 and the exact
+//! Lemma-1 path counting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use omnet_random::theory::ContactCase;
+use omnet_random::{
+    budgets, constrained_path_probability, delay_optimal_stats, ln_expected_path_count,
+    DiscreteModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_phase_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("montecarlo/fig1_phase_probe");
+    g.sample_size(10);
+    let model = DiscreteModel::new(500, 1.0);
+    let (t, k) = budgets(500, 2.0, 0.5);
+    g.bench_function("short_500n_20reps", |b| {
+        b.iter(|| {
+            black_box(constrained_path_probability(
+                model,
+                ContactCase::Short,
+                t,
+                k,
+                20,
+                9,
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_optimal_path_flood(c: &mut Criterion) {
+    let mut g = c.benchmark_group("montecarlo/fig3_optimal_path");
+    let model = DiscreteModel::new(1000, 1.0);
+    for case in [ContactCase::Short, ContactCase::Long] {
+        g.bench_function(format!("{case:?}_n1000"), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(delay_optimal_stats(model, case, 400, &mut rng)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lemma1_exact(c: &mut Criterion) {
+    c.bench_function("montecarlo/lemma1_expected_count", |b| {
+        b.iter(|| {
+            black_box(ln_expected_path_count(
+                ContactCase::Short,
+                black_box(100_000),
+                1.0,
+                40,
+                20,
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_phase_probe,
+    bench_optimal_path_flood,
+    bench_lemma1_exact
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Throughput of the buffered multi-message DTN simulator (the EXT6
+//! workload) per routing scheme.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use omnet_flooding::{simulate, uniform_workload, Routing, SimConfig};
+use omnet_mobility::Dataset;
+use omnet_temporal::transform::internal_only;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/ext6_workload");
+    g.sample_size(10);
+    let trace = internal_only(&Dataset::Infocom05.generate_days(0.25, 3));
+    let workload = uniform_workload(&trace, 100, 0.6, 9);
+    let configs = [
+        ("epidemic", SimConfig::default()),
+        (
+            "epidemic_ttl4",
+            SimConfig {
+                ttl_hops: Some(4),
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "spray8",
+            SimConfig {
+                routing: Routing::SprayAndWait(8),
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "epidemic_buf20",
+            SimConfig {
+                buffer_capacity: 20,
+                ..SimConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate(&trace, &workload, *cfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Command-line driver for the experiment harness.
+//!
+//! ```text
+//! experiments [--quick] [--seed N] <id>... | all | list
+//! ```
+//!
+//! Every table and figure of the paper has one id (`table1`, `fig1` …
+//! `fig12`) plus the `lemma1` exponent check and the `xval` engine
+//! cross-validation. `--quick` shrinks traces and replications for smoke
+//! runs; the default sizes regenerate the paper-scale artifacts.
+
+use omnet_bench::{find, Config, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cfg.quick = true,
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("missing value after --seed"));
+                cfg.seed = v.parse().unwrap_or_else(|_| usage("invalid --seed value"));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => {
+                usage(&format!("unknown flag {other}"));
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "list") {
+        eprintln!("available experiments:");
+        for e in EXPERIMENTS {
+            eprintln!("  {:<8} {}", e.id, e.title);
+        }
+        eprintln!("  {:<8} run everything, in paper order", "all");
+        if ids.is_empty() {
+            std::process::exit(2);
+        }
+        return;
+    }
+    let selected: Vec<&'static omnet_bench::Experiment> = if ids.iter().any(|i| i == "all") {
+        EXPERIMENTS.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                find(id).unwrap_or_else(|| {
+                    usage(&format!("unknown experiment '{id}' (try 'list')"))
+                })
+            })
+            .collect()
+    };
+    for e in selected {
+        println!("==================================================================");
+        println!("=== {} [{}]", e.title, e.id);
+        println!("==================================================================");
+        let started = std::time::Instant::now();
+        let output = (e.run)(&cfg);
+        println!("{output}");
+        println!("[{} completed in {:.1?}]\n", e.id, started.elapsed());
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: experiments [--quick] [--seed N] <id>... | all | list\n\
+         regenerates the tables and figures of 'The Diameter of Opportunistic\n\
+         Mobile Networks' (CoNEXT 2007) on the synthetic data sets."
+    );
+    std::process::exit(2);
+}

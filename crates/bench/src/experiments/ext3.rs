@@ -1,0 +1,100 @@
+//! Extension 3 (§3.4 "Homogeneity" / §7 future work): the impact of social
+//! heterogeneity on the network diameter.
+//!
+//! A synthetic population with fixed contact volume is swept from fully
+//! homogeneous mixing to strong community isolation and skewed per-node
+//! sociability, and the 99%-diameter plus flooding success are reported.
+//! The paper observes small diameters "for sparse and dense networks" but
+//! leaves heterogeneity's impact as an open research direction — this
+//! experiment supplies the measurement harness.
+
+use crate::experiments::util::{curves, delay_grid, section};
+use crate::Config;
+use omnet_core::HopBound;
+use omnet_mobility::{DurationModel, MobilitySpec, Schedule};
+use omnet_temporal::Dur;
+use std::fmt::Write as _;
+
+fn spec(communities: u32, weight: f64, sigma: f64, cfg: &Config) -> MobilitySpec {
+    MobilitySpec {
+        name: "ext3",
+        internal: if cfg.quick { 30 } else { 40 },
+        external: 0,
+        duration: Dur::days(1.0),
+        granularity: Dur::mins(2.0),
+        communities,
+        community_weight: weight,
+        sociability_sigma: sigma,
+        target_internal_contacts: if cfg.quick { 2_500.0 } else { 5_000.0 },
+        target_external_contacts: 0.0,
+        schedule: Schedule::Flat, // isolate heterogeneity from diurnality
+        durations: DurationModel::conference(),
+        external_durations: DurationModel::conference(),
+        miss_probability: 0.0,
+        gatherings: None,
+    }
+}
+
+/// Runs the experiment and renders the result.
+pub fn run(cfg: &Config) -> String {
+    let mut out = String::new();
+    section(
+        &mut out,
+        "Extension 3: social heterogeneity vs diameter (fixed contact volume)",
+    );
+    let cases = [
+        ("homogeneous", 1u32, 1.0f64, 0.0f64),
+        ("mild communities", 5, 4.0, 0.5),
+        ("strong communities", 5, 32.0, 0.5),
+        ("hub-dominated", 1, 1.0, 1.5),
+        ("isolated cliques", 10, 256.0, 0.0),
+    ];
+    let grid = delay_grid(Dur::days(1.0), if cfg.quick { 6 } else { 10 });
+    let max_hops = if cfg.quick { 8 } else { 12 };
+    let mut table = omnet_analysis::Table::new([
+        "population",
+        "contacts",
+        "P[<=10min]",
+        "P[<=1d]",
+        "diam(99%)",
+    ]);
+    for (name, comm, weight, sigma) in cases {
+        let trace = spec(comm, weight, sigma, cfg).generate(cfg.seed);
+        let c = curves(&trace, max_hops, grid.clone());
+        let flood = c.curve(HopBound::Unlimited).unwrap();
+        let ten_min_idx = grid.iter().position(|d| *d >= Dur::mins(10.0)).unwrap_or(0);
+        table.row([
+            name.to_string(),
+            trace.num_contacts().to_string(),
+            format!("{:.3}", flood[ten_min_idx]),
+            format!("{:.3}", flood[grid.len() - 1]),
+            c.diameter(0.01)
+                .map_or(format!("->{max_hops}+"), |d| d.to_string()),
+        ]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\nsame expected contact volume in every row. expected shape: moderate\n\
+         heterogeneity leaves the diameter small (the paper's empirical\n\
+         finding); only near-disconnected extremes (isolated cliques) push it\n\
+         up or break flooding success."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_populations() {
+        let cfg = Config {
+            quick: true,
+            ..Config::default()
+        };
+        let text = run(&cfg);
+        assert!(text.contains("homogeneous"));
+        assert!(text.contains("isolated cliques"));
+    }
+}

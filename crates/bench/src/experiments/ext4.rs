@@ -1,0 +1,171 @@
+//! Extension 4 (§7 future work): short paths *exist* — can they be *found*
+//! with local information only?
+//!
+//! Compares, on a synthetic conference day: direct delivery, two-hop relay,
+//! FRESH-style last-encounter forwarding (purely local age gradients),
+//! hop-limited epidemic, and unlimited flooding (the optimum). The
+//! interesting read-out is how much of the optimal success a single-copy
+//! local rule recovers, and how many hops it spends doing so relative to
+//! the 4–6-hop diameter.
+
+use crate::experiments::util::section;
+use crate::Config;
+use omnet_flooding::{
+    direct_delivery, epidemic_ttl, evaluate_fresh, evaluate_scheme, flood, prophet_batch,
+    spray_and_wait, two_hop_relay, ProphetParams,
+};
+use omnet_temporal::{NodeId, Time};
+use omnet_mobility::Dataset;
+use omnet_temporal::transform::internal_only;
+use omnet_temporal::Dur;
+use std::fmt::Write as _;
+
+/// Runs the experiment and renders the result.
+pub fn run(cfg: &Config) -> String {
+    let mut out = String::new();
+    section(
+        &mut out,
+        "Extension 4: local-information forwarding vs the optimal paths",
+    );
+    let days = if cfg.quick { 0.5 } else { 1.0 };
+    let samples = if cfg.quick { 8 } else { 16 };
+    let trace = internal_only(&Dataset::Infocom05.generate_days(days, cfg.seed));
+    let _ = writeln!(
+        out,
+        "substrate: synthetic Infocom05, {} devices, {} contacts over {days} day(s)\n",
+        trace.num_internal(),
+        trace.num_contacts()
+    );
+
+    let mut table = omnet_analysis::Table::new(["scheme", "success", "mean delay", "mean hops"]);
+    let fmt_delay = |d: f64| {
+        if d.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{}", Dur::secs(d))
+        }
+    };
+
+    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| direct_delivery(t, a, b, t0));
+    table.row([
+        "direct delivery".to_string(),
+        format!("{:.1}%", s.success_rate * 100.0),
+        fmt_delay(s.mean_delay_secs),
+        "1.00".to_string(),
+    ]);
+
+    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| two_hop_relay(t, a, b, t0, 4));
+    table.row([
+        "two-hop relay (4 copies)".to_string(),
+        format!("{:.1}%", s.success_rate * 100.0),
+        fmt_delay(s.mean_delay_secs),
+        "<=2.00".to_string(),
+    ]);
+
+    let fresh = evaluate_fresh(&trace, samples);
+    table.row([
+        "FRESH (local age gradient)".to_string(),
+        format!("{:.1}%", fresh.success_rate * 100.0),
+        fmt_delay(fresh.mean_delay_secs),
+        format!("{:.2}", fresh.mean_hops),
+    ]);
+
+    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| {
+        spray_and_wait(t, a, b, t0, 8).delivered_at
+    });
+    table.row([
+        "spray-and-wait (8 copies)".to_string(),
+        format!("{:.1}%", s.success_rate * 100.0),
+        fmt_delay(s.mean_delay_secs),
+        "<=2.00".to_string(),
+    ]);
+
+    // PROPHET in one shared-table sweep (the per-query oracle would cost
+    // O(queries · contacts · n))
+    {
+        let span = trace.span();
+        let mut queries = Vec::new();
+        for s in 0..trace.num_internal() {
+            for d in 0..trace.num_internal() {
+                if s == d {
+                    continue;
+                }
+                for i in 0..samples {
+                    let frac = (i as f64 + 0.5) / samples as f64;
+                    queries.push((
+                        NodeId(s),
+                        NodeId(d),
+                        Time::secs(span.start.as_secs() + frac * span.duration().as_secs()),
+                    ));
+                }
+            }
+        }
+        let outcomes = prophet_batch(&trace, &queries, ProphetParams::default());
+        let delivered: Vec<f64> = outcomes
+            .iter()
+            .zip(&queries)
+            .filter(|(o, _)| o.delivered_at < Time::INF)
+            .map(|(o, q)| o.delivered_at.since(q.2).as_secs())
+            .collect();
+        table.row([
+            "PROPHET (single copy)".to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * delivered.len() as f64 / queries.len().max(1) as f64
+            ),
+            if delivered.is_empty() {
+                "-".to_string()
+            } else {
+                fmt_delay(delivered.iter().sum::<f64>() / delivered.len() as f64)
+            },
+            "-".to_string(),
+        ]);
+    }
+
+    for ttl in [4u32, 6] {
+        let s = evaluate_scheme(&trace, samples, move |t, a, b, t0| {
+            epidemic_ttl(t, a, b, t0, ttl)
+        });
+        table.row([
+            format!("epidemic, TTL {ttl}"),
+            format!("{:.1}%", s.success_rate * 100.0),
+            fmt_delay(s.mean_delay_secs),
+            format!("<={ttl}.00"),
+        ]);
+    }
+
+    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| {
+        flood(t, a, t0, None).delivery(b)
+    });
+    table.row([
+        "flooding (optimal)".to_string(),
+        format!("{:.1}%", s.success_rate * 100.0),
+        fmt_delay(s.mean_delay_secs),
+        "-".to_string(),
+    ]);
+
+    out.push_str(&table.render());
+    out.push_str(
+        "\nreading: the small diameter guarantees hop-limited epidemic tracks\n\
+         flooding; the gap between FRESH and flooding is the price of purely\n\
+         local knowledge — the open problem the paper poses in its conclusion.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_schemes() {
+        let cfg = Config {
+            quick: true,
+            ..Config::default()
+        };
+        let text = run(&cfg);
+        assert!(text.contains("FRESH"));
+        assert!(text.contains("flooding (optimal)"));
+        assert!(text.contains("two-hop"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 10: the empirical CDF of the minimum delay when contacts are
+//! removed uniformly at random (keep 100 %, 10 %, 1 %) from the second day
+//! of Infocom06, averaged over 5 independent removals.
+//!
+//! Expected shape (paper §6.1): removal hurts the delay badly at small
+//! timescales (35 % → 0.2 % within 10 minutes at 1 % kept) yet the diameter
+//! stays small; the multi-hop improvement migrates from small to large
+//! timescales as the contact rate drops.
+
+use crate::experiments::util::{curves, delay_grid, section};
+use crate::Config;
+use omnet_core::HopBound;
+use omnet_mobility::Dataset;
+use omnet_temporal::transform::{crop, internal_only, remove_random};
+use omnet_temporal::{Dur, Interval, Time, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// The §6 substrate: day 2 of (synthetic) Infocom06, internal contacts.
+pub fn infocom06_day2(cfg: &Config) -> Trace {
+    let days = if cfg.quick { 1.25 } else { 2.0 };
+    let full = Dataset::Infocom06.generate_days(days, cfg.seed);
+    let start = Time::ZERO + Dur::days(days - 1.0);
+    crop(
+        &internal_only(&full),
+        Interval::new(start, start + Dur::days(1.0)),
+    )
+}
+
+/// Runs the experiment and renders the result.
+pub fn run(cfg: &Config) -> String {
+    let mut out = String::new();
+    section(
+        &mut out,
+        "Figure 10: delay CDF under random contact removal (Infocom06 day 2)",
+    );
+    let day2 = infocom06_day2(cfg);
+    let _ = writeln!(
+        out,
+        "substrate: {} internal contacts among {} devices\n",
+        day2.num_contacts(),
+        day2.num_internal()
+    );
+    let grid = delay_grid(Dur::days(1.0), if cfg.quick { 8 } else { 16 });
+    let reps = if cfg.quick { 2 } else { 5 };
+    let max_hops = if cfg.quick { 8 } else { 12 };
+
+    for keep in [1.0f64, 0.1, 0.01] {
+        let label = format!("{:.0}% of contacts remaining", keep * 100.0);
+        let _ = writeln!(out, "--- {label} ---");
+        // average the curves over `reps` independent removals (paper: 5)
+        let mut acc: Option<Vec<Vec<f64>>> = None;
+        let mut diams = Vec::new();
+        for rep in 0..reps {
+            let t = if keep >= 1.0 {
+                day2.clone()
+            } else {
+                let mut rng = StdRng::seed_from_u64(cfg.seed + 1000 * rep as u64);
+                remove_random(&day2, 1.0 - keep, &mut rng)
+            };
+            let c = curves(&t, max_hops, grid.clone());
+            diams.push(c.diameter(0.01));
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            for k in [1usize, 2, 3, 4] {
+                rows.push(c.curve(HopBound::AtMost(k)).unwrap().to_vec());
+            }
+            rows.push(c.curve(HopBound::Unlimited).unwrap().to_vec());
+            acc = Some(match acc {
+                None => rows,
+                Some(mut a) => {
+                    for (ar, rr) in a.iter_mut().zip(rows) {
+                        for (x, y) in ar.iter_mut().zip(rr) {
+                            *x += y;
+                        }
+                    }
+                    a
+                }
+            });
+            if keep >= 1.0 {
+                break; // no randomness to average
+            }
+        }
+        let runs = if keep >= 1.0 { 1 } else { reps };
+        let mut rows = acc.expect("at least one run");
+        for r in rows.iter_mut() {
+            for v in r.iter_mut() {
+                *v /= runs as f64;
+            }
+        }
+        let xs: Vec<f64> = grid.iter().map(|d| d.as_secs()).collect();
+        let mut series = omnet_analysis::Series::new("delay_s", xs);
+        for (i, k) in [1usize, 2, 3, 4].iter().enumerate() {
+            series.curve(format!("{k}hop"), rows[i].clone());
+        }
+        series.curve("flood", rows[4].clone());
+        out.push_str(&series.render());
+        let shown: Vec<String> = diams
+            .iter()
+            .map(|d| d.map_or(format!("->{max_hops}+"), |v| v.to_string()))
+            .collect();
+        let _ = writeln!(out, "99%-diameter per removal draw: {}\n", shown.join(", "));
+    }
+    out.push_str(
+        "paper checkpoints: P[<=10min] drops from ~35% to ~0.2% at 1% kept;\n\
+         P[<=6h] drops from ~90% to ~5%; the diameter remains under ~5 hops.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_removal_levels_reported() {
+        let cfg = Config {
+            quick: true,
+            ..Config::default()
+        };
+        let text = run(&cfg);
+        assert!(text.contains("100% of contacts remaining"));
+        assert!(text.contains("10% of contacts remaining"));
+        assert!(text.contains("1% of contacts remaining"));
+    }
+
+    #[test]
+    fn substrate_is_one_day() {
+        let cfg = Config {
+            quick: true,
+            ..Config::default()
+        };
+        let t = infocom06_day2(&cfg);
+        assert_eq!(t.span().duration(), Dur::days(1.0));
+        assert!(t.num_contacts() > 100);
+    }
+}

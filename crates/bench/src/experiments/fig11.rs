@@ -1,0 +1,71 @@
+//! Figure 11: the delay CDF when *short* contacts are removed (keep only
+//! contacts lasting ≥ 2, 10, 30 minutes) on Infocom06 day 2.
+//!
+//! Expected shape (paper §6.2): compared with random removal at matched
+//! volume, keeping only long contacts preserves many small-delay paths
+//! (P[≤ 10 min] stays above ~5 % vs ~2 %), but the diameter *increases* —
+//! short contacts are what keeps the network a small world.
+
+use crate::experiments::util::{curves, delay_grid, diameter_line, render_curves, section};
+use crate::Config;
+use omnet_temporal::transform::min_duration;
+use omnet_temporal::Dur;
+use std::fmt::Write as _;
+
+/// Runs the experiment and renders the result.
+pub fn run(cfg: &Config) -> String {
+    let mut out = String::new();
+    section(
+        &mut out,
+        "Figure 11: delay CDF keeping only long contacts (Infocom06 day 2)",
+    );
+    let day2 = super::fig10::infocom06_day2(cfg);
+    let total = day2.num_contacts();
+    let grid = delay_grid(Dur::days(1.0), if cfg.quick { 8 } else { 16 });
+    let max_hops = if cfg.quick { 8 } else { 10 };
+
+    // The paper's "2 minutes" threshold removes the single-scan contacts;
+    // our generator records those as exactly one slot (120 s), so the first
+    // threshold sits just above one slot.
+    let thresholds = [
+        ("> 2 min (single-slot removed)", Dur::secs(121.0)),
+        (">= 10 min", Dur::mins(10.0)),
+        (">= 30 min", Dur::mins(30.0)),
+    ];
+    for (label, thresh) in thresholds {
+        let t = min_duration(&day2, thresh);
+        let removed = 100.0 * (total - t.num_contacts()) as f64 / total.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "--- contact durations {label} ({removed:.0}% of contacts removed) ---"
+        );
+        let c = curves(&t, max_hops, grid.clone());
+        out.push_str(&render_curves(&c, &[1, 2, 3, 4, 6]));
+        let _ = writeln!(out, "{}\n", diameter_line(&c, 0.01));
+    }
+    out.push_str(
+        "paper checkpoints: >=2 min removes ~75% of contacts and roughly halves\n\
+         success at every timescale; >=10 min keeps P[<=10 min] above the\n\
+         matched random removal, at the price of a larger diameter (7 hops in\n\
+         the paper's panel b).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_thresholds_reported() {
+        let cfg = Config {
+            quick: true,
+            ..Config::default()
+        };
+        let text = run(&cfg);
+        assert!(text.contains("> 2 min"));
+        assert!(text.contains(">= 10 min"));
+        assert!(text.contains(">= 30 min"));
+        assert!(text.matches("diameter").count() >= 3);
+    }
+}

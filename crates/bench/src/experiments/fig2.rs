@@ -1,0 +1,29 @@
+//! Figure 2: the phase-transition boundary in the long-contact case —
+//! identical presentation to Figure 1 but with `g(γ)` in place of the
+//! entropy, including the qualitative change at λ = 1 (the function becomes
+//! unbounded: the network is almost-simultaneously connected and paths exist
+//! under any delay coefficient).
+
+use crate::Config;
+use omnet_random::theory::ContactCase;
+
+/// Runs the experiment and renders the result.
+pub fn run(cfg: &Config) -> String {
+    super::fig1::run_case(cfg, ContactCase::Long)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_case_reports_unbounded_regime() {
+        let cfg = Config {
+            quick: true,
+            ..Config::default()
+        };
+        let text = run(&cfg);
+        assert!(text.contains("Figure 2"));
+        assert!(text.contains("unbounded"));
+    }
+}

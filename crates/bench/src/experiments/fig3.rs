@@ -1,0 +1,113 @@
+//! Figure 3: the hop count of the delay-optimal path, normalized by `ln N`,
+//! as a function of the contact rate λ — theory curves for both contact
+//! cases plus Monte-Carlo measurements on finite networks.
+//!
+//! The paper's point: the hop count hardly depends on λ (both regimes
+//! approach `ln N` as λ → 0), with a singularity only at λ = 1 in the
+//! long-contact case.
+
+use crate::experiments::util::section;
+use crate::Config;
+use omnet_random::theory::{self, ContactCase};
+use omnet_random::{estimate_optimal_path, DiscreteModel};
+
+/// Runs the experiment and renders the result.
+pub fn run(cfg: &Config) -> String {
+    let mut out = String::new();
+    section(
+        &mut out,
+        "Figure 3: hop count of the delay-optimal path / ln N vs lambda",
+    );
+
+    // Theory curves on a log-ish λ grid (skipping the λ=1 singularity of the
+    // long case).
+    let lambdas: Vec<f64> = vec![
+        0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.95, 1.05, 1.2, 1.5, 2.0, 3.0, 5.0, 8.0,
+    ];
+    let mut series = omnet_analysis::Series::new("lambda", lambdas.clone());
+    series.curve(
+        "short",
+        lambdas
+            .iter()
+            .map(|&l| theory::hop_coefficient(ContactCase::Short, l))
+            .collect(),
+    );
+    series.curve(
+        "long",
+        lambdas
+            .iter()
+            .map(|&l| theory::hop_coefficient(ContactCase::Long, l))
+            .collect(),
+    );
+    out.push_str(&series.render());
+    out.push_str(
+        "\nboth curves tend to 1 as lambda -> 0 (hop count ~ ln N regardless of\n\
+         the rate); the long case diverges at lambda = 1 and follows 1/ln(lambda)\n\
+         beyond it.\n\n",
+    );
+
+    section(&mut out, "Monte-Carlo measurements (discrete model)");
+    let (n, reps, max_slots) = if cfg.quick {
+        (300, 12, 600)
+    } else {
+        (1_500, 40, 2_000)
+    };
+    let mut table = omnet_analysis::Table::new([
+        "case", "lambda", "theory", "measured", "delay/lnN theory", "measured ",
+    ]);
+    let probe_lambdas: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+    for case in [ContactCase::Short, ContactCase::Long] {
+        for &lambda in &probe_lambdas {
+            if case == ContactCase::Long && (lambda - 1.0).abs() < 1e-9 {
+                // the singularity: report the theory value only
+                table.row([
+                    format!("{case:?}"),
+                    format!("{lambda}"),
+                    "inf".to_string(),
+                    "-".to_string(),
+                    format!("{:.3}", theory::delay_coefficient(case, lambda)),
+                    "-".to_string(),
+                ]);
+                continue;
+            }
+            let est = estimate_optimal_path(
+                DiscreteModel::new(n, lambda),
+                case,
+                max_slots,
+                reps,
+                cfg.seed ^ (lambda.to_bits() >> 3),
+            );
+            table.row([
+                format!("{case:?}"),
+                format!("{lambda}"),
+                format!("{:.3}", theory::hop_coefficient(case, lambda)),
+                format!("{:.3}", est.hop_coefficient),
+                format!("{:.3}", theory::delay_coefficient(case, lambda)),
+                format!("{:.3}", est.delay_coefficient),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nN = {n}, {reps} floods per point; asymptotic coefficients carry\n\
+         Θ(ln N)-power slack, so measured values match within tens of percent.\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_theory_and_measurements() {
+        let cfg = Config {
+            quick: true,
+            ..Config::default()
+        };
+        let text = run(&cfg);
+        assert!(text.contains("short"));
+        assert!(text.contains("long"));
+        assert!(text.contains("measured"));
+    }
+}

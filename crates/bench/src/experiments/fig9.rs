@@ -1,0 +1,135 @@
+//! Figure 9: the CDF of the optimal delay over all source–destination pairs
+//! and start times, per hop class, for Infocom05, Reality Mining and
+//! Hong-Kong — with the 99 %-diameter under each panel.
+//!
+//! The paper reports diameters of 5 (Infocom05), 4 (Reality Mining) and 6
+//! (Hong-Kong), and two qualitative contrasts: Infocom05 is far better
+//! connected (direct contact within a day: ~65 % vs < 3 %), and the
+//! multi-hop improvement sits at small timescales for dense traces and at
+//! large timescales for sparse ones.
+
+use crate::experiments::util::{curves, delay_grid, diameter_line, render_curves, section};
+use crate::Config;
+use omnet_core::{day_time_windows, CurveOptions, HopBound, SuccessCurves};
+use omnet_mobility::Dataset;
+use omnet_temporal::transform::internal_only;
+use omnet_temporal::Dur;
+use std::fmt::Write as _;
+
+/// Runs the experiment and renders the result.
+pub fn run(cfg: &Config) -> String {
+    let mut out = String::new();
+    section(
+        &mut out,
+        "Figure 9: CDF of optimal delay by hop class + 99%-diameter",
+    );
+    let panels = [
+        (Dataset::Infocom05, true, "paper diameter: 5"),
+        (Dataset::RealityMining, true, "paper diameter: 4"),
+        (Dataset::HongKong, false, "paper diameter: 6"),
+    ];
+    for (ds, strip_external, paper) in panels {
+        let full = if cfg.quick {
+            ds.generate_days(2.0, cfg.seed)
+        } else {
+            ds.generate(cfg.seed)
+        };
+        let trace = if strip_external {
+            internal_only(&full)
+        } else {
+            full // Hong-Kong: external devices relay (the paper does the same)
+        };
+        let horizon = trace.span().duration().min(Dur::weeks(1.0));
+        let grid = delay_grid(horizon, if cfg.quick { 10 } else { 22 });
+        let c = curves(&trace, if cfg.quick { 8 } else { 10 }, grid);
+        let _ = writeln!(
+            out,
+            "--- {} ({} internal devices, {} contacts) ---",
+            ds.label(),
+            trace.num_internal(),
+            trace.num_contacts()
+        );
+        out.push_str(&render_curves(&c, &[1, 2, 3, 4, 6]));
+        let _ = writeln!(out, "{}   [{paper}]", diameter_line(&c, 0.01));
+
+        // the paper's direct-contact-within-a-day observation
+        if let (Some(one), Some(flood)) =
+            (c.curve(HopBound::AtMost(1)), c.curve(HopBound::Unlimited))
+        {
+            let day_idx = c
+                .grid()
+                .iter()
+                .position(|d| *d >= Dur::days(1.0))
+                .unwrap_or(c.grid().len() - 1);
+            let _ = writeln!(
+                out,
+                "P[direct contact within a day] = {:.1}%   P[flooding within a day] = {:.1}%\n",
+                one[day_idx] * 100.0,
+                flood[day_idx] * 100.0
+            );
+        }
+    }
+    // §5.1 notes "results with internal and external contacts are very
+    // similar" — check that adding the external devices as potential relays
+    // barely moves the Infocom05 diameter.
+    {
+        let full = if cfg.quick {
+            Dataset::Infocom05.generate_days(2.0, cfg.seed)
+        } else {
+            Dataset::Infocom05.generate(cfg.seed)
+        };
+        let horizon = full.span().duration().min(Dur::weeks(1.0));
+        let grid = delay_grid(horizon, if cfg.quick { 8 } else { 14 });
+        let opts = CurveOptions::standard(if cfg.quick { 8 } else { 10 }, grid);
+        // internal pairs only, but externals may relay (the trace keeps them)
+        let with_ext = SuccessCurves::compute(&full, &opts);
+        let _ = writeln!(
+            out,
+            "Infocom05 incl. external relays: {}  (paper: internal-only and
+             internal+external results are very similar)
+",
+            diameter_line(&with_ext, 0.01)
+        );
+    }
+
+    // §5.3's day-time-only variant: restricting start times to 9h-18h
+    // re-creates the high-contact-rate regime where the multi-hop
+    // improvement concentrates at small timescales.
+    section(&mut out, "variant: Infocom05, message creation 9h-18h only");
+    let full = if cfg.quick {
+        Dataset::Infocom05.generate_days(2.0, cfg.seed)
+    } else {
+        Dataset::Infocom05.generate(cfg.seed)
+    };
+    let trace = internal_only(&full);
+    let windows = day_time_windows(&trace, 9.0, 18.0);
+    let grid = delay_grid(Dur::hours(6.0), if cfg.quick { 6 } else { 10 });
+    let opts = CurveOptions::standard(if cfg.quick { 8 } else { 10 }, grid);
+    let day = SuccessCurves::compute_windowed(&trace, &opts, &windows);
+    out.push_str(&render_curves(&day, &[1, 2, 4]));
+    let _ = writeln!(out, "{}", diameter_line(&day, 0.01));
+    out.push_str(
+        "\nexpected shape (paper §5.3): curves for 4-6 hops hug the flooding\n\
+         curve at every timescale; Infocom05 is by far the best connected, and\n\
+         day-time-only creation strengthens the small-timescale multi-hop gain.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_three_panels_with_diameters() {
+        let cfg = Config {
+            quick: true,
+            ..Config::default()
+        };
+        let text = run(&cfg);
+        assert!(text.contains("Infocom05"));
+        assert!(text.contains("Reality Mining"));
+        assert!(text.contains("Hong-Kong"));
+        assert_eq!(text.matches("diameter").count() >= 3, true, "{text}");
+    }
+}

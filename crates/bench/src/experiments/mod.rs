@@ -1,0 +1,23 @@
+//! One module per reproduced table/figure; see DESIGN.md §5 for the index.
+
+pub mod ext1;
+pub mod ext2;
+pub mod ext3;
+pub mod ext4;
+pub mod ext5;
+pub mod ext6;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod lemma1;
+pub mod table1;
+pub mod xval;
+
+pub(crate) mod util;

@@ -1,0 +1,480 @@
+//! Hand-rolled argument parsing (the tool has no dependency budget for a
+//! full CLI framework, and the grammar is tiny).
+
+use std::path::PathBuf;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `omnet stats <trace>`
+    Stats(StatsArgs),
+    /// `omnet convert <in> <out>`
+    Convert(ConvertArgs),
+    /// `omnet generate <dataset> <out> [--days D] [--seed N]`
+    Generate(GenerateArgs),
+    /// `omnet diameter <trace> [--eps E] [--max-hops K] [--internal-only]`
+    Diameter(DiameterArgs),
+    /// `omnet cdf <trace> [--hops list] [--points N] [--internal-only]`
+    Cdf(CdfArgs),
+    /// `omnet path <trace> <src> <dst> <t>`
+    Path(PathArgs),
+    /// `omnet prune <trace> <out> (--keep F | --min-duration S)`
+    Prune(PruneArgs),
+    /// `omnet flood <trace> <src> <start> [--ttl K]`
+    Flood(FloodArgs),
+    /// `omnet journeys <trace> <src> <dst>`
+    Journeys(JourneysArgs),
+    /// `omnet simulate <trace> [...]`
+    Simulate(SimulateArgs),
+    /// `omnet components <trace> <t>`
+    Components(ComponentsArgs),
+}
+
+/// Arguments of `omnet flood`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloodArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+    /// Source node id.
+    pub src: u32,
+    /// Message creation time, seconds.
+    pub start: f64,
+    /// Optional hop TTL.
+    pub ttl: Option<u32>,
+}
+
+/// Arguments of `omnet journeys`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JourneysArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+}
+
+/// Arguments of `omnet simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+    /// Workload size.
+    pub messages: usize,
+    /// Routing scheme: `epidemic`, `direct`, or `spray:<copies>`.
+    pub routing: String,
+    /// Buffer capacity (`0` = unlimited).
+    pub buffer: usize,
+    /// Optional hop TTL.
+    pub ttl_hops: Option<u32>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Arguments of `omnet components`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentsArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+    /// Snapshot instant, seconds.
+    pub at: f64,
+}
+
+/// Arguments of `omnet stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+}
+
+/// Arguments of `omnet convert`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvertArgs {
+    /// Input listing (lenient format).
+    pub input: PathBuf,
+    /// Output canonical trace.
+    pub output: PathBuf,
+}
+
+/// Arguments of `omnet generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Data-set name (case-insensitive).
+    pub dataset: String,
+    /// Output trace path.
+    pub output: PathBuf,
+    /// Optional shortened observation length in days.
+    pub days: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Arguments of `omnet diameter`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiameterArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+    /// ε of the (1−ε)-diameter.
+    pub eps: f64,
+    /// Largest hop class evaluated.
+    pub max_hops: usize,
+    /// Restrict sources/destinations to internal devices.
+    pub internal_only: bool,
+}
+
+/// Arguments of `omnet cdf`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+    /// Hop classes to print.
+    pub hops: Vec<usize>,
+    /// Number of grid points.
+    pub points: usize,
+    /// Restrict pairs to internal devices.
+    pub internal_only: bool,
+}
+
+/// Arguments of `omnet path`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+    /// Message creation time, seconds.
+    pub start: f64,
+}
+
+/// Arguments of `omnet prune`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneArgs {
+    /// Input trace.
+    pub trace: PathBuf,
+    /// Output trace.
+    pub output: PathBuf,
+    /// Keep each contact independently with this probability.
+    pub keep: Option<f64>,
+    /// Keep only contacts at least this long (seconds).
+    pub min_duration: Option<f64>,
+    /// RNG seed for `--keep`.
+    pub seed: u64,
+}
+
+/// Outcome of parsing argv.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedArgs {
+    /// A runnable command.
+    Run(Command),
+    /// `--help` or no arguments: print usage, exit 0/2.
+    Help,
+}
+
+/// Parses an argv slice (without the program name).
+pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
+    let mut it = argv.iter().map(String::as_str);
+    let Some(sub) = it.next() else {
+        return Ok(ParsedArgs::Help);
+    };
+    if sub == "--help" || sub == "-h" || sub == "help" {
+        return Ok(ParsedArgs::Help);
+    }
+    let rest: Vec<&str> = it.collect();
+    let cmd = match sub {
+        "stats" => {
+            let [trace] = positional::<1>(&rest, "stats <trace>")?;
+            Command::Stats(StatsArgs {
+                trace: trace.into(),
+            })
+        }
+        "convert" => {
+            let [input, output] = positional::<2>(&rest, "convert <input> <output>")?;
+            Command::Convert(ConvertArgs {
+                input: input.into(),
+                output: output.into(),
+            })
+        }
+        "generate" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let [dataset, output] = positional::<2>(&pos, "generate <dataset> <output>")?;
+            Command::Generate(GenerateArgs {
+                dataset: dataset.to_string(),
+                output: output.into(),
+                days: flag_value(&flags, "--days")?,
+                seed: flag_value(&flags, "--seed")?.unwrap_or(7),
+            })
+        }
+        "diameter" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let [trace] = positional::<1>(&pos, "diameter <trace>")?;
+            Command::Diameter(DiameterArgs {
+                trace: trace.into(),
+                eps: flag_value(&flags, "--eps")?.unwrap_or(0.01),
+                max_hops: flag_value(&flags, "--max-hops")?.unwrap_or(10),
+                internal_only: flags.iter().any(|(k, _)| *k == "--internal-only"),
+            })
+        }
+        "cdf" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let [trace] = positional::<1>(&pos, "cdf <trace>")?;
+            let hops = match flag_str(&flags, "--hops") {
+                Some(list) => list
+                    .split(',')
+                    .map(|h| h.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| "invalid --hops list".to_string())?,
+                None => vec![1, 2, 4],
+            };
+            Command::Cdf(CdfArgs {
+                trace: trace.into(),
+                hops,
+                points: flag_value(&flags, "--points")?.unwrap_or(16),
+                internal_only: flags.iter().any(|(k, _)| *k == "--internal-only"),
+            })
+        }
+        "path" => {
+            let [trace, src, dst, start] =
+                positional::<4>(&rest, "path <trace> <src> <dst> <start-secs>")?;
+            Command::Path(PathArgs {
+                trace: trace.into(),
+                src: src.parse().map_err(|_| "invalid src id".to_string())?,
+                dst: dst.parse().map_err(|_| "invalid dst id".to_string())?,
+                start: start
+                    .parse()
+                    .map_err(|_| "invalid start time".to_string())?,
+            })
+        }
+        "prune" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let [trace, output] = positional::<2>(&pos, "prune <trace> <output>")?;
+            let keep: Option<f64> = flag_value(&flags, "--keep")?;
+            let min_duration: Option<f64> = flag_value(&flags, "--min-duration")?;
+            if keep.is_some() == min_duration.is_some() {
+                return Err("prune needs exactly one of --keep or --min-duration".into());
+            }
+            Command::Prune(PruneArgs {
+                trace: trace.into(),
+                output: output.into(),
+                keep,
+                min_duration,
+                seed: flag_value(&flags, "--seed")?.unwrap_or(7),
+            })
+        }
+        "flood" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let [trace, src, start] = positional::<3>(&pos, "flood <trace> <src> <start-secs>")?;
+            Command::Flood(FloodArgs {
+                trace: trace.into(),
+                src: src.parse().map_err(|_| "invalid src id".to_string())?,
+                start: start.parse().map_err(|_| "invalid start time".to_string())?,
+                ttl: flag_value(&flags, "--ttl")?,
+            })
+        }
+        "journeys" => {
+            let [trace, src, dst] = positional::<3>(&rest, "journeys <trace> <src> <dst>")?;
+            Command::Journeys(JourneysArgs {
+                trace: trace.into(),
+                src: src.parse().map_err(|_| "invalid src id".to_string())?,
+                dst: dst.parse().map_err(|_| "invalid dst id".to_string())?,
+            })
+        }
+        "simulate" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let [trace] = positional::<1>(&pos, "simulate <trace>")?;
+            Command::Simulate(SimulateArgs {
+                trace: trace.into(),
+                messages: flag_value(&flags, "--messages")?.unwrap_or(200),
+                routing: flag_str(&flags, "--routing").unwrap_or("epidemic").to_string(),
+                buffer: flag_value(&flags, "--buffer")?.unwrap_or(0),
+                ttl_hops: flag_value(&flags, "--ttl-hops")?,
+                seed: flag_value(&flags, "--seed")?.unwrap_or(7),
+            })
+        }
+        "components" => {
+            let [trace, at] = positional::<2>(&rest, "components <trace> <t-secs>")?;
+            Command::Components(ComponentsArgs {
+                trace: trace.into(),
+                at: at.parse().map_err(|_| "invalid snapshot time".to_string())?,
+            })
+        }
+        other => return Err(format!("unknown subcommand '{other}'")),
+    };
+    Ok(ParsedArgs::Run(cmd))
+}
+
+/// Splits `rest` into positional arguments and `--flag [value]` pairs.
+fn split_flags<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, Vec<(&'a str, Option<&'a str>)>), String> {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i];
+        if a.starts_with("--") {
+            let takes_value = !matches!(a, "--internal-only");
+            if takes_value {
+                let v = rest
+                    .get(i + 1)
+                    .copied()
+                    .ok_or_else(|| format!("flag {a} needs a value"))?;
+                flags.push((a, Some(v)));
+                i += 2;
+            } else {
+                flags.push((a, None));
+                i += 1;
+            }
+        } else {
+            pos.push(a);
+            i += 1;
+        }
+    }
+    Ok((pos, flags))
+}
+
+fn positional<const N: usize>(args: &[&str], usage: &str) -> Result<[String; N], String> {
+    if args.len() != N {
+        return Err(format!("expected: omnet {usage}"));
+    }
+    Ok(std::array::from_fn(|i| args[i].to_string()))
+}
+
+fn flag_str<'a>(flags: &[(&str, Option<&'a str>)], name: &str) -> Option<&'a str> {
+    flags.iter().find(|(k, _)| *k == name).and_then(|(_, v)| *v)
+}
+
+fn flag_value<T: std::str::FromStr>(
+    flags: &[(&str, Option<&str>)],
+    name: &str,
+) -> Result<Option<T>, String> {
+    match flag_str(flags, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value for {name}: '{v}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert_eq!(parse(&[]).unwrap(), ParsedArgs::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), ParsedArgs::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), ParsedArgs::Help);
+    }
+
+    #[test]
+    fn stats_parses() {
+        let ParsedArgs::Run(Command::Stats(a)) = parse(&argv("stats foo.trace")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.trace, PathBuf::from("foo.trace"));
+    }
+
+    #[test]
+    fn generate_flags() {
+        let ParsedArgs::Run(Command::Generate(a)) =
+            parse(&argv("generate infocom05 out.trace --days 1.5 --seed 42")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.dataset, "infocom05");
+        assert_eq!(a.days, Some(1.5));
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn diameter_defaults_and_flags() {
+        let ParsedArgs::Run(Command::Diameter(a)) =
+            parse(&argv("diameter t.trace --internal-only --eps 0.05")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(a.internal_only);
+        assert_eq!(a.eps, 0.05);
+        assert_eq!(a.max_hops, 10);
+    }
+
+    #[test]
+    fn cdf_hops_list() {
+        let ParsedArgs::Run(Command::Cdf(a)) =
+            parse(&argv("cdf t.trace --hops 1,3,5 --points 8")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.hops, vec![1, 3, 5]);
+        assert_eq!(a.points, 8);
+    }
+
+    #[test]
+    fn path_positionals() {
+        let ParsedArgs::Run(Command::Path(a)) = parse(&argv("path t.trace 3 17 120")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((a.src, a.dst, a.start), (3, 17, 120.0));
+    }
+
+    #[test]
+    fn prune_requires_exactly_one_mode() {
+        assert!(parse(&argv("prune a b")).is_err());
+        assert!(parse(&argv("prune a b --keep 0.1 --min-duration 60")).is_err());
+        assert!(parse(&argv("prune a b --keep 0.1")).is_ok());
+        assert!(parse(&argv("prune a b --min-duration 600")).is_ok());
+    }
+
+    #[test]
+    fn flood_and_journeys_parse() {
+        let ParsedArgs::Run(Command::Flood(a)) =
+            parse(&argv("flood t.trace 4 120 --ttl 3")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((a.src, a.start, a.ttl), (4, 120.0, Some(3)));
+        let ParsedArgs::Run(Command::Journeys(j)) =
+            parse(&argv("journeys t.trace 1 2")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((j.src, j.dst), (1, 2));
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let ParsedArgs::Run(Command::Simulate(a)) =
+            parse(&argv("simulate t.trace --routing spray:4 --buffer 16")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.messages, 200);
+        assert_eq!(a.routing, "spray:4");
+        assert_eq!(a.buffer, 16);
+        assert_eq!(a.ttl_hops, None);
+    }
+
+    #[test]
+    fn components_parse() {
+        let ParsedArgs::Run(Command::Components(a)) =
+            parse(&argv("components t.trace 3600")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.at, 3600.0);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&argv("bogus")).unwrap_err().contains("unknown subcommand"));
+        assert!(parse(&argv("stats")).unwrap_err().contains("stats <trace>"));
+        assert!(parse(&argv("cdf t --hops a,b")).unwrap_err().contains("--hops"));
+        assert!(parse(&argv("diameter t --eps")).unwrap_err().contains("needs a value"));
+    }
+}

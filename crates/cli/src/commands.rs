@@ -1,0 +1,715 @@
+//! Subcommand implementations: pure functions from arguments to rendered
+//! output (writing trace files where the command's contract says so).
+
+use crate::args::*;
+use omnet_core::{
+    earliest_arrival, optimal_journeys, route_string, AllPairsProfiles, CurveOptions, HopBound,
+    ProfileOptions, SuccessCurves,
+};
+use omnet_flooding::{flood, simulate, uniform_workload, Routing, SimConfig};
+use omnet_mobility::Dataset;
+use omnet_temporal::stats::TraceStats;
+use omnet_temporal::{io, transform, Dur, NodeId, Time, Trace};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn load(path: &Path) -> Result<Trace, String> {
+    io::load(path).map_err(|e| format!("cannot read trace {}: {e}", path.display()))
+}
+
+fn save(trace: &Trace, path: &Path) -> Result<(), String> {
+    io::save(trace, path).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// `omnet stats`.
+pub fn stats(a: &StatsArgs) -> Result<String, String> {
+    let trace = load(&a.trace)?;
+    let s = TraceStats::of(&trace);
+    let durations = omnet_temporal::stats::contact_durations(&trace);
+    let gaps = omnet_temporal::stats::inter_contact_times(&trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "trace:               {}", a.trace.display());
+    let _ = writeln!(out, "observation window:  {}", s.duration);
+    let _ = writeln!(
+        out,
+        "granularity:         {}",
+        s.granularity.map_or("n/a".into(), |g| g.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "devices:             {} internal + {} external",
+        s.internal_devices, s.external_devices
+    );
+    let _ = writeln!(
+        out,
+        "contacts:            {} internal + {} external",
+        s.internal_contacts, s.external_contacts
+    );
+    let _ = writeln!(
+        out,
+        "contact rate:        {:.2} per internal device-hour ({:.2} incl. external)",
+        s.internal_rate_per_node_hour, s.total_rate_per_node_hour
+    );
+    let dsum = omnet_analysis::Summary::of(
+        &durations.iter().map(|d| d.as_secs()).collect::<Vec<_>>(),
+    );
+    if dsum.count > 0 {
+        let _ = writeln!(
+            out,
+            "contact duration:    median {}  mean {}  max {}",
+            Dur::secs(dsum.median),
+            Dur::secs(dsum.mean),
+            Dur::secs(dsum.max)
+        );
+    }
+    let gsum =
+        omnet_analysis::Summary::of(&gaps.iter().map(|d| d.as_secs()).collect::<Vec<_>>());
+    if gsum.count > 0 {
+        let _ = writeln!(
+            out,
+            "inter-contact time:  median {}  mean {}  max {}",
+            Dur::secs(gsum.median),
+            Dur::secs(gsum.mean),
+            Dur::secs(gsum.max)
+        );
+    }
+    Ok(out)
+}
+
+/// `omnet convert`.
+pub fn convert(a: &ConvertArgs) -> Result<String, String> {
+    let file = std::fs::File::open(&a.input)
+        .map_err(|e| format!("cannot read {}: {e}", a.input.display()))?;
+    let imp = io::import_lenient(file).map_err(|e| format!("import failed: {e}"))?;
+    save(&imp.trace, &a.output)?;
+    Ok(format!(
+        "imported {} rows ({} skipped) from {} distinct device ids\n\
+         wrote {} contacts among {} nodes to {}\n",
+        imp.accepted,
+        imp.skipped,
+        imp.id_count,
+        imp.trace.num_contacts(),
+        imp.trace.num_nodes(),
+        a.output.display()
+    ))
+}
+
+/// `omnet generate`.
+pub fn generate(a: &GenerateArgs) -> Result<String, String> {
+    let dataset = match a.dataset.to_ascii_lowercase().as_str() {
+        "infocom05" => Dataset::Infocom05,
+        "infocom06" => Dataset::Infocom06,
+        "hongkong" | "hong-kong" => Dataset::HongKong,
+        "realitymining" | "reality-mining" => Dataset::RealityMining,
+        other => {
+            return Err(format!(
+                "unknown data set '{other}' (infocom05|infocom06|hongkong|realitymining)"
+            ))
+        }
+    };
+    let trace = match a.days {
+        Some(days) => dataset.generate_days(days, a.seed),
+        None => dataset.generate(a.seed),
+    };
+    save(&trace, &a.output)?;
+    Ok(format!(
+        "generated synthetic {}: {} devices, {} contacts over {}\nwrote {}\n",
+        dataset.label(),
+        trace.num_nodes(),
+        trace.num_contacts(),
+        trace.span().duration(),
+        a.output.display()
+    ))
+}
+
+/// `omnet diameter`.
+pub fn diameter(a: &DiameterArgs) -> Result<String, String> {
+    if !(0.0..1.0).contains(&a.eps) {
+        return Err("--eps must lie in [0, 1)".into());
+    }
+    if a.max_hops == 0 {
+        return Err("--max-hops must be positive".into());
+    }
+    let trace = load(&a.trace)?;
+    let trace = if a.internal_only {
+        transform::internal_only(&trace)
+    } else {
+        trace
+    };
+    let horizon = trace.span().duration().as_secs().max(240.0);
+    let grid: Vec<Dur> = omnet_analysis::log_grid(120.0_f64.min(horizon / 2.0), horizon, 16)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
+    let mut opts = CurveOptions::standard(a.max_hops, grid);
+    opts.internal_pairs_only = a.internal_only;
+    let curves = SuccessCurves::compute(&trace, &opts);
+    let mut out = String::new();
+    match curves.diameter(a.eps) {
+        Some(d) => {
+            let _ = writeln!(
+                out,
+                "(1-{})-diameter: {d} hops  (over {} ordered pairs, delays {} to {})",
+                a.eps,
+                curves.pairs(),
+                curves.grid()[0],
+                curves.grid()[curves.grid().len() - 1]
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "(1-{})-diameter exceeds {} hops; raise --max-hops",
+                a.eps, a.max_hops
+            );
+        }
+    }
+    // per-delay diameter summary (Fig-12 style)
+    let per_delay = curves.diameter_curve(a.eps);
+    let _ = writeln!(out, "\ndiameter per delay constraint:");
+    for (x, d) in curves.grid().iter().zip(per_delay) {
+        let _ = writeln!(
+            out,
+            "  {:>10}  {}",
+            x.to_string(),
+            d.map_or("-".into(), |v| v.to_string())
+        );
+    }
+    Ok(out)
+}
+
+/// `omnet cdf`.
+pub fn cdf(a: &CdfArgs) -> Result<String, String> {
+    if a.points < 2 {
+        return Err("--points must be at least 2".into());
+    }
+    let trace = load(&a.trace)?;
+    let trace = if a.internal_only {
+        transform::internal_only(&trace)
+    } else {
+        trace
+    };
+    let horizon = trace.span().duration().as_secs().max(240.0);
+    let grid: Vec<Dur> = omnet_analysis::log_grid(120.0_f64.min(horizon / 2.0), horizon, a.points)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
+    let max_hop = a.hops.iter().copied().max().unwrap_or(1);
+    let mut opts = CurveOptions::standard(max_hop, grid.clone());
+    opts.internal_pairs_only = a.internal_only;
+    let curves = SuccessCurves::compute(&trace, &opts);
+    let mut series = omnet_analysis::Series::new(
+        "delay_s",
+        grid.iter().map(|d| d.as_secs()).collect::<Vec<_>>(),
+    );
+    for &k in &a.hops {
+        if let Some(c) = curves.curve(HopBound::AtMost(k)) {
+            series.curve(format!("{k}hop"), c.to_vec());
+        }
+    }
+    series.curve(
+        "flood",
+        curves
+            .curve(HopBound::Unlimited)
+            .expect("standard options include flooding")
+            .to_vec(),
+    );
+    Ok(series.render())
+}
+
+/// `omnet path`.
+pub fn path(a: &PathArgs) -> Result<String, String> {
+    let trace = load(&a.trace)?;
+    let n = trace.num_nodes();
+    if a.src >= n || a.dst >= n {
+        return Err(format!("node ids must be below {n}"));
+    }
+    if a.src == a.dst {
+        return Err("source equals destination".into());
+    }
+    let t0 = Time::secs(a.start);
+    let tree = earliest_arrival(&trace, NodeId(a.src), t0);
+    let mut out = String::new();
+    match tree.path_to(&trace, NodeId(a.dst)) {
+        None => {
+            let _ = writeln!(
+                out,
+                "no path from {} to {} for a message created at {}",
+                a.src, a.dst, t0
+            );
+        }
+        Some(p) => {
+            let arrival = tree.arrival(NodeId(a.dst));
+            let _ = writeln!(
+                out,
+                "earliest arrival: {} (delay {}), {} hops",
+                arrival,
+                arrival.since(t0),
+                p.hops()
+            );
+            let times = p.schedule(t0).expect("witness path is schedulable");
+            for (i, (c, at)) in p.contacts().iter().zip(times).enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  hop {:>2}: {} -> {}  via contact [{} .. {}]  at {}",
+                    i + 1,
+                    p.nodes()[i],
+                    p.nodes()[i + 1],
+                    c.start(),
+                    c.end(),
+                    at
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `omnet prune`.
+pub fn prune(a: &PruneArgs) -> Result<String, String> {
+    let trace = load(&a.trace)?;
+    let before = trace.num_contacts();
+    let pruned = match (a.keep, a.min_duration) {
+        (Some(keep), None) => {
+            if !(0.0..=1.0).contains(&keep) {
+                return Err("--keep must lie in [0, 1]".into());
+            }
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(a.seed);
+            transform::remove_random(&trace, 1.0 - keep, &mut rng)
+        }
+        (None, Some(secs)) => {
+            if secs < 0.0 {
+                return Err("--min-duration must be non-negative".into());
+            }
+            transform::min_duration(&trace, Dur::secs(secs))
+        }
+        _ => unreachable!("argument parser enforces exactly one mode"),
+    };
+    save(&pruned, &a.output)?;
+    Ok(format!(
+        "kept {} of {} contacts ({:.1}%)\nwrote {}\n",
+        pruned.num_contacts(),
+        before,
+        100.0 * pruned.num_contacts() as f64 / before.max(1) as f64,
+        a.output.display()
+    ))
+}
+
+/// `omnet flood`.
+pub fn flood_cmd(a: &FloodArgs) -> Result<String, String> {
+    let trace = load(&a.trace)?;
+    if a.src >= trace.num_nodes() {
+        return Err(format!("node ids must be below {}", trace.num_nodes()));
+    }
+    let t0 = Time::secs(a.start);
+    let out = flood(&trace, NodeId(a.src), t0, a.ttl);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "flooding from {} at {}{}: reached {} of {} nodes, {} transmissions",
+        a.src,
+        t0,
+        a.ttl.map_or(String::new(), |t| format!(" (TTL {t})")),
+        out.reached(),
+        trace.num_nodes(),
+        out.transmissions
+    );
+    let mut arrivals: Vec<(NodeId, Time, u32)> = trace
+        .nodes()
+        .filter(|n| n.0 != a.src && out.delivery(*n) < Time::INF)
+        .map(|n| (n, out.delivery(n), out.hops[n.index()]))
+        .collect();
+    arrivals.sort_by_key(|(_, at, _)| *at);
+    for (n, at, hops) in arrivals.iter().take(25) {
+        let _ = writeln!(
+            text,
+            "  node {:>4}  infected {:>10}  delay {:>10}  {hops} hops",
+            n,
+            at,
+            at.since(t0)
+        );
+    }
+    if arrivals.len() > 25 {
+        let _ = writeln!(text, "  … {} more", arrivals.len() - 25);
+    }
+    Ok(text)
+}
+
+/// `omnet journeys`.
+pub fn journeys(a: &JourneysArgs) -> Result<String, String> {
+    let trace = load(&a.trace)?;
+    let n = trace.num_nodes();
+    if a.src >= n || a.dst >= n {
+        return Err(format!("node ids must be below {n}"));
+    }
+    if a.src == a.dst {
+        return Err("source equals destination".into());
+    }
+    let profiles = AllPairsProfiles::compute(&trace, ProfileOptions::default());
+    let f = profiles.profile(NodeId(a.src), NodeId(a.dst), HopBound::Unlimited);
+    if f.is_empty() {
+        return Ok(format!("no path ever exists from {} to {}
+", a.src, a.dst));
+    }
+    let mut text = format!(
+        "{} optimal journeys from {} to {}:
+",
+        f.len(),
+        a.src,
+        a.dst
+    );
+    for (pair, path) in optimal_journeys(&trace, NodeId(a.src), NodeId(a.dst), f) {
+        let _ = writeln!(
+            text,
+            "  leave by {:>10}  arrive {:>10}  {} hops: {}",
+            pair.ld,
+            pair.ea,
+            path.hops(),
+            route_string(&path)
+        );
+    }
+    Ok(text)
+}
+
+/// `omnet simulate`.
+pub fn simulate_cmd(a: &SimulateArgs) -> Result<String, String> {
+    let trace = load(&a.trace)?;
+    if trace.num_internal() < 2 {
+        return Err("simulation needs at least two internal devices".into());
+    }
+    let routing = match a.routing.as_str() {
+        "epidemic" => Routing::Epidemic,
+        "direct" => Routing::Direct,
+        other => match other.strip_prefix("spray:") {
+            Some(copies) => Routing::SprayAndWait(
+                copies
+                    .parse()
+                    .map_err(|_| format!("invalid spray copy count '{copies}'"))?,
+            ),
+            None => {
+                return Err(format!(
+                    "unknown routing '{other}' (epidemic|direct|spray:<copies>)"
+                ))
+            }
+        },
+    };
+    let config = SimConfig {
+        routing,
+        buffer_capacity: if a.buffer == 0 { usize::MAX } else { a.buffer },
+        ttl_hops: a.ttl_hops,
+        ..SimConfig::default()
+    };
+    let workload = uniform_workload(&trace, a.messages, 0.6, a.seed);
+    let r = simulate(&trace, &workload, config);
+    let mut text = String::new();
+    let _ = writeln!(text, "routing:             {}", a.routing);
+    let _ = writeln!(text, "messages:            {}", r.generated);
+    let _ = writeln!(
+        text,
+        "delivered:           {} ({:.1}%)",
+        r.delivered,
+        r.delivery_ratio() * 100.0
+    );
+    if !r.mean_delay_secs.is_nan() {
+        let _ = writeln!(text, "mean delay:          {}", Dur::secs(r.mean_delay_secs));
+    }
+    let _ = writeln!(
+        text,
+        "relay transmissions: {} ({:.1} per message)",
+        r.relay_transmissions,
+        r.overhead()
+    );
+    let _ = writeln!(text, "buffer drops:        {}", r.buffer_drops);
+    let _ = writeln!(text, "peak buffer:         {}", r.peak_buffer);
+    Ok(text)
+}
+
+/// `omnet components`.
+pub fn components(a: &ComponentsArgs) -> Result<String, String> {
+    use omnet_temporal::connectivity;
+    let trace = load(&a.trace)?;
+    let t = Time::secs(a.at);
+    let comps = connectivity::snapshot_components(&trace, t);
+    let mut text = format!(
+        "snapshot at {}: {} components, giant fraction {:.1}%, snapshot diameter {}
+",
+        t,
+        comps.len(),
+        connectivity::giant_component_fraction(&trace, t) * 100.0,
+        connectivity::snapshot_diameter(&trace, t)
+    );
+    for (i, comp) in comps.iter().take(10).enumerate() {
+        if comp.len() == 1 {
+            continue; // singletons are noise
+        }
+        let ids: Vec<String> = comp.iter().take(16).map(|n| n.to_string()).collect();
+        let _ = writeln!(
+            text,
+            "  component {:>2} ({} nodes): {}{}",
+            i + 1,
+            comp.len(),
+            ids.join(" "),
+            if comp.len() > 16 { " …" } else { "" }
+        );
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("omnet-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn toy_trace_file(dir: &Path) -> std::path::PathBuf {
+        let p = dir.join("toy.trace");
+        std::fs::write(
+            &p,
+            "# nodes 4\n# internal 4\n# window 0 1000\n\
+             0 1 0 120\n1 2 100 260\n2 3 400 520\n0 3 800 920\n0 1 600 720\n",
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn stats_renders_key_lines() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = stats(&StatsArgs { trace: p }).unwrap();
+        assert!(out.contains("4 internal + 0 external"));
+        assert!(out.contains("5 internal + 0 external"));
+        assert!(out.contains("contact duration"));
+        assert!(out.contains("inter-contact time"));
+    }
+
+    #[test]
+    fn convert_roundtrips_lenient_listing() {
+        let dir = tempdir();
+        let input = dir.join("raw.txt");
+        std::fs::write(&input, "A B 0 100 extra cols\nB C 50 150\nnot a row\n").unwrap();
+        let output = dir.join("converted.trace");
+        let msg = convert(&ConvertArgs {
+            input,
+            output: output.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("imported 2 rows (1 skipped)"));
+        let back = io::load(&output).unwrap();
+        assert_eq!(back.num_contacts(), 2);
+        assert_eq!(back.num_nodes(), 3);
+    }
+
+    #[test]
+    fn generate_writes_a_trace() {
+        let dir = tempdir();
+        let output = dir.join("hk.trace");
+        let msg = generate(&GenerateArgs {
+            dataset: "HongKong".into(),
+            output: output.clone(),
+            days: Some(0.5),
+            seed: 3,
+        })
+        .unwrap();
+        assert!(msg.contains("Hong-Kong"));
+        let t = io::load(&output).unwrap();
+        assert_eq!(t.num_internal(), 37);
+        assert_eq!(t.span().duration(), Dur::hours(12.0));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let err = generate(&GenerateArgs {
+            dataset: "nope".into(),
+            output: "x".into(),
+            days: None,
+            seed: 0,
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown data set"));
+    }
+
+    #[test]
+    fn diameter_reports_value() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = diameter(&DiameterArgs {
+            trace: p,
+            eps: 0.01,
+            max_hops: 6,
+            internal_only: false,
+        })
+        .unwrap();
+        assert!(out.contains("-diameter"), "{out}");
+        assert!(out.contains("diameter per delay"));
+    }
+
+    #[test]
+    fn cdf_renders_series() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = cdf(&CdfArgs {
+            trace: p,
+            hops: vec![1, 2],
+            points: 5,
+            internal_only: false,
+        })
+        .unwrap();
+        assert!(out.contains("1hop"));
+        assert!(out.contains("flood"));
+    }
+
+    #[test]
+    fn path_prints_route() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = path(&PathArgs {
+            trace: p.clone(),
+            src: 0,
+            dst: 3,
+            start: 0.0,
+        })
+        .unwrap();
+        assert!(out.contains("earliest arrival"));
+        assert!(out.contains("hop  1: 0 -> 1"));
+        // unreachable direction
+        let out = path(&PathArgs {
+            trace: p,
+            src: 3,
+            dst: 1,
+            start: 900.0,
+        })
+        .unwrap();
+        assert!(out.contains("no path"));
+    }
+
+    #[test]
+    fn path_validates_ids() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        assert!(path(&PathArgs {
+            trace: p.clone(),
+            src: 9,
+            dst: 1,
+            start: 0.0
+        })
+        .is_err());
+        assert!(path(&PathArgs {
+            trace: p,
+            src: 1,
+            dst: 1,
+            start: 0.0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn prune_both_modes() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out1 = dir.join("kept.trace");
+        let msg = prune(&PruneArgs {
+            trace: p.clone(),
+            output: out1.clone(),
+            keep: Some(1.0),
+            min_duration: None,
+            seed: 1,
+        })
+        .unwrap();
+        assert!(msg.contains("kept 5 of 5"));
+        let out2 = dir.join("long.trace");
+        prune(&PruneArgs {
+            trace: p,
+            output: out2.clone(),
+            keep: None,
+            min_duration: Some(121.0),
+            seed: 1,
+        })
+        .unwrap();
+        let t = io::load(&out2).unwrap();
+        assert_eq!(t.num_contacts(), 1); // only the 160 s contact exceeds 121 s
+    }
+
+    #[test]
+    fn flood_lists_reached_nodes() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = flood_cmd(&FloodArgs {
+            trace: p,
+            src: 0,
+            start: 0.0,
+            ttl: None,
+        })
+        .unwrap();
+        assert!(out.contains("reached 4 of 4 nodes"), "{out}");
+        assert!(out.contains("node"), "{out}");
+        assert!(out.contains("hops"), "{out}");
+    }
+
+    #[test]
+    fn journeys_lists_pareto_routes() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = journeys(&JourneysArgs {
+            trace: p,
+            src: 0,
+            dst: 3,
+        })
+        .unwrap();
+        assert!(out.contains("optimal journeys"), "{out}");
+        assert!(out.contains("hops: 0 ->"));
+    }
+
+    #[test]
+    fn simulate_reports_metrics() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = simulate_cmd(&SimulateArgs {
+            trace: p.clone(),
+            messages: 10,
+            routing: "spray:4".into(),
+            buffer: 0,
+            ttl_hops: Some(4),
+            seed: 1,
+        })
+        .unwrap();
+        assert!(out.contains("delivered"), "{out}");
+        assert!(out.contains("relay transmissions"));
+        // invalid routing rejected
+        assert!(simulate_cmd(&SimulateArgs {
+            trace: p,
+            messages: 1,
+            routing: "bogus".into(),
+            buffer: 0,
+            ttl_hops: None,
+            seed: 1,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn components_describes_snapshot() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = components(&ComponentsArgs {
+            trace: p,
+            at: 110.0,
+        })
+        .unwrap();
+        assert!(out.contains("snapshot at"), "{out}");
+        assert!(out.contains("component"));
+    }
+
+    #[test]
+    fn run_dispatches() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = crate::run(Command::Stats(StatsArgs { trace: p })).unwrap();
+        assert!(out.contains("devices"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Implementation of the `omnet` command-line tool.
+//!
+//! Every subcommand is a pure function from parsed arguments to a rendered
+//! string (plus optional trace output), so the whole tool is unit-testable
+//! without spawning processes; `main.rs` is a thin argv shim.
+//!
+//! ```text
+//! omnet stats     <trace>                       data-set characteristics (Table-1 style)
+//! omnet convert   <in> <out>                    lenient import -> canonical format
+//! omnet generate  <dataset> <out> [...]         synthetic data sets
+//! omnet diameter  <trace> [...]                 success curves + (1-eps)-diameter
+//! omnet cdf       <trace> [...]                 delay CDF series per hop class
+//! omnet path      <trace> <src> <dst> <t>       earliest-arrival route for one query
+//! omnet prune     <trace> <out> [...]           random / duration-based contact removal
+//! omnet flood     <trace> <src> <t> [--ttl K]   epidemic reach from one query
+//! omnet journeys  <trace> <src> <dst>           every delay-optimal route of a pair
+//! omnet simulate  <trace> [...]                 buffered multi-message DTN simulation
+//! omnet components <trace> <t>                  contemporaneous connectivity snapshot
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParsedArgs};
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Stats(a) => commands::stats(&a),
+        Command::Convert(a) => commands::convert(&a),
+        Command::Generate(a) => commands::generate(&a),
+        Command::Diameter(a) => commands::diameter(&a),
+        Command::Cdf(a) => commands::cdf(&a),
+        Command::Path(a) => commands::path(&a),
+        Command::Prune(a) => commands::prune(&a),
+        Command::Flood(a) => commands::flood_cmd(&a),
+        Command::Journeys(a) => commands::journeys(&a),
+        Command::Simulate(a) => commands::simulate_cmd(&a),
+        Command::Components(a) => commands::components(&a),
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+omnet — opportunistic mobile network trace toolkit
+  (reproduction of 'The Diameter of Opportunistic Mobile Networks', CoNEXT'07)
+
+USAGE:
+  omnet stats    <trace>
+  omnet convert  <input> <output>
+  omnet generate <infocom05|infocom06|hongkong|realitymining> <output>
+                 [--days D] [--seed N]
+  omnet diameter <trace> [--eps E] [--max-hops K] [--internal-only]
+  omnet cdf      <trace> [--hops K1,K2,...] [--points N] [--internal-only]
+  omnet path     <trace> <src> <dst> <start-secs>
+  omnet prune    <trace> <output> (--keep FRACTION [--seed N] | --min-duration SECS)
+  omnet flood    <trace> <src> <start-secs> [--ttl K]
+  omnet journeys <trace> <src> <dst>
+  omnet simulate <trace> [--messages N] [--routing epidemic|direct|spray:L]
+                 [--buffer B] [--ttl-hops K] [--seed N]
+  omnet components <trace> <t-secs>
+
+Traces are plain text: optional `# nodes/internal/window` headers, then one
+`a b start end` row per contact; `convert` also accepts Haggle/CRAWDAD-style
+listings with arbitrary ids and extra columns.
+";

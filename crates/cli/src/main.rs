@@ -1,0 +1,23 @@
+//! The `omnet` binary: thin argv shim over [`omnet_cli`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match omnet_cli::parse(&argv) {
+        Ok(omnet_cli::ParsedArgs::Help) => {
+            eprint!("{}", omnet_cli::USAGE);
+            std::process::exit(if argv.is_empty() { 2 } else { 0 });
+        }
+        Ok(omnet_cli::ParsedArgs::Run(cmd)) => match omnet_cli::run(cmd) {
+            Ok(output) => print!("{output}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", omnet_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Exhaustive computation of delay-optimal paths (§4.4).
+//!
+//! The paper constructs, for every source–destination pair and every hop
+//! class `≤ k`, the delivery function "by induction on the set of contacts",
+//! keeping only Pareto-optimal `(LD, EA)` pairs. We realize the induction as
+//! a hop-level dynamic program with *delta propagation*:
+//!
+//! * level 0: every source reaches itself with the empty-sequence summary;
+//! * level k+1: every summary **newly added** at level k is concatenated
+//!   with every contact leaving its device ("concatenation with edges on the
+//!   right"), and the results are absorbed into the destination frontiers.
+//!
+//! Concatenating only the level-k *deltas* is exact because concatenation
+//! distributes over Pareto union and older pairs were already extended at an
+//! earlier level. The program reaches a fixpoint after roughly
+//! diameter-many levels, at which point the frontiers equal the unbounded
+//! (flooding-optimal) delivery functions; the intermediate levels are
+//! exactly the hop-bounded classes that the diameter definition (§4.1)
+//! needs.
+
+use crate::delivery::DeliveryFunction;
+use omnet_temporal::{Interval, LdEa, NodeId, Trace};
+
+/// A maximum-hop constraint for path queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopBound {
+    /// Paths of at most this many contacts.
+    AtMost(usize),
+    /// Flooding: any number of hops.
+    Unlimited,
+}
+
+/// Options for the profile computation.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileOptions {
+    /// Keep the per-hop frontier snapshot for every level `k <=
+    /// store_levels`. Queries with `HopBound::AtMost(k)` beyond this fall
+    /// back to the unbounded profile (exact once `k >=`
+    /// [`SourceProfiles::converged_at`]).
+    pub store_levels: usize,
+    /// Hard cap on induction levels, as a safety net; the fixpoint in real
+    /// traces arrives after about diameter-many levels.
+    pub max_levels: usize,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            store_levels: 10,
+            max_levels: 64,
+        }
+    }
+}
+
+/// Directed arc view of a trace's contacts, grouped by tail node, reused
+/// across per-source computations.
+#[derive(Debug, Clone)]
+pub struct Arcs {
+    from: Vec<Vec<(u32, Interval)>>,
+}
+
+impl Arcs {
+    /// Expands each undirected contact into its two directed arcs.
+    pub fn of(trace: &Trace) -> Arcs {
+        let n = trace.num_nodes() as usize;
+        let mut from: Vec<Vec<(u32, Interval)>> = vec![Vec::new(); n];
+        for c in trace.contacts() {
+            from[c.a.index()].push((c.b.0, c.interval));
+            from[c.b.index()].push((c.a.0, c.interval));
+        }
+        Arcs { from }
+    }
+
+    /// Arcs leaving `node` as `(head, interval)` pairs.
+    pub fn leaving(&self, node: NodeId) -> &[(u32, Interval)] {
+        &self.from[node.index()]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.from.len()
+    }
+}
+
+/// Delivery functions from one source to every destination, per hop class.
+#[derive(Debug, Clone)]
+pub struct SourceProfiles {
+    source: NodeId,
+    /// `levels[k][dest]`: frontier over paths of at most `k` hops, for
+    /// `k <= min(store_levels, converged_at)`.
+    levels: Vec<Vec<DeliveryFunction>>,
+    /// The fixpoint: unbounded hop count.
+    unlimited: Vec<DeliveryFunction>,
+    /// First level at which no frontier changed (the fixpoint level).
+    converged_at: usize,
+    /// False if `max_levels` was hit before the fixpoint (pathological).
+    converged: bool,
+}
+
+impl SourceProfiles {
+    /// Runs the §4.4 induction for one source.
+    pub fn compute(trace: &Trace, arcs: &Arcs, source: NodeId, opts: ProfileOptions) -> SourceProfiles {
+        let n = trace.num_nodes() as usize;
+        assert_eq!(arcs.num_nodes(), n, "arcs built for a different trace");
+        assert!(source.index() < n, "source outside the node universe");
+
+        let mut cur: Vec<DeliveryFunction> = vec![DeliveryFunction::empty(); n];
+        cur[source.index()] = DeliveryFunction::identity();
+        let mut delta: Vec<DeliveryFunction> = vec![DeliveryFunction::empty(); n];
+        delta[source.index()] = DeliveryFunction::identity();
+
+        let mut levels: Vec<Vec<DeliveryFunction>> = vec![cur.clone()];
+        let mut converged_at = opts.max_levels;
+        let mut converged = false;
+
+        let mut cands: Vec<Vec<LdEa>> = vec![Vec::new(); n];
+        for k in 1..=opts.max_levels {
+            for m in 0..n {
+                if delta[m].is_empty() {
+                    continue;
+                }
+                for &(to, iv) in arcs.leaving(NodeId(m as u32)) {
+                    cands[to as usize].extend(delta[m].extend_with(iv));
+                }
+            }
+            let mut changed = false;
+            for d in 0..n {
+                if cands[d].is_empty() {
+                    delta[d] = DeliveryFunction::empty();
+                    continue;
+                }
+                let added = cur[d].absorb(&cands[d]);
+                cands[d].clear();
+                if added.is_empty() {
+                    delta[d] = DeliveryFunction::empty();
+                } else {
+                    delta[d] = DeliveryFunction::from_pairs(added);
+                    changed = true;
+                }
+            }
+            if !changed {
+                converged_at = k - 1;
+                converged = true;
+                break;
+            }
+            if k <= opts.store_levels {
+                levels.push(cur.clone());
+            }
+        }
+
+        SourceProfiles {
+            source,
+            levels,
+            unlimited: cur,
+            converged_at,
+            converged,
+        }
+    }
+
+    /// Reference implementation of the same induction **without** delta
+    /// propagation: every level re-extends the *full* current frontier of
+    /// every node through every contact.
+    ///
+    /// Output is identical to [`SourceProfiles::compute`] (asserted by tests
+    /// and used as an executable specification); the cost per level is the
+    /// whole frontier instead of the just-added pairs, which is the
+    /// difference the `ablation` criterion bench quantifies.
+    pub fn compute_naive(
+        trace: &Trace,
+        arcs: &Arcs,
+        source: NodeId,
+        opts: ProfileOptions,
+    ) -> SourceProfiles {
+        let n = trace.num_nodes() as usize;
+        assert_eq!(arcs.num_nodes(), n, "arcs built for a different trace");
+        assert!(source.index() < n, "source outside the node universe");
+
+        let mut cur: Vec<DeliveryFunction> = vec![DeliveryFunction::empty(); n];
+        cur[source.index()] = DeliveryFunction::identity();
+        let mut levels: Vec<Vec<DeliveryFunction>> = vec![cur.clone()];
+        let mut converged_at = opts.max_levels;
+        let mut converged = false;
+
+        for k in 1..=opts.max_levels {
+            let prev = cur.clone();
+            let mut changed = false;
+            for (m, row) in prev.iter().enumerate() {
+                if row.is_empty() {
+                    continue;
+                }
+                for &(to, iv) in arcs.leaving(NodeId(m as u32)) {
+                    for p in row.extend_with(iv) {
+                        if cur[to as usize].insert(p) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                converged_at = k - 1;
+                converged = true;
+                break;
+            }
+            if k <= opts.store_levels {
+                levels.push(cur.clone());
+            }
+        }
+
+        SourceProfiles {
+            source,
+            levels,
+            unlimited: cur,
+            converged_at,
+            converged,
+        }
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The delivery function to `dest` under `bound`.
+    ///
+    /// `AtMost(k)` beyond the stored levels returns the unbounded frontier,
+    /// which is exact whenever `k >= converged_at` and an upper bound
+    /// otherwise.
+    pub fn profile(&self, dest: NodeId, bound: HopBound) -> &DeliveryFunction {
+        match bound {
+            HopBound::Unlimited => &self.unlimited[dest.index()],
+            HopBound::AtMost(k) => {
+                if k < self.levels.len() {
+                    &self.levels[k][dest.index()]
+                } else {
+                    &self.unlimited[dest.index()]
+                }
+            }
+        }
+    }
+
+    /// Optimal delivery time to `dest` for a message created at `t`.
+    pub fn delivery(&self, dest: NodeId, t: omnet_temporal::Time, bound: HopBound) -> omnet_temporal::Time {
+        self.profile(dest, bound).delivery(t)
+    }
+
+    /// The level after which nothing changed: every path class `>= this`
+    /// is equivalent to flooding. (A per-source upper bound on the hop
+    /// count of useful paths.)
+    pub fn converged_at(&self) -> usize {
+        self.converged_at
+    }
+
+    /// False when `max_levels` stopped the induction early.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Largest `k` for which `AtMost(k)` snapshots are stored exactly.
+    pub fn stored_levels(&self) -> usize {
+        self.levels.len() - 1
+    }
+}
+
+/// All-pairs profiles: one [`SourceProfiles`] per node, computed in
+/// parallel.
+#[derive(Debug, Clone)]
+pub struct AllPairsProfiles {
+    rows: Vec<SourceProfiles>,
+}
+
+impl AllPairsProfiles {
+    /// Computes every source's profiles (parallel across sources).
+    pub fn compute(trace: &Trace, opts: ProfileOptions) -> AllPairsProfiles {
+        let arcs = Arcs::of(trace);
+        let n = trace.num_nodes() as usize;
+        let rows = omnet_analysis::par_map(n, |s| {
+            SourceProfiles::compute(trace, &arcs, NodeId(s as u32), opts)
+        });
+        AllPairsProfiles { rows }
+    }
+
+    /// The profiles from `source`.
+    pub fn from_source(&self, source: NodeId) -> &SourceProfiles {
+        &self.rows[source.index()]
+    }
+
+    /// The delivery function of the ordered pair `(s, d)` under `bound`.
+    pub fn profile(&self, s: NodeId, d: NodeId, bound: HopBound) -> &DeliveryFunction {
+        self.rows[s.index()].profile(d, bound)
+    }
+
+    /// The largest per-source fixpoint level: beyond this many hops no pair
+    /// gains anything anywhere in the network.
+    pub fn max_useful_hops(&self) -> usize {
+        self.rows.iter().map(|r| r.converged_at()).max().unwrap_or(0)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnet_temporal::{Time, TraceBuilder};
+
+    fn line_trace() -> Trace {
+        // 0 -[0,10]- 1 -[20,30]- 2 -[40,50]- 3, strictly sequential.
+        TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 20.0, 30.0)
+            .contact_secs(2, 3, 40.0, 50.0)
+            .build()
+    }
+
+    #[test]
+    fn identity_profile_at_source() {
+        let t = line_trace();
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let f = p.profile(NodeId(0), NodeId(0), HopBound::Unlimited);
+        assert_eq!(f.delivery(Time::secs(5.0)), Time::secs(5.0));
+    }
+
+    #[test]
+    fn line_trace_multihop() {
+        let t = line_trace();
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        // 0 -> 3 requires all three contacts: LD = 10 (leave before first
+        // contact ends), EA = 40 (arrive when last begins).
+        let f = p.profile(NodeId(0), NodeId(3), HopBound::Unlimited);
+        assert_eq!(f.pairs().len(), 1);
+        assert_eq!(f.delivery(Time::ZERO), Time::secs(40.0));
+        assert_eq!(f.delivery(Time::secs(10.0)), Time::secs(40.0));
+        assert_eq!(f.delivery(Time::secs(10.1)), Time::INF);
+        // Hop classes: unreachable below 3 hops.
+        assert!(p.profile(NodeId(0), NodeId(3), HopBound::AtMost(2)).is_empty());
+        assert!(!p.profile(NodeId(0), NodeId(3), HopBound::AtMost(3)).is_empty());
+    }
+
+    #[test]
+    fn chronology_respected_in_reverse() {
+        let t = line_trace();
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        // 3 -> 0 would need the contacts in reverse chronological order.
+        assert!(p.profile(NodeId(3), NodeId(0), HopBound::Unlimited).is_empty());
+        // 3 -> 2 works through the undirected contact.
+        let f = p.profile(NodeId(3), NodeId(2), HopBound::Unlimited);
+        assert_eq!(f.delivery(Time::ZERO), Time::secs(40.0));
+    }
+
+    #[test]
+    fn overlapping_contacts_chain_within_instant() {
+        // Long-contact behaviour: 0-1 and 1-2 overlap on [5, 10]: a message
+        // at t=7 goes end-to-end instantly.
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 5.0, 15.0)
+            .build();
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let f = p.profile(NodeId(0), NodeId(2), HopBound::Unlimited);
+        assert_eq!(f.delivery(Time::secs(7.0)), Time::secs(7.0));
+        assert_eq!(f.delivery(Time::ZERO), Time::secs(5.0));
+        assert_eq!(f.delivery(Time::secs(10.0)), Time::secs(10.0));
+        assert_eq!(f.delivery(Time::secs(10.5)), Time::INF);
+    }
+
+    #[test]
+    fn store_and_forward_beats_waiting() {
+        // 0 meets 1 early; 1 meets 2 much later; 0 never meets 2.
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 5.0)
+            .contact_secs(1, 2, 100.0, 110.0)
+            .build();
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let f = p.profile(NodeId(0), NodeId(2), HopBound::Unlimited);
+        // leave by 5, arrive at 100.
+        assert_eq!(f.delivery(Time::ZERO), Time::secs(100.0));
+        assert_eq!(f.delivery(Time::secs(5.0)), Time::secs(100.0));
+        assert_eq!(f.delivery(Time::secs(6.0)), Time::INF);
+    }
+
+    #[test]
+    fn more_hops_never_hurt() {
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 5.0, 15.0)
+            .contact_secs(0, 2, 12.0, 20.0)
+            .contact_secs(2, 3, 14.0, 40.0)
+            .build();
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let grid: Vec<Time> = (0..80).map(|i| Time::secs(i as f64 * 0.5)).collect();
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                for k in 1..4usize {
+                    let fk = p.profile(NodeId(s), NodeId(d), HopBound::AtMost(k));
+                    let fk1 = p.profile(NodeId(s), NodeId(d), HopBound::AtMost(k + 1));
+                    for &t0 in &grid {
+                        assert!(
+                            fk1.delivery(t0) <= fk.delivery(t0),
+                            "hop bound {k}->{} regressed for {s}->{d} at {t0}",
+                            k + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_levels_are_small() {
+        let t = line_trace();
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        assert!(p.from_source(NodeId(0)).converged());
+        assert!(p.max_useful_hops() <= 3);
+    }
+
+    #[test]
+    fn direct_contact_profile_matches_contact() {
+        let t = TraceBuilder::new().contact_secs(0, 1, 3.0, 9.0).build();
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let f = p.profile(NodeId(0), NodeId(1), HopBound::AtMost(1));
+        assert_eq!(f.pairs().len(), 1);
+        assert_eq!(f.pairs()[0].ld, Time::secs(9.0));
+        assert_eq!(f.pairs()[0].ea, Time::secs(3.0));
+    }
+
+    #[test]
+    fn multiple_optimal_paths_counted() {
+        // Two disjoint windows between 0 and 1 -> two frontier pairs.
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(0, 1, 100.0, 110.0)
+            .build();
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let f = p.profile(NodeId(0), NodeId(1), HopBound::Unlimited);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn naive_variant_is_equivalent() {
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 5.0, 15.0)
+            .contact_secs(0, 2, 12.0, 20.0)
+            .contact_secs(2, 3, 14.0, 40.0)
+            .contact_secs(1, 3, 2.0, 3.0)
+            .contact_secs(0, 3, 30.0, 35.0)
+            .build();
+        let arcs = Arcs::of(&t);
+        let opts = ProfileOptions::default();
+        for s in 0..4u32 {
+            let fast = SourceProfiles::compute(&t, &arcs, NodeId(s), opts);
+            let naive = SourceProfiles::compute_naive(&t, &arcs, NodeId(s), opts);
+            assert_eq!(fast.converged_at(), naive.converged_at());
+            for d in 0..4u32 {
+                for k in 0..=4usize {
+                    assert_eq!(
+                        fast.profile(NodeId(d), HopBound::AtMost(k)).pairs(),
+                        naive.profile(NodeId(d), HopBound::AtMost(k)).pairs(),
+                        "{s}->{d} at k={k}"
+                    );
+                }
+                assert_eq!(
+                    fast.profile(NodeId(d), HopBound::Unlimited).pairs(),
+                    naive.profile(NodeId(d), HopBound::Unlimited).pairs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_unreachable() {
+        let t = TraceBuilder::new()
+            .num_nodes(3)
+            .contact_secs(0, 1, 0.0, 10.0)
+            .build();
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        assert!(p.profile(NodeId(0), NodeId(2), HopBound::Unlimited).is_empty());
+        assert!(p.profile(NodeId(2), NodeId(0), HopBound::Unlimited).is_empty());
+    }
+}

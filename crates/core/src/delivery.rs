@@ -1,0 +1,541 @@
+//! Delivery functions as Pareto frontiers of `(LD, EA)` pairs (§4.3–4.4).
+//!
+//! For one source–destination pair, every valid contact sequence contributes
+//! a summary `(LD, EA)`; the optimal delivery time of a message created at
+//! `t` is `del(t) = min { max(t, EA_k) : t ≤ LD_k }` (Eq. 3). The paper's key
+//! observation (condition 4) is that only the pairs on the *Pareto frontier*
+//! — no other pair departs later **and** arrives earlier — are needed to
+//! represent `del`, and that this frontier is exactly the set of optimal
+//! paths. A [`DeliveryFunction`] maintains that frontier: pairs sorted by
+//! strictly increasing `LD` **and** strictly increasing `EA`.
+
+use omnet_temporal::{Dur, Interval, LdEa, Time};
+
+/// The delivery function of one ordered source–destination pair: a compact
+/// Pareto list of `(LD, EA)` summaries of optimal contact sequences.
+///
+/// ```
+/// use omnet_core::DeliveryFunction;
+/// use omnet_temporal::{LdEa, Time};
+///
+/// let mut f = DeliveryFunction::empty();
+/// // a direct contact [30, 90]: leave by 90, arrive at 30
+/// f.insert(LdEa { ld: Time::secs(90.0), ea: Time::secs(30.0) });
+/// assert_eq!(f.delivery(Time::secs(10.0)), Time::secs(30.0)); // wait for it
+/// assert_eq!(f.delivery(Time::secs(50.0)), Time::secs(50.0)); // inside it
+/// assert_eq!(f.delivery(Time::secs(95.0)), Time::INF);        // missed it
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeliveryFunction {
+    /// Invariant: `ld` strictly increasing, `ea` strictly increasing.
+    pairs: Vec<LdEa>,
+}
+
+impl DeliveryFunction {
+    /// The empty function: no path ever, `del(t) = ∞` everywhere.
+    pub fn empty() -> DeliveryFunction {
+        DeliveryFunction { pairs: Vec::new() }
+    }
+
+    /// The identity function of a node to itself: `del(t) = t` — represented
+    /// by the empty-sequence summary `(LD, EA) = (+∞, -∞)`.
+    pub fn identity() -> DeliveryFunction {
+        DeliveryFunction {
+            pairs: vec![LdEa::EMPTY],
+        }
+    }
+
+    /// Builds from arbitrary summaries, compacting to the Pareto frontier.
+    pub fn from_pairs<I: IntoIterator<Item = LdEa>>(pairs: I) -> DeliveryFunction {
+        let mut f = DeliveryFunction::empty();
+        let mut cands: Vec<LdEa> = pairs.into_iter().collect();
+        cands.sort_by(|a, b| (a.ld, a.ea).cmp(&(b.ld, b.ea)));
+        f.pairs = compact_sorted(cands);
+        f
+    }
+
+    /// The frontier pairs, `LD` and `EA` both strictly increasing.
+    pub fn pairs(&self) -> &[LdEa] {
+        &self.pairs
+    }
+
+    /// Number of optimal paths represented (the paper's measure of how many
+    /// distinct optimal sequences exist, Fig. 8).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no path exists at any time.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Optimal delivery time of a message created at `t` (Eq. 3).
+    pub fn delivery(&self, t: Time) -> Time {
+        // First pair with ld >= t: since `ea` increases with `ld`, it is the
+        // best available one.
+        match self.pairs.iter().position(|p| p.ld >= t) {
+            Some(i) => t.max(self.pairs[i].ea),
+            None => Time::INF,
+        }
+    }
+
+    /// Optimal delay `del(t) − t`; `Dur::INF` when no path remains.
+    pub fn delay(&self, t: Time) -> Dur {
+        let d = self.delivery(t);
+        if d == Time::INF {
+            Dur::INF
+        } else {
+            d.since(t)
+        }
+    }
+
+    /// Inserts one summary, keeping the frontier invariant.
+    /// Returns `true` when the summary was *not* dominated (i.e. it changed
+    /// the function).
+    pub fn insert(&mut self, p: LdEa) -> bool {
+        // Find the insertion point by ld.
+        let i = self.pairs.partition_point(|q| q.ld < p.ld);
+        // Dominated by an existing pair (one with ld >= p.ld and ea <= p.ea)?
+        // Candidates are at position i (smallest ld >= p.ld); since ea grows
+        // with ld, pairs[i] has the smallest ea among them.
+        if i < self.pairs.len() && self.pairs[i].ea <= p.ea {
+            return false;
+        }
+        // Remove pairs dominated by p: ld <= p.ld and ea >= p.ea. They sit
+        // immediately before i (ea increases, so dominated ones are a
+        // contiguous run ending at i-1) — plus pairs[i] itself when it shares
+        // p's ld (it then has a larger ea, or we would have returned above).
+        let hi = if i < self.pairs.len() && self.pairs[i].ld == p.ld {
+            i + 1
+        } else {
+            i
+        };
+        let mut j = i;
+        while j > 0 && self.pairs[j - 1].ea >= p.ea {
+            j -= 1;
+        }
+        self.pairs.splice(j..hi, std::iter::once(p));
+        true
+    }
+
+    /// Absorbs a batch of candidate summaries; returns those that genuinely
+    /// extended the frontier (used for delta propagation in the §4.4
+    /// induction).
+    pub fn absorb(&mut self, candidates: &[LdEa]) -> Vec<LdEa> {
+        let mut added = Vec::new();
+        for &p in candidates {
+            if self.insert(p) {
+                added.push(p);
+            }
+        }
+        added
+    }
+
+    /// Merges another delivery function into this one (Pareto union).
+    pub fn merge(&mut self, other: &DeliveryFunction) {
+        for &p in &other.pairs {
+            self.insert(p);
+        }
+    }
+
+    /// Concatenates every represented sequence with one more contact on the
+    /// right (interval `iv`), returning the compacted candidate summaries
+    /// for the extended source→peer pair.
+    ///
+    /// Only pairs with `EA ≤ iv.end` extend (fact (iv)); each maps to
+    /// `(min(LD, iv.end), max(EA, iv.start))`, and the collapsed groups are
+    /// re-compacted. The output is itself a valid frontier.
+    pub fn extend_with(&self, iv: Interval) -> Vec<LdEa> {
+        let te = iv.end;
+        let tb = iv.start;
+        // Pairs with ea <= te form a prefix (ea increasing).
+        let prefix_len = self.pairs.partition_point(|p| p.ea <= te);
+        let mut cands: Vec<LdEa> = Vec::with_capacity(prefix_len.min(8));
+        for p in &self.pairs[..prefix_len] {
+            cands.push(LdEa {
+                ld: p.ld.min(te),
+                ea: p.ea.max(tb),
+            });
+        }
+        // `cands` is sorted by (ld, ea) non-strictly (min/max preserve the
+        // original order); compact to a strict frontier.
+        compact_sorted(cands)
+    }
+
+    /// Closed-form success measure: the fraction of start times `t` drawn
+    /// uniformly from `window` whose optimal delay is at most `max_delay`.
+    ///
+    /// For each frontier segment `t ∈ (LD_{i-1}, LD_i]` the delay is
+    /// `max(0, EA_i − t)`, so the sub-measure is the length of
+    /// `(max(LD_{i-1}, EA_i − x), LD_i]` clipped to the window — an exact
+    /// integral, no sampling (this is how Figures 9–12 are computed).
+    pub fn success_measure(&self, window: Interval, max_delay: Dur) -> f64 {
+        let total = window.duration().as_secs();
+        if total <= 0.0 {
+            // Degenerate window: evaluate pointwise.
+            return if self.delay(window.start) <= max_delay {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        let mut covered = 0.0f64;
+        let mut prev_ld = Time::NEG_INF;
+        for p in &self.pairs {
+            // success in (prev_ld, p.ld] requires t >= p.ea - x
+            let lo = if max_delay == Dur::INF {
+                prev_ld
+            } else {
+                prev_ld.max(p.ea - max_delay)
+            };
+            let lo = lo.max(window.start);
+            let hi = p.ld.min(window.end);
+            if hi > lo {
+                covered += hi.since(lo).as_secs();
+            }
+            prev_ld = p.ld;
+            if prev_ld >= window.end {
+                break;
+            }
+        }
+        (covered / total).clamp(0.0, 1.0)
+    }
+
+    /// Evaluates [`DeliveryFunction::success_measure`] on a whole ascending
+    /// delay grid in one frontier pass.
+    ///
+    /// Per frontier segment the measure is piecewise linear in the delay
+    /// budget `x`: zero up to `EA − seg_hi`, a unit-slope ramp, then the
+    /// full segment length from `EA − seg_lo` on. Each segment therefore
+    /// touches a contiguous grid range, accumulated with a suffix trick, so
+    /// the cost is `O(frontier + grid + ramp points)` instead of
+    /// `O(frontier × grid)`.
+    pub fn success_curve(&self, window: Interval, grid: &[Dur]) -> Vec<f64> {
+        debug_assert!(grid.windows(2).all(|w| w[0] <= w[1]), "grid must ascend");
+        let total = window.duration().as_secs();
+        let m = grid.len();
+        if total <= 0.0 {
+            let d = self.delay(window.start);
+            return grid.iter().map(|&x| if d <= x { 1.0 } else { 0.0 }).collect();
+        }
+        let mut ramp = vec![0.0f64; m]; // direct contributions
+        let mut full_suffix = vec![0.0f64; m + 1]; // suffix-add of full lengths
+        let mut prev_ld = Time::NEG_INF;
+        for p in &self.pairs {
+            let seg_lo = prev_ld.max(window.start);
+            let seg_hi = p.ld.min(window.end);
+            prev_ld = p.ld;
+            if seg_hi <= seg_lo {
+                if p.ld >= window.end {
+                    break;
+                }
+                continue;
+            }
+            let len = seg_hi.since(seg_lo).as_secs();
+            // x >= x_full: full contribution; x in (x_zero, x_full): ramp.
+            let x_full = p.ea.since(seg_lo); // may be <= 0 or infinite-negative
+            let x_zero = p.ea.since(seg_hi);
+            let i_full = grid.partition_point(|&x| x < x_full);
+            full_suffix[i_full] += len;
+            let i_zero = grid.partition_point(|&x| x <= x_zero);
+            for i in i_zero..i_full {
+                // seg_hi - (ea - x) = x - x_zero
+                ramp[i] += (grid[i] - x_zero).as_secs();
+            }
+            if p.ld >= window.end {
+                break;
+            }
+        }
+        let mut acc = 0.0f64;
+        let mut out = vec![0.0f64; m];
+        for i in 0..m {
+            acc += full_suffix[i];
+            out[i] = ((ramp[i] + acc) / total).clamp(0.0, 1.0);
+        }
+        out
+    }
+
+    /// Checks the frontier invariant (for tests and debug assertions).
+    pub fn check_invariant(&self) -> bool {
+        self.pairs
+            .windows(2)
+            .all(|w| w[0].ld < w[1].ld && w[0].ea < w[1].ea)
+    }
+}
+
+/// Compacts a `(ld, ea)`-sorted candidate list to the Pareto frontier,
+/// implementing the paper's condition (4): scanning by decreasing `LD`, a
+/// pair survives iff its `EA` strictly improves on everything after it.
+fn compact_sorted(cands: Vec<LdEa>) -> Vec<LdEa> {
+    debug_assert!(cands
+        .windows(2)
+        .all(|w| (w[0].ld, w[0].ea) <= (w[1].ld, w[1].ea)));
+    let mut out: Vec<LdEa> = Vec::with_capacity(cands.len());
+    let mut best_ea = Time::INF;
+    for &p in cands.iter().rev() {
+        if p.ea < best_ea {
+            best_ea = p.ea;
+            // equal-LD group: the later-scanned (smaller ea) one replaces it
+            if let Some(last) = out.last() {
+                if last.ld == p.ld {
+                    out.pop();
+                }
+            }
+            out.push(p);
+        }
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(ld: f64, ea: f64) -> LdEa {
+        LdEa {
+            ld: Time::secs(ld),
+            ea: Time::secs(ea),
+        }
+    }
+
+    #[test]
+    fn empty_function_never_delivers() {
+        let f = DeliveryFunction::empty();
+        assert_eq!(f.delivery(Time::ZERO), Time::INF);
+        assert_eq!(f.delay(Time::ZERO), Dur::INF);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn identity_delivers_instantly() {
+        let f = DeliveryFunction::identity();
+        assert_eq!(f.delivery(Time::secs(42.0)), Time::secs(42.0));
+        assert_eq!(f.delay(Time::secs(42.0)), Dur::ZERO);
+    }
+
+    #[test]
+    fn insert_keeps_frontier() {
+        let mut f = DeliveryFunction::empty();
+        assert!(f.insert(pair(10.0, 8.0)));
+        assert!(f.insert(pair(20.0, 15.0)));
+        // dominated: departs earlier AND arrives later than (10, 8)
+        assert!(!f.insert(pair(5.0, 9.0)));
+        // dominates (10, 8): departs later, arrives earlier
+        assert!(f.insert(pair(12.0, 7.0)));
+        assert!(f.check_invariant());
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.pairs()[0], pair(12.0, 7.0));
+        assert_eq!(f.pairs()[1], pair(20.0, 15.0));
+    }
+
+    #[test]
+    fn insert_equal_ld_keeps_smaller_ea() {
+        let mut f = DeliveryFunction::empty();
+        f.insert(pair(10.0, 8.0));
+        assert!(f.insert(pair(10.0, 5.0)));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pairs()[0], pair(10.0, 5.0));
+        assert!(!f.insert(pair(10.0, 6.0)));
+    }
+
+    #[test]
+    fn insert_middle_removes_dominated_run() {
+        let mut f = DeliveryFunction::from_pairs([
+            pair(1.0, 0.5),
+            pair(2.0, 1.5),
+            pair(3.0, 2.5),
+            pair(9.0, 8.0),
+        ]);
+        // dominates the (2, 1.5) and (3, 2.5) pairs
+        assert!(f.insert(pair(4.0, 1.0)));
+        assert!(f.check_invariant());
+        assert_eq!(
+            f.pairs(),
+            &[pair(1.0, 0.5), pair(4.0, 1.0), pair(9.0, 8.0)]
+        );
+    }
+
+    #[test]
+    fn delivery_piecewise_semantics() {
+        // Figure-5-style function: three contemporaneous pairs and one
+        // store-and-forward pair (LD < EA).
+        let f = DeliveryFunction::from_pairs([
+            pair(10.0, 5.0),
+            pair(20.0, 15.0),
+            pair(30.0, 40.0),
+        ]);
+        assert_eq!(f.delivery(Time::secs(0.0)), Time::secs(5.0));
+        assert_eq!(f.delivery(Time::secs(7.0)), Time::secs(7.0)); // inside first
+        assert_eq!(f.delivery(Time::secs(12.0)), Time::secs(15.0));
+        assert_eq!(f.delivery(Time::secs(25.0)), Time::secs(40.0)); // relayed
+        assert_eq!(f.delivery(Time::secs(30.0)), Time::secs(40.0));
+        assert_eq!(f.delivery(Time::secs(30.1)), Time::INF);
+    }
+
+    #[test]
+    fn from_pairs_compacts() {
+        let f = DeliveryFunction::from_pairs([
+            pair(5.0, 9.0), // dominated by (10, 8)
+            pair(10.0, 8.0),
+            pair(10.0, 6.0), // dominates previous at same ld
+            pair(20.0, 15.0),
+            pair(18.0, 16.0), // dominated by (20, 15)
+        ]);
+        assert!(f.check_invariant());
+        assert_eq!(f.pairs(), &[pair(10.0, 6.0), pair(20.0, 15.0)]);
+    }
+
+    #[test]
+    fn extend_with_contact_basic() {
+        // Single direct pair (ld=te, ea=tb) from identity.
+        let id = DeliveryFunction::identity();
+        let ext = id.extend_with(Interval::secs(3.0, 9.0));
+        assert_eq!(ext, vec![pair(9.0, 3.0)]);
+    }
+
+    #[test]
+    fn extend_with_respects_concat_condition() {
+        // A pair arriving after the contact ends cannot extend.
+        let f = DeliveryFunction::from_pairs([pair(50.0, 40.0)]);
+        assert!(f.extend_with(Interval::secs(10.0, 20.0)).is_empty());
+        // A pair arriving during the contact extends with its own EA.
+        let f = DeliveryFunction::from_pairs([pair(50.0, 15.0)]);
+        let ext = f.extend_with(Interval::secs(10.0, 20.0));
+        assert_eq!(ext, vec![pair(20.0, 15.0)]);
+    }
+
+    #[test]
+    fn extend_with_collapses_groups() {
+        let f = DeliveryFunction::from_pairs([
+            pair(5.0, 1.0),   // ea <= tb: becomes (5, 10)
+            pair(8.0, 2.0),   // ea <= tb: becomes (8, 10) — dominates (5,10)
+            pair(12.0, 11.0), // tb < ea <= te, ld < te: stays (12, 11)
+            pair(30.0, 14.0), // ld >= te: becomes (20, 14)… dominates (12,11)? no: ea 14 > 11
+            pair(40.0, 18.0), // ld >= te: becomes (20, 18) — dominated by (20, 14)
+            pair(50.0, 25.0), // ea > te: cannot extend
+        ]);
+        let ext = f.extend_with(Interval::secs(10.0, 20.0));
+        assert_eq!(ext, vec![pair(8.0, 10.0), pair(12.0, 11.0), pair(20.0, 14.0)]);
+    }
+
+    #[test]
+    fn merge_is_pareto_union() {
+        let mut a = DeliveryFunction::from_pairs([pair(10.0, 5.0), pair(30.0, 25.0)]);
+        let b = DeliveryFunction::from_pairs([pair(20.0, 4.0)]);
+        a.merge(&b);
+        // (20,4) dominates (10,5)
+        assert_eq!(a.pairs(), &[pair(20.0, 4.0), pair(30.0, 25.0)]);
+    }
+
+    #[test]
+    fn success_measure_exact() {
+        // One pair (ld=10, ea=5) on window [0, 20].
+        let f = DeliveryFunction::from_pairs([pair(10.0, 5.0)]);
+        let w = Interval::secs(0.0, 20.0);
+        // delay 0 achieved for t in [5, 10]: 5/20
+        assert!((f.success_measure(w, Dur::ZERO) - 0.25).abs() < 1e-12);
+        // delay <= 2: t in [3, 10]: 7/20
+        assert!((f.success_measure(w, Dur::secs(2.0)) - 0.35).abs() < 1e-12);
+        // delay <= inf: t in [0(win), 10]: 10/20
+        assert!((f.success_measure(w, Dur::INF) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_measure_multi_segment() {
+        // Pairs (10,5) and (30,40): second segment is store-and-forward.
+        let f = DeliveryFunction::from_pairs([pair(10.0, 5.0), pair(30.0, 40.0)]);
+        let w = Interval::secs(0.0, 40.0);
+        // delay <= 10: segment 1: t in [0,10] with 5-t<=10 → all 10
+        //              segment 2: t in (10,30] with 40-t<=10 → t>=30 → {30}: 0 length
+        assert!((f.success_measure(w, Dur::secs(10.0)) - 0.25).abs() < 1e-12);
+        // delay <= 15: segment 2 adds t in [25,30]: 5 → 15/40
+        assert!((f.success_measure(w, Dur::secs(15.0)) - 0.375).abs() < 1e-12);
+        // delay <= inf: t in [0,30] → 30/40
+        assert!((f.success_measure(w, Dur::INF) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_measure_identity_is_one() {
+        let f = DeliveryFunction::identity();
+        let w = Interval::secs(0.0, 100.0);
+        assert_eq!(f.success_measure(w, Dur::ZERO), 1.0);
+    }
+
+    #[test]
+    fn success_measure_window_clipping() {
+        let f = DeliveryFunction::from_pairs([pair(10.0, 5.0)]);
+        // window entirely after ld: no success
+        assert_eq!(
+            f.success_measure(Interval::secs(20.0, 30.0), Dur::INF),
+            0.0
+        );
+        // degenerate window: pointwise
+        assert_eq!(
+            f.success_measure(Interval::secs(7.0, 7.0), Dur::ZERO),
+            1.0
+        );
+        assert_eq!(
+            f.success_measure(Interval::secs(2.0, 2.0), Dur::ZERO),
+            0.0
+        );
+    }
+
+    #[test]
+    fn success_curve_matches_pointwise_measure() {
+        let funcs = [
+            DeliveryFunction::empty(),
+            DeliveryFunction::identity(),
+            DeliveryFunction::from_pairs([pair(10.0, 5.0)]),
+            DeliveryFunction::from_pairs([pair(10.0, 5.0), pair(30.0, 40.0)]),
+            DeliveryFunction::from_pairs([
+                pair(2.0, 1.0),
+                pair(10.0, 5.0),
+                pair(30.0, 40.0),
+                pair(55.0, 52.0),
+            ]),
+        ];
+        let windows = [
+            Interval::secs(0.0, 40.0),
+            Interval::secs(5.0, 25.0),
+            Interval::secs(0.0, 100.0),
+            Interval::secs(60.0, 80.0),
+        ];
+        let grid: Vec<Dur> = [0.0, 1.0, 2.5, 5.0, 10.0, 20.0, 50.0, 1e6]
+            .iter()
+            .map(|&x| Dur::secs(x))
+            .collect();
+        for f in &funcs {
+            for w in &windows {
+                let curve = f.success_curve(*w, &grid);
+                for (i, &x) in grid.iter().enumerate() {
+                    let direct = f.success_measure(*w, x);
+                    assert!(
+                        (curve[i] - direct).abs() < 1e-9,
+                        "mismatch at x={x:?} w={w:?} f={f:?}: {} vs {}",
+                        curve[i],
+                        direct
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn success_curve_handles_infinite_budget() {
+        let f = DeliveryFunction::from_pairs([pair(10.0, 5.0), pair(30.0, 40.0)]);
+        let w = Interval::secs(0.0, 40.0);
+        let grid = vec![Dur::secs(1.0), Dur::INF];
+        let curve = f.success_curve(w, &grid);
+        assert!((curve[1] - f.success_measure(w, Dur::INF)).abs() < 1e-12);
+        assert!(curve[0] <= curve[1]);
+    }
+
+    #[test]
+    fn absorb_reports_only_additions() {
+        let mut f = DeliveryFunction::from_pairs([pair(10.0, 5.0)]);
+        let added = f.absorb(&[pair(8.0, 6.0), pair(20.0, 15.0)]);
+        assert_eq!(added, vec![pair(20.0, 15.0)]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Network-wide statistics of the optimal-path structure.
+//!
+//! Figure 8 discusses how many *distinct optimal paths* a pair has and how
+//! the count saturates with the hop budget; these aggregates generalize the
+//! observation across all pairs: frontier-size distributions, reachability
+//! fractions per hop class, and the distribution of per-source fixpoint
+//! levels (each source's own "useful hop horizon").
+
+use crate::algorithm::{AllPairsProfiles, HopBound};
+use omnet_temporal::NodeId;
+
+/// Aggregate statistics over all ordered pairs of an
+/// [`AllPairsProfiles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileStats {
+    /// Ordered pairs considered (`n·(n−1)`).
+    pub pairs: usize,
+    /// Pairs with at least one path at unlimited hops.
+    pub reachable_pairs: usize,
+    /// Mean number of optimal paths per reachable pair.
+    pub mean_optimal_paths: f64,
+    /// Largest optimal-path count across pairs.
+    pub max_optimal_paths: usize,
+    /// Per-source fixpoint levels (the hop count beyond which nothing
+    /// improves anywhere from that source).
+    pub fixpoint_levels: Vec<usize>,
+}
+
+impl ProfileStats {
+    /// Computes the aggregates.
+    pub fn of(profiles: &AllPairsProfiles) -> ProfileStats {
+        let n = profiles.num_nodes();
+        let mut reachable = 0usize;
+        let mut total_paths = 0usize;
+        let mut max_paths = 0usize;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let f = profiles.profile(
+                    NodeId(s as u32),
+                    NodeId(d as u32),
+                    HopBound::Unlimited,
+                );
+                if !f.is_empty() {
+                    reachable += 1;
+                    total_paths += f.len();
+                    max_paths = max_paths.max(f.len());
+                }
+            }
+        }
+        ProfileStats {
+            pairs: n * n.saturating_sub(1),
+            reachable_pairs: reachable,
+            mean_optimal_paths: if reachable > 0 {
+                total_paths as f64 / reachable as f64
+            } else {
+                f64::NAN
+            },
+            max_optimal_paths: max_paths,
+            fixpoint_levels: (0..n)
+                .map(|s| profiles.from_source(NodeId(s as u32)).converged_at())
+                .collect(),
+        }
+    }
+
+    /// Fraction of ordered pairs that are ever connected.
+    pub fn reachability(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.reachable_pairs as f64 / self.pairs as f64
+        }
+    }
+
+    /// The largest per-source fixpoint level — an upper bound on the hop
+    /// count of any useful path in the network, hence on the diameter.
+    pub fn max_useful_hops(&self) -> usize {
+        self.fixpoint_levels.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The fraction of ordered pairs reachable within each hop class
+/// `1..=max_hops` (ignoring delay) — the hop-connectivity staircase that
+/// saturates at the [`ProfileStats::max_useful_hops`] level.
+pub fn reachability_by_hops(profiles: &AllPairsProfiles, max_hops: usize) -> Vec<f64> {
+    let n = profiles.num_nodes();
+    let pairs = (n * n.saturating_sub(1)).max(1) as f64;
+    (1..=max_hops)
+        .map(|k| {
+            let mut reachable = 0usize;
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    if !profiles
+                        .profile(NodeId(s as u32), NodeId(d as u32), HopBound::AtMost(k))
+                        .is_empty()
+                    {
+                        reachable += 1;
+                    }
+                }
+            }
+            reachable as f64 / pairs
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::ProfileOptions;
+    use omnet_temporal::patterns;
+
+    #[test]
+    fn relay_line_stats() {
+        let t = patterns::relay_line(5, 100.0, 10.0);
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let s = ProfileStats::of(&p);
+        assert_eq!(s.pairs, 20);
+        // forward direction fully reachable (10 ordered pairs), backward only
+        // adjacent ones via the shared contact — count explicitly:
+        assert!(s.reachable_pairs >= 10);
+        assert_eq!(s.max_useful_hops(), 4);
+        assert!(s.mean_optimal_paths >= 1.0);
+    }
+
+    #[test]
+    fn staircase_saturates_at_line_length() {
+        let t = patterns::relay_line(5, 100.0, 10.0);
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let stairs = reachability_by_hops(&p, 6);
+        assert_eq!(stairs.len(), 6);
+        // non-decreasing, saturated by 4 hops
+        for w in stairs.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(stairs[3], stairs[5]);
+        assert!(stairs[3] > stairs[0]);
+    }
+
+    #[test]
+    fn clique_is_one_hop_world() {
+        let t = patterns::periodic_clique(5, 2, 100.0, 10.0);
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let s = ProfileStats::of(&p);
+        assert_eq!(s.reachability(), 1.0);
+        let stairs = reachability_by_hops(&p, 2);
+        assert_eq!(stairs[0], 1.0);
+        // repeats give each pair multiple optimal paths
+        assert!(s.mean_optimal_paths >= 2.0);
+    }
+
+    #[test]
+    fn two_communities_need_the_courier() {
+        let t = patterns::two_communities(3, 6, 100.0);
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let stairs = reachability_by_hops(&p, 4);
+        // one hop cannot cross communities (except courier contacts)
+        assert!(stairs[0] < 1.0);
+        // three hops reach everything that is reachable at all
+        assert!(stairs[2] >= stairs[0]);
+        let s = ProfileStats::of(&p);
+        assert!(s.reachability() > 0.9);
+    }
+}

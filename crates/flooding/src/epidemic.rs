@@ -1,0 +1,270 @@
+//! Event-driven epidemic flooding.
+//!
+//! Flooding defines the optimal success rate that the paper's diameter
+//! definition compares against (`Π(t, ∞)`): every contact with an infected
+//! endpoint transmits. This simulator is an independent engine from the
+//! profile algorithm and the Dijkstra baseline — used to cross-validate both
+//! — and additionally reports transmission counts (the resource cost that
+//! motivates hop-limited forwarding) and supports a hop TTL.
+
+use omnet_temporal::{NodeId, Time, Trace};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of flooding one message.
+#[derive(Debug, Clone)]
+pub struct FloodOutcome {
+    /// First infection time per node (`Time::INF` when never infected).
+    pub infection: Vec<Time>,
+    /// Hop count at first infection (0 for the source, `u32::MAX` when never
+    /// infected).
+    pub hops: Vec<u32>,
+    /// Number of pairwise transmissions performed.
+    pub transmissions: usize,
+}
+
+impl FloodOutcome {
+    /// Delivery time at `d`.
+    pub fn delivery(&self, d: NodeId) -> Time {
+        self.infection[d.index()]
+    }
+
+    /// Number of nodes eventually infected (including the source).
+    pub fn reached(&self) -> usize {
+        self.infection.iter().filter(|t| **t < Time::INF).count()
+    }
+}
+
+/// Floods from `(source, start)`, with an optional hop TTL.
+///
+/// ```
+/// use omnet_flooding::flood;
+/// use omnet_temporal::{NodeId, Time, TraceBuilder};
+///
+/// let trace = TraceBuilder::new()
+///     .contact_secs(0, 1, 0.0, 10.0)
+///     .contact_secs(1, 2, 60.0, 70.0)
+///     .build();
+/// let out = flood(&trace, NodeId(0), Time::ZERO, None);
+/// assert_eq!(out.delivery(NodeId(2)), Time::secs(60.0));
+/// assert_eq!(out.reached(), 3);
+/// ```
+///
+/// Without a TTL this is a label-setting sweep (each node infected once, at
+/// its earliest possible time). With a TTL the state space is
+/// `(node, hops)`: reaching a node later but with fewer hops spent can still
+/// be useful, so labels are kept per hop level.
+pub fn flood(trace: &Trace, source: NodeId, start: Time, ttl: Option<u32>) -> FloodOutcome {
+    match ttl {
+        None => flood_unlimited(trace, source, start),
+        Some(limit) => flood_ttl(trace, source, start, limit),
+    }
+}
+
+fn flood_unlimited(trace: &Trace, source: NodeId, start: Time) -> FloodOutcome {
+    let n = trace.num_nodes() as usize;
+    assert!(source.index() < n, "source outside the node universe");
+    let adj = trace.adjacency();
+    let mut infection = vec![Time::INF; n];
+    let mut hops = vec![u32::MAX; n];
+    let mut transmissions = 0usize;
+    infection[source.index()] = start;
+    hops[source.index()] = 0;
+    let mut heap: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((start, source.0)));
+    while let Some(Reverse((at, u))) = heap.pop() {
+        if at > infection[u as usize] {
+            continue; // stale
+        }
+        for &cid in adj.incident(NodeId(u)) {
+            let c = trace.contact(cid);
+            if c.end() < at {
+                continue;
+            }
+            let v = c.peer_of(NodeId(u));
+            let reach = at.max(c.start());
+            if reach < infection[v.index()] {
+                if infection[v.index()] == Time::INF {
+                    transmissions += 1;
+                }
+                infection[v.index()] = reach;
+                hops[v.index()] = hops[u as usize] + 1;
+                heap.push(Reverse((reach, v.0)));
+            }
+        }
+    }
+    FloodOutcome {
+        infection,
+        hops,
+        transmissions,
+    }
+}
+
+fn flood_ttl(trace: &Trace, source: NodeId, start: Time, ttl: u32) -> FloodOutcome {
+    let n = trace.num_nodes() as usize;
+    assert!(source.index() < n, "source outside the node universe");
+    let adj = trace.adjacency();
+    let levels = ttl as usize + 1;
+    // best[h][v]: earliest infection of v with exactly <= h hops budget used
+    let mut best = vec![vec![Time::INF; n]; levels];
+    best[0][source.index()] = start;
+    let mut heap: BinaryHeap<Reverse<(Time, u32, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((start, 0u32, source.0)));
+    let mut transmissions = 0usize;
+    let mut first_infection = vec![Time::INF; n];
+    let mut first_hops = vec![u32::MAX; n];
+    first_infection[source.index()] = start;
+    first_hops[source.index()] = 0;
+    while let Some(Reverse((at, h, u))) = heap.pop() {
+        if at > best[h as usize][u as usize] {
+            continue;
+        }
+        if h == ttl {
+            continue;
+        }
+        for &cid in adj.incident(NodeId(u)) {
+            let c = trace.contact(cid);
+            if c.end() < at {
+                continue;
+            }
+            let v = c.peer_of(NodeId(u));
+            let reach = at.max(c.start());
+            let nh = h + 1;
+            // Dominance: useful only if earlier than every label with <= nh
+            // hops.
+            let dominated = (0..=nh as usize).any(|k| best[k][v.index()] <= reach);
+            if dominated {
+                continue;
+            }
+            if first_infection[v.index()] == Time::INF {
+                transmissions += 1;
+            }
+            best[nh as usize][v.index()] = reach;
+            if reach < first_infection[v.index()] {
+                first_infection[v.index()] = reach;
+                first_hops[v.index()] = nh;
+            }
+            heap.push(Reverse((reach, nh, v.0)));
+        }
+    }
+    FloodOutcome {
+        infection: first_infection,
+        hops: first_hops,
+        transmissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnet_temporal::TraceBuilder;
+
+    fn relay() -> Trace {
+        TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 5.0)
+            .contact_secs(1, 2, 100.0, 110.0)
+            .contact_secs(0, 2, 200.0, 210.0)
+            .contact_secs(2, 3, 205.0, 220.0)
+            .build()
+    }
+
+    #[test]
+    fn unlimited_flood_reaches_all() {
+        let t = relay();
+        let out = flood(&t, NodeId(0), Time::ZERO, None);
+        assert_eq!(out.delivery(NodeId(1)), Time::ZERO);
+        assert_eq!(out.delivery(NodeId(2)), Time::secs(100.0));
+        assert_eq!(out.delivery(NodeId(3)), Time::secs(205.0));
+        assert_eq!(out.reached(), 4);
+        assert_eq!(out.transmissions, 3);
+        assert_eq!(out.hops[3], 3);
+    }
+
+    #[test]
+    fn ttl_zero_reaches_only_source() {
+        let t = relay();
+        let out = flood(&t, NodeId(0), Time::ZERO, Some(0));
+        assert_eq!(out.reached(), 1);
+        assert_eq!(out.transmissions, 0);
+    }
+
+    #[test]
+    fn ttl_limits_depth_but_direct_contacts_still_work() {
+        let t = relay();
+        let out = flood(&t, NodeId(0), Time::ZERO, Some(1));
+        assert_eq!(out.delivery(NodeId(1)), Time::ZERO);
+        // one hop: the direct 0-2 contact at 200
+        assert_eq!(out.delivery(NodeId(2)), Time::secs(200.0));
+        // node 3 would need 2 hops
+        assert_eq!(out.delivery(NodeId(3)), Time::INF);
+        let out2 = flood(&t, NodeId(0), Time::ZERO, Some(2));
+        assert_eq!(out2.delivery(NodeId(2)), Time::secs(100.0));
+        assert_eq!(out2.delivery(NodeId(3)), Time::secs(205.0));
+    }
+
+    #[test]
+    fn ttl_matches_unlimited_when_large() {
+        let t = relay();
+        let a = flood(&t, NodeId(0), Time::ZERO, Some(10));
+        let b = flood(&t, NodeId(0), Time::ZERO, None);
+        assert_eq!(a.infection, b.infection);
+    }
+
+    #[test]
+    fn flood_agrees_with_profiles_and_dijkstra() {
+        // denser random-ish trace, hand-rolled
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 5.0, 15.0)
+            .contact_secs(2, 3, 12.0, 30.0)
+            .contact_secs(0, 3, 25.0, 40.0)
+            .contact_secs(1, 3, 2.0, 4.0)
+            .contact_secs(0, 2, 50.0, 55.0)
+            .build();
+        let profiles = omnet_core::AllPairsProfiles::compute(
+            &t,
+            omnet_core::ProfileOptions::default(),
+        );
+        for s in 0..4u32 {
+            for start in [0.0, 3.0, 11.0, 26.0, 51.0] {
+                let out = flood(&t, NodeId(s), Time::secs(start), None);
+                let tree = omnet_core::earliest_arrival(&t, NodeId(s), Time::secs(start));
+                for d in 0..4u32 {
+                    let via_prof = profiles
+                        .profile(NodeId(s), NodeId(d), omnet_core::HopBound::Unlimited)
+                        .delivery(Time::secs(start));
+                    assert_eq!(out.delivery(NodeId(d)), via_prof, "{s}->{d} @ {start}");
+                    assert_eq!(out.delivery(NodeId(d)), tree.arrival(NodeId(d)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ttl_matches_hop_bounded_profiles() {
+        let t = relay();
+        let profiles = omnet_core::AllPairsProfiles::compute(
+            &t,
+            omnet_core::ProfileOptions::default(),
+        );
+        for ttl in 1..=3u32 {
+            for start in [0.0, 50.0, 150.0, 201.0] {
+                let out = flood(&t, NodeId(0), Time::secs(start), Some(ttl));
+                for d in 0..4u32 {
+                    let via_prof = profiles
+                        .profile(
+                            NodeId(0),
+                            NodeId(d),
+                            omnet_core::HopBound::AtMost(ttl as usize),
+                        )
+                        .delivery(Time::secs(start));
+                    assert_eq!(
+                        out.delivery(NodeId(d)),
+                        via_prof,
+                        "ttl {ttl} 0->{d} @ {start}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Simple forwarding algorithms exercising the diameter insight.
+//!
+//! The paper's conclusion: "messages can be discarded after a few hops
+//! without incurring more than a marginal performance cost". These
+//! single-message simulators quantify that trade-off on any trace:
+//!
+//! * [`direct_delivery`] — the source waits to meet the destination (1 hop);
+//! * [`two_hop_relay`] — Grossglauser–Tse style: the source hands copies to
+//!   its first `r` encounters, relays deliver only to the destination;
+//! * [`epidemic_ttl`] — flooding with a hop TTL (the scheme whose TTL the
+//!   diameter result calibrates).
+
+use crate::epidemic::flood;
+use omnet_temporal::{NodeId, Time, Trace};
+
+/// Delivery time of direct (source-to-destination) delivery: the start of
+/// the first `s`–`d` contact still open at `t0`.
+pub fn direct_delivery(trace: &Trace, s: NodeId, d: NodeId, t0: Time) -> Time {
+    let mut best = Time::INF;
+    for c in trace.contacts() {
+        if c.start() > best {
+            break;
+        }
+        if c.touches(s) && c.touches(d) && c.end() >= t0 {
+            best = best.min(c.start().max(t0));
+        }
+    }
+    best
+}
+
+/// Two-hop relay: the source keeps a copy and hands one to each of its
+/// first `relays` distinct encounters; every copy is delivered only on a
+/// direct meeting with the destination. Returns the delivery time.
+pub fn two_hop_relay(trace: &Trace, s: NodeId, d: NodeId, t0: Time, relays: usize) -> Time {
+    // direct component
+    let mut best = direct_delivery(trace, s, d, t0);
+    // recruit relays in encounter order
+    let mut recruited: Vec<(NodeId, Time)> = Vec::new();
+    for c in trace.contacts() {
+        if recruited.len() >= relays {
+            break;
+        }
+        if !c.touches(s) || c.end() < t0 {
+            continue;
+        }
+        let m = c.peer_of(s);
+        if m == d || recruited.iter().any(|(r, _)| *r == m) {
+            continue;
+        }
+        recruited.push((m, c.start().max(t0)));
+    }
+    for (m, got_at) in recruited {
+        best = best.min(direct_delivery(trace, m, d, got_at));
+    }
+    best
+}
+
+/// Hop-limited epidemic delivery time.
+pub fn epidemic_ttl(trace: &Trace, s: NodeId, d: NodeId, t0: Time, ttl: u32) -> Time {
+    flood(trace, s, t0, Some(ttl)).delivery(d)
+}
+
+/// Aggregate success rate and mean delay of a forwarding scheme over all
+/// ordered internal pairs and `samples` uniformly spaced start times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeStats {
+    /// Fraction of (pair, start) queries delivered before the trace ends.
+    pub success_rate: f64,
+    /// Mean delay over the delivered queries, seconds (`NaN` if none).
+    pub mean_delay_secs: f64,
+    /// Number of queries evaluated.
+    pub queries: usize,
+}
+
+/// Evaluates a forwarding scheme (a delivery-time oracle) over the trace.
+pub fn evaluate_scheme<F>(trace: &Trace, samples: usize, scheme: F) -> SchemeStats
+where
+    F: Fn(&Trace, NodeId, NodeId, Time) -> Time + Sync,
+{
+    assert!(samples >= 1, "need at least one start-time sample");
+    let n = trace.num_internal();
+    let span = trace.span();
+    let starts: Vec<Time> = (0..samples)
+        .map(|i| {
+            let frac = (i as f64 + 0.5) / samples as f64;
+            Time::secs(
+                span.start.as_secs() + frac * span.duration().as_secs(),
+            )
+        })
+        .collect();
+    let per_source: Vec<(usize, usize, f64)> = omnet_analysis::par_map(n as usize, |si| {
+        let s = NodeId(si as u32);
+        let mut queries = 0usize;
+        let mut delivered = 0usize;
+        let mut delay_sum = 0.0f64;
+        for d in 0..n {
+            if d == s.0 {
+                continue;
+            }
+            for &t0 in &starts {
+                queries += 1;
+                let at = scheme(trace, s, NodeId(d), t0);
+                if at < Time::INF {
+                    delivered += 1;
+                    delay_sum += at.since(t0).as_secs();
+                }
+            }
+        }
+        (queries, delivered, delay_sum)
+    });
+    let queries: usize = per_source.iter().map(|x| x.0).sum();
+    let delivered: usize = per_source.iter().map(|x| x.1).sum();
+    let delay_sum: f64 = per_source.iter().map(|x| x.2).sum();
+    SchemeStats {
+        success_rate: if queries > 0 {
+            delivered as f64 / queries as f64
+        } else {
+            0.0
+        },
+        mean_delay_secs: if delivered > 0 {
+            delay_sum / delivered as f64
+        } else {
+            f64::NAN
+        },
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnet_temporal::TraceBuilder;
+
+    fn toy() -> Trace {
+        TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0) // s meets relay early
+            .contact_secs(1, 2, 100.0, 110.0) // relay meets dest
+            .contact_secs(0, 2, 500.0, 510.0) // direct, late
+            .build()
+    }
+
+    #[test]
+    fn direct_waits_for_the_pair_contact() {
+        let t = toy();
+        assert_eq!(
+            direct_delivery(&t, NodeId(0), NodeId(2), Time::ZERO),
+            Time::secs(500.0)
+        );
+        // inside the contact: immediate
+        assert_eq!(
+            direct_delivery(&t, NodeId(0), NodeId(2), Time::secs(505.0)),
+            Time::secs(505.0)
+        );
+        // after it: never
+        assert_eq!(
+            direct_delivery(&t, NodeId(0), NodeId(2), Time::secs(511.0)),
+            Time::INF
+        );
+    }
+
+    #[test]
+    fn two_hop_uses_relays() {
+        let t = toy();
+        // one relay (node 1) beats the direct contact
+        assert_eq!(
+            two_hop_relay(&t, NodeId(0), NodeId(2), Time::ZERO, 1),
+            Time::secs(100.0)
+        );
+        // zero relays falls back to direct
+        assert_eq!(
+            two_hop_relay(&t, NodeId(0), NodeId(2), Time::ZERO, 0),
+            Time::secs(500.0)
+        );
+    }
+
+    #[test]
+    fn two_hop_never_beats_flooding() {
+        let t = toy();
+        let fl = flood(&t, NodeId(0), Time::ZERO, None);
+        let th = two_hop_relay(&t, NodeId(0), NodeId(2), Time::ZERO, 5);
+        assert!(th >= fl.delivery(NodeId(2)));
+    }
+
+    #[test]
+    fn epidemic_ttl_ordering() {
+        let t = toy();
+        let d1 = epidemic_ttl(&t, NodeId(0), NodeId(2), Time::ZERO, 1);
+        let d2 = epidemic_ttl(&t, NodeId(0), NodeId(2), Time::ZERO, 2);
+        assert_eq!(d1, Time::secs(500.0));
+        assert_eq!(d2, Time::secs(100.0));
+        assert!(d2 <= d1);
+    }
+
+    #[test]
+    fn evaluate_scheme_aggregates() {
+        let t = toy();
+        let stats = evaluate_scheme(&t, 4, |tr, s, d, t0| {
+            direct_delivery(tr, s, d, t0)
+        });
+        assert_eq!(stats.queries, 3 * 2 * 4);
+        assert!(stats.success_rate > 0.0 && stats.success_rate < 1.0);
+        assert!(stats.mean_delay_secs >= 0.0);
+        // flooding can only do better
+        let fstats = evaluate_scheme(&t, 4, |tr, s, d, t0| {
+            flood(tr, s, t0, None).delivery(d)
+        });
+        assert!(fstats.success_rate >= stats.success_rate);
+    }
+}

@@ -1,0 +1,260 @@
+//! Forwarding with *local* information only (the paper's second open
+//! problem, §7): short paths exist — but can a node find them knowing only
+//! its own encounter history?
+//!
+//! [`fresh_delivery`] implements a FRESH-style last-encounter rule
+//! (Grossglauser–Vetterli): a single message copy is handed over whenever
+//! the current carrier meets a node that has seen the destination more
+//! recently than the carrier has. The age gradient is exactly the local
+//! information every device has for free, which makes this the natural
+//! baseline against the delay-optimal paths of `omnet-core`.
+
+use omnet_temporal::{NodeId, Time, Trace};
+
+/// Per-node last-encounter ages, built by sweeping the trace chronologically.
+#[derive(Debug, Clone)]
+struct LastEncounter {
+    n: usize,
+    /// `last[u * n + v]`: when `u` last started a contact with `v`;
+    /// `Time::NEG_INF` when never.
+    last: Vec<Time>,
+}
+
+impl LastEncounter {
+    fn new(n: usize) -> LastEncounter {
+        LastEncounter {
+            n,
+            last: vec![Time::NEG_INF; n * n],
+        }
+    }
+
+    fn get(&self, u: NodeId, v: NodeId) -> Time {
+        self.last[u.index() * self.n + v.index()]
+    }
+
+    fn record(&mut self, u: NodeId, v: NodeId, t: Time) {
+        self.last[u.index() * self.n + v.index()] = t;
+        self.last[v.index() * self.n + u.index()] = t;
+    }
+}
+
+/// Outcome of a single-copy local-forwarding run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalOutcome {
+    /// Delivery time (`Time::INF` when the message never reaches the
+    /// destination before the trace ends).
+    pub delivered_at: Time,
+    /// Contacts the message traversed (0 when it never left the source and
+    /// was not delivered; 1 when handed straight to the destination, …).
+    pub hops: u32,
+    /// Handovers to non-destination relays (hops minus the final delivery
+    /// hop when delivered).
+    pub relay_handovers: u32,
+}
+
+/// Runs FRESH-style last-encounter forwarding for one message.
+///
+/// The trace is swept in contact-start order. Before a contact updates the
+/// encounter tables, the carrier checks the forwarding rule on it:
+///
+/// * meet the destination → deliver;
+/// * meet a node whose last encounter with the destination is strictly more
+///   recent than the carrier's → hand the (single) copy over.
+///
+/// Contacts already in progress when the message is created or handed over
+/// are used at the moment the sweep reaches them only if they start later;
+/// this start-edge-triggered simplification mirrors how encounter-based
+/// schemes are driven by discovery beacons.
+pub fn fresh_delivery(trace: &Trace, s: NodeId, d: NodeId, t0: Time) -> LocalOutcome {
+    assert!(s != d, "source equals destination");
+    let n = trace.num_nodes() as usize;
+    assert!(s.index() < n && d.index() < n, "nodes outside the universe");
+    let mut table = LastEncounter::new(n);
+    let mut carrier = s;
+    let mut hops = 0u32;
+    let mut relay_handovers = 0u32;
+    for c in trace.contacts() {
+        let t = c.start();
+        if t >= t0 {
+            // forwarding decision first: the tables represent knowledge
+            // gathered strictly before this encounter.
+            if c.touches(carrier) {
+                let other = c.peer_of(carrier);
+                if other == d {
+                    return LocalOutcome {
+                        delivered_at: t.max(t0),
+                        hops: hops + 1,
+                        relay_handovers,
+                    };
+                }
+                if table.get(other, d) > table.get(carrier, d) {
+                    carrier = other;
+                    hops += 1;
+                    relay_handovers += 1;
+                }
+            }
+        }
+        table.record(c.a, c.b, t);
+    }
+    LocalOutcome {
+        delivered_at: Time::INF,
+        hops,
+        relay_handovers,
+    }
+}
+
+/// Aggregate FRESH statistics over all ordered internal pairs and `samples`
+/// uniformly spaced start times: success rate, mean delay of delivered
+/// messages, and mean hop count of delivered messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreshStats {
+    /// Fraction of queries delivered before the trace ends.
+    pub success_rate: f64,
+    /// Mean delay over delivered queries, seconds (`NaN` when none).
+    pub mean_delay_secs: f64,
+    /// Mean traversed-contact count over delivered queries (`NaN` when
+    /// none).
+    pub mean_hops: f64,
+    /// Number of queries evaluated.
+    pub queries: usize,
+}
+
+/// Evaluates FRESH over the trace (parallel across sources).
+pub fn evaluate_fresh(trace: &Trace, samples: usize) -> FreshStats {
+    assert!(samples >= 1, "need at least one start-time sample");
+    let n = trace.num_internal();
+    let span = trace.span();
+    let starts: Vec<Time> = (0..samples)
+        .map(|i| {
+            let frac = (i as f64 + 0.5) / samples as f64;
+            Time::secs(span.start.as_secs() + frac * span.duration().as_secs())
+        })
+        .collect();
+    let rows: Vec<(usize, usize, f64, u64)> = omnet_analysis::par_map(n as usize, |si| {
+        let s = NodeId(si as u32);
+        let mut queries = 0usize;
+        let mut delivered = 0usize;
+        let mut delay = 0.0f64;
+        let mut hops = 0u64;
+        for d in 0..n {
+            if d == s.0 {
+                continue;
+            }
+            for &t0 in &starts {
+                queries += 1;
+                let out = fresh_delivery(trace, s, NodeId(d), t0);
+                if out.delivered_at < Time::INF {
+                    delivered += 1;
+                    delay += out.delivered_at.since(t0).as_secs();
+                    hops += out.hops as u64;
+                }
+            }
+        }
+        (queries, delivered, delay, hops)
+    });
+    let queries: usize = rows.iter().map(|r| r.0).sum();
+    let delivered: usize = rows.iter().map(|r| r.1).sum();
+    let delay: f64 = rows.iter().map(|r| r.2).sum();
+    let hops: u64 = rows.iter().map(|r| r.3).sum();
+    FreshStats {
+        success_rate: if queries > 0 {
+            delivered as f64 / queries as f64
+        } else {
+            0.0
+        },
+        mean_delay_secs: if delivered > 0 {
+            delay / delivered as f64
+        } else {
+            f64::NAN
+        },
+        mean_hops: if delivered > 0 {
+            hops as f64 / delivered as f64
+        } else {
+            f64::NAN
+        },
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnet_temporal::TraceBuilder;
+
+    /// 0 meets 1 (who knows 2), then 1 meets 2.
+    fn gradient_trace() -> Trace {
+        TraceBuilder::new()
+            // history: 1 met 2 at t=10 (builds 1's freshness for 2)
+            .contact_secs(1, 2, 10.0, 12.0)
+            // 0 meets 1 at t=50: 1's last encounter with 2 (10) beats 0's
+            // (never) -> handover
+            .contact_secs(0, 1, 50.0, 55.0)
+            // 1 meets 2 at t=100 -> delivery
+            .contact_secs(1, 2, 100.0, 101.0)
+            .build()
+    }
+
+    #[test]
+    fn fresh_follows_the_age_gradient() {
+        let t = gradient_trace();
+        let out = fresh_delivery(&t, NodeId(0), NodeId(2), Time::secs(20.0));
+        assert_eq!(out.delivered_at, Time::secs(100.0));
+        assert_eq!(out.hops, 2);
+        assert_eq!(out.relay_handovers, 1);
+    }
+
+    #[test]
+    fn no_gradient_means_no_handover() {
+        // 1 never met 2 before meeting 0: the message stays at 0 and dies.
+        let t = TraceBuilder::new()
+            .num_nodes(3)
+            .contact_secs(0, 1, 50.0, 55.0)
+            .build();
+        let out = fresh_delivery(&t, NodeId(0), NodeId(2), Time::ZERO);
+        assert_eq!(out.delivered_at, Time::INF);
+        assert_eq!(out.hops, 0);
+    }
+
+    #[test]
+    fn direct_meeting_always_delivers() {
+        let t = TraceBuilder::new().contact_secs(0, 2, 30.0, 40.0).build();
+        let out = fresh_delivery(&t, NodeId(0), NodeId(2), Time::ZERO);
+        assert_eq!(out.delivered_at, Time::secs(30.0));
+        assert_eq!(out.hops, 1);
+        assert_eq!(out.relay_handovers, 0);
+    }
+
+    #[test]
+    fn history_before_creation_still_counts() {
+        // knowledge accumulated before t0 guides forwarding after t0
+        let t = gradient_trace();
+        let out = fresh_delivery(&t, NodeId(0), NodeId(2), Time::secs(40.0));
+        assert_eq!(out.delivered_at, Time::secs(100.0));
+    }
+
+    #[test]
+    fn contacts_before_creation_never_carry() {
+        let t = gradient_trace();
+        // created after every contact: undeliverable
+        let out = fresh_delivery(&t, NodeId(0), NodeId(2), Time::secs(200.0));
+        assert_eq!(out.delivered_at, Time::INF);
+    }
+
+    #[test]
+    fn fresh_never_beats_flooding() {
+        let t = gradient_trace();
+        for start in [0.0, 20.0, 60.0] {
+            let fr = fresh_delivery(&t, NodeId(0), NodeId(2), Time::secs(start));
+            let fl = crate::flood(&t, NodeId(0), Time::secs(start), None);
+            assert!(fr.delivered_at >= fl.delivery(NodeId(2)));
+        }
+    }
+
+    #[test]
+    fn evaluate_fresh_aggregates() {
+        let t = gradient_trace();
+        let stats = evaluate_fresh(&t, 3);
+        assert_eq!(stats.queries, 3 * 2 * 3);
+        assert!(stats.success_rate > 0.0 && stats.success_rate <= 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests of the forwarding schemes: the optimality hierarchy
+//! (flooding ≤ TTL-epidemic ≤ two-hop ≤ direct in delivery time) and TTL
+//! monotonicity hold on arbitrary traces.
+
+use omnet_flooding::{direct_delivery, flood, fresh_delivery, two_hop_relay};
+use omnet_temporal::{Contact, NodeId, Time, TraceBuilder};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Contact>> {
+    prop::collection::vec(
+        (0u32..6, 0u32..6, 0u32..80, 0u32..40).prop_filter_map("self", |(u, v, s, d)| {
+            if u == v {
+                None
+            } else {
+                Some(Contact::secs(u, v, s as f64, (s + d) as f64))
+            }
+        }),
+        1..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ttl_monotone_and_bounded_by_flooding(
+        contacts in trace_strategy(),
+        start in 0u32..100,
+    ) {
+        let trace = TraceBuilder::new().num_nodes(6).contacts(contacts).build();
+        let t0 = Time::secs(start as f64);
+        let unlimited = flood(&trace, NodeId(0), t0, None);
+        let mut prev = flood(&trace, NodeId(0), t0, Some(0));
+        for ttl in 1..=6u32 {
+            let cur = flood(&trace, NodeId(0), t0, Some(ttl));
+            for d in 0..6u32 {
+                // larger TTL never delivers later
+                prop_assert!(
+                    cur.delivery(NodeId(d)) <= prev.delivery(NodeId(d)),
+                    "ttl {ttl} regressed at node {d}"
+                );
+                // and never beats unlimited flooding
+                prop_assert!(cur.delivery(NodeId(d)) >= unlimited.delivery(NodeId(d)));
+            }
+            prev = cur;
+        }
+        // ttl = n-1 suffices on n nodes: simple paths need < n contacts…
+        // but contact reuse may allow longer useful walks only in theory;
+        // dominance makes >= n-1 hops useless for first infection.
+        let full = flood(&trace, NodeId(0), t0, Some(5));
+        for d in 0..6u32 {
+            prop_assert_eq!(full.delivery(NodeId(d)), unlimited.delivery(NodeId(d)));
+        }
+    }
+
+    #[test]
+    fn scheme_hierarchy(contacts in trace_strategy(), start in 0u32..100) {
+        let trace = TraceBuilder::new().num_nodes(6).contacts(contacts).build();
+        let t0 = Time::secs(start as f64);
+        for s in 0..3u32 {
+            let fl = flood(&trace, NodeId(s), t0, None);
+            for d in 0..6u32 {
+                if s == d {
+                    continue;
+                }
+                let direct = direct_delivery(&trace, NodeId(s), NodeId(d), t0);
+                let two = two_hop_relay(&trace, NodeId(s), NodeId(d), t0, 5);
+                let fresh = fresh_delivery(&trace, NodeId(s), NodeId(d), t0);
+                prop_assert!(two <= direct);
+                prop_assert!(fl.delivery(NodeId(d)) <= two);
+                prop_assert!(fl.delivery(NodeId(d)) <= fresh.delivered_at);
+            }
+        }
+    }
+
+    #[test]
+    fn transmissions_bounded_by_infections(
+        contacts in trace_strategy(),
+        start in 0u32..60,
+    ) {
+        let trace = TraceBuilder::new().num_nodes(6).contacts(contacts).build();
+        let out = flood(&trace, NodeId(0), Time::secs(start as f64), None);
+        prop_assert_eq!(out.transmissions, out.reached() - 1);
+        // hop labels are consistent: infected nodes have finite hops
+        for d in 0..6usize {
+            prop_assert_eq!(
+                out.infection[d] < Time::INF,
+                out.hops[d] != u32::MAX
+            );
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! The synthetic contact-trace generator.
+//!
+//! Substitute for the four proprietary mobility data sets (see DESIGN.md §3):
+//! each pair of devices meets according to a non-homogeneous Poisson process
+//! whose intensity factorizes into
+//!
+//! * a per-pair weight from the [`SocialStructure`] (communities +
+//!   sociability),
+//! * a global diurnal [`Schedule`] multiplier,
+//! * a normalization chosen so the *expected number of contacts* hits the
+//!   data set's published total,
+//!
+//! with durations from the heavy-tailed [`DurationModel`], quantization to
+//! the scanner granularity, and an optional probability of missing
+//! single-slot sightings (the §5.1 sampling artifacts). External devices
+//! (Bluetooth strangers) contact internal devices only — their mutual
+//! contacts were invisible to the experiments and so are never generated.
+
+use crate::duration::DurationModel;
+use crate::schedule::Schedule;
+use crate::social::SocialStructure;
+use omnet_temporal::{Contact, Dur, Interval, Time, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Group co-location events ("gatherings"): coffee-break circles, lunch
+/// tables, lectures. Everyone present sees everyone else, which gives the
+/// snapshot graph the high clustering real proximity traces have — and that
+/// clustering is what keeps the measured diameter small (a clique is one hop
+/// deep, a random sparse graph of the same density is many).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatheringSpec {
+    /// Average number of gatherings per day (modulated by the schedule).
+    pub events_per_day: f64,
+    /// Devices per gathering (fixed size; capped at the population).
+    pub group_size: u32,
+}
+
+/// Complete description of one synthetic data set.
+#[derive(Debug, Clone)]
+pub struct MobilitySpec {
+    /// Data-set label (e.g. `"Infocom05"`).
+    pub name: &'static str,
+    /// Number of experimental (internal) devices.
+    pub internal: u32,
+    /// Number of external devices seen opportunistically.
+    pub external: u32,
+    /// Observation length.
+    pub duration: Dur,
+    /// Scanner period; starts and durations are quantized to it.
+    pub granularity: Dur,
+    /// Number of communities among the internal devices.
+    pub communities: u32,
+    /// Same-community intensity multiplier (≥ 1).
+    pub community_weight: f64,
+    /// Log-normal σ of per-node sociability.
+    pub sociability_sigma: f64,
+    /// Expected number of internal-internal contacts.
+    pub target_internal_contacts: f64,
+    /// Expected number of internal-external contacts.
+    pub target_external_contacts: f64,
+    /// Diurnal activity profile.
+    pub schedule: Schedule,
+    /// Contact-duration mixture for internal pairs.
+    pub durations: DurationModel,
+    /// Contact-duration mixture for external sightings (typically brief).
+    pub external_durations: DurationModel,
+    /// Probability that a single-slot contact goes unrecorded.
+    pub miss_probability: f64,
+    /// Optional clique-forming group events among internal devices; their
+    /// expected contact volume is carved out of
+    /// `target_internal_contacts`, so the total stays calibrated.
+    pub gatherings: Option<GatheringSpec>,
+}
+
+impl MobilitySpec {
+    /// Generates the trace deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!(self.internal >= 2, "need at least two internal devices");
+        assert!(self.duration > Dur::ZERO && self.granularity > Dur::ZERO);
+        assert!((0.0..1.0).contains(&self.miss_probability));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = Time::ZERO + self.duration;
+        let window = Interval::new(Time::ZERO, horizon);
+        let mean_mult = self.schedule.mean_multiplier(horizon);
+        let max_mult = self.schedule.max_multiplier();
+
+        let mut builder = TraceBuilder::new()
+            .num_nodes(self.internal + self.external)
+            .internal(self.internal)
+            .window(window)
+            .merge_overlaps(true);
+
+        // --- internal pairs -------------------------------------------------
+        let social = SocialStructure::with_communities(
+            self.internal,
+            self.communities.max(1),
+            self.community_weight,
+            self.sociability_sigma,
+            &mut rng,
+        );
+        let total_weight = social.total_weight();
+
+        // --- gatherings -----------------------------------------------------
+        // Generated first so their expected contact volume can be carved out
+        // of the pairwise target.
+        let mut gathering_contacts_expected = 0.0;
+        if let Some(g) = self.gatherings {
+            let size = g.group_size.min(self.internal).max(2);
+            let pairs_per_event = (size as f64) * (size as f64 - 1.0) / 2.0;
+            let base_rate = g.events_per_day / 86_400.0;
+            let kept_fraction =
+                1.0 - self.miss_probability * self.durations.single_slot_fraction;
+            gathering_contacts_expected =
+                base_rate * mean_mult * self.duration.as_secs() * pairs_per_event * kept_fraction;
+            self.generate_gatherings(g, size, window, max_mult, &social, &mut builder, &mut rng);
+        }
+
+        // Inflate the target to compensate for missed single-slot contacts.
+        let miss_loss = self.miss_probability * self.durations.single_slot_fraction;
+        let pairwise_target =
+            (self.target_internal_contacts - gathering_contacts_expected).max(0.0);
+        let effective_internal = pairwise_target / (1.0 - miss_loss);
+        if self.target_internal_contacts > 0.0 && total_weight > 0.0 {
+            for u in 0..self.internal {
+                for v in (u + 1)..self.internal {
+                    let expected =
+                        effective_internal * social.weight(u, v) / total_weight;
+                    let base_rate = expected / (mean_mult * self.duration.as_secs());
+                    self.generate_pair(
+                        u,
+                        v,
+                        base_rate,
+                        max_mult,
+                        &self.durations,
+                        window,
+                        &mut builder,
+                        &mut rng,
+                    );
+                }
+            }
+        }
+
+        // --- external sightings ---------------------------------------------
+        if self.external > 0 && self.target_external_contacts > 0.0 {
+            // externals have their own popularity spread (a phone you pass
+            // twice a day vs. one you saw once)
+            let ext_soc: Vec<f64> = (0..self.external)
+                .map(|_| (1.0 * crate::social::standard_normal(&mut rng)).exp())
+                .collect();
+            let mut w_total = 0.0;
+            for u in 0..self.internal {
+                for (_, es) in ext_soc.iter().enumerate() {
+                    w_total += social.sociability(u) * es;
+                }
+            }
+            let miss_loss_e =
+                self.miss_probability * self.external_durations.single_slot_fraction;
+            let effective_external = self.target_external_contacts / (1.0 - miss_loss_e);
+            for u in 0..self.internal {
+                for (j, es) in ext_soc.iter().enumerate() {
+                    let w = social.sociability(u) * es;
+                    let expected = effective_external * w / w_total;
+                    let base_rate = expected / (mean_mult * self.duration.as_secs());
+                    self.generate_pair(
+                        u,
+                        self.internal + j as u32,
+                        base_rate,
+                        max_mult,
+                        &self.external_durations,
+                        window,
+                        &mut builder,
+                        &mut rng,
+                    );
+                }
+            }
+        }
+
+        builder.build()
+    }
+
+    /// Generates the gathering events: a thinned Poisson stream of group
+    /// co-locations; members are drawn without replacement, biased by
+    /// sociability, and every member pair gets a contact whose duration is
+    /// sampled from the ordinary duration mixture (so Figure 7's shape is
+    /// preserved) anchored at the event time.
+    #[allow(clippy::too_many_arguments)]
+    fn generate_gatherings(
+        &self,
+        g: GatheringSpec,
+        size: u32,
+        window: Interval,
+        max_mult: f64,
+        social: &SocialStructure,
+        builder: &mut TraceBuilder,
+        rng: &mut StdRng,
+    ) {
+        let envelope = g.events_per_day / 86_400.0 * max_mult;
+        let horizon = window.end.as_secs();
+        let gq = self.granularity.as_secs();
+        let weights: Vec<f64> = (0..self.internal).map(|u| social.sociability(u)).collect();
+        let mut t = 0.0f64;
+        loop {
+            let x: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            t += -x.ln() / envelope;
+            if t >= horizon {
+                break;
+            }
+            let accept = self.schedule.multiplier(Time::secs(t)) / max_mult;
+            if rng.gen::<f64>() >= accept {
+                continue;
+            }
+            let members = weighted_sample_without_replacement(&weights, size as usize, rng);
+            let start = (t / gq).floor() * gq;
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    let d = self.durations.sample(self.granularity, rng);
+                    if d == self.granularity && rng.gen::<f64>() < self.miss_probability {
+                        continue;
+                    }
+                    let end = (start + d.as_secs()).min(horizon);
+                    if end <= start {
+                        continue;
+                    }
+                    builder.push(Contact::secs(u, v, start, end));
+                }
+            }
+        }
+    }
+
+    /// Generates every contact of one pair by thinning a Poisson process of
+    /// rate `base_rate · max_mult`, then sampling durations and quantizing.
+    #[allow(clippy::too_many_arguments)]
+    fn generate_pair(
+        &self,
+        u: u32,
+        v: u32,
+        base_rate: f64,
+        max_mult: f64,
+        durations: &DurationModel,
+        window: Interval,
+        builder: &mut TraceBuilder,
+        rng: &mut StdRng,
+    ) {
+        if base_rate <= 0.0 {
+            return;
+        }
+        let envelope = base_rate * max_mult;
+        let horizon = window.end.as_secs();
+        let g = self.granularity.as_secs();
+        let mut t = 0.0f64;
+        loop {
+            let x: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            t += -x.ln() / envelope;
+            if t >= horizon {
+                break;
+            }
+            // thinning
+            let accept = self.schedule.multiplier(Time::secs(t)) / max_mult;
+            if rng.gen::<f64>() >= accept {
+                continue;
+            }
+            let d = durations.sample(self.granularity, rng);
+            if d == self.granularity && rng.gen::<f64>() < self.miss_probability {
+                continue; // scanner missed the brief sighting
+            }
+            // quantize to the scan grid and clip to the window
+            let start = (t / g).floor() * g;
+            let end = (start + d.as_secs()).min(horizon);
+            if end <= start {
+                continue;
+            }
+            builder.push(Contact::secs(u, v, start, end));
+        }
+    }
+}
+
+/// Draws `k` distinct indices with probability proportional to `weights`
+/// (sequential weighted sampling; `k` is clamped to the population size).
+fn weighted_sample_without_replacement(
+    weights: &[f64],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let k = k.min(weights.len());
+    let mut remaining: Vec<(u32, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (i as u32, w.max(0.0)))
+        .collect();
+    let mut total: f64 = remaining.iter().map(|(_, w)| w).sum();
+    let mut picked = Vec::with_capacity(k);
+    for _ in 0..k {
+        if total <= 0.0 || remaining.is_empty() {
+            break;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut idx = remaining.len() - 1;
+        for (j, (_, w)) in remaining.iter().enumerate() {
+            if target < *w {
+                idx = j;
+                break;
+            }
+            target -= *w;
+        }
+        let (node, w) = remaining.swap_remove(idx);
+        picked.push(node);
+        total -= w;
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnet_temporal::stats;
+
+    fn small_spec() -> MobilitySpec {
+        MobilitySpec {
+            name: "test",
+            internal: 12,
+            external: 0,
+            duration: Dur::days(1.0),
+            granularity: Dur::mins(2.0),
+            communities: 3,
+            community_weight: 4.0,
+            sociability_sigma: 0.5,
+            target_internal_contacts: 600.0,
+            target_external_contacts: 0.0,
+            schedule: Schedule::Conference,
+            durations: DurationModel::conference(),
+            external_durations: DurationModel::conference(),
+            miss_probability: 0.0,
+            gatherings: None,
+        }
+    }
+
+    #[test]
+    fn contact_count_near_target() {
+        let spec = small_spec();
+        let mut counts = Vec::new();
+        for seed in 0..5 {
+            counts.push(spec.generate(seed).num_contacts() as f64);
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        // merging of overlapping same-pair contacts eats a little mass, so
+        // allow a generous band around the 600 target.
+        assert!(
+            mean > 420.0 && mean < 720.0,
+            "mean contacts {mean} far from 600"
+        );
+    }
+
+    #[test]
+    fn contacts_quantized_and_inside_window() {
+        let spec = small_spec();
+        let t = spec.generate(7);
+        let g = 120.0;
+        for c in t.contacts() {
+            let s = c.start().as_secs();
+            assert!((s / g - (s / g).round()).abs() < 1e-9, "start {s} not on grid");
+            assert!(c.end() <= t.span().end);
+            assert!(c.duration() >= Dur::ZERO);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = small_spec();
+        let a = spec.generate(42);
+        let b = spec.generate(42);
+        assert_eq!(a.contacts(), b.contacts());
+        let c = spec.generate(43);
+        assert_ne!(a.contacts(), c.contacts());
+    }
+
+    #[test]
+    fn night_quieter_than_break() {
+        let spec = MobilitySpec {
+            target_internal_contacts: 4000.0,
+            ..small_spec()
+        };
+        let t = spec.generate(3);
+        let night = t
+            .contacts()
+            .iter()
+            .filter(|c| c.start().as_secs() % 86_400.0 < 6.0 * 3600.0)
+            .count();
+        let coffee = t
+            .contacts()
+            .iter()
+            .filter(|c| {
+                let h = (c.start().as_secs() % 86_400.0) / 3600.0;
+                (10.5..11.0).contains(&h) || (15.5..16.0).contains(&h)
+            })
+            .count();
+        // night is 8 h vs two 30-minute breaks, yet the breaks see more
+        // contacts.
+        assert!(coffee > night, "coffee {coffee} vs night {night}");
+    }
+
+    #[test]
+    fn external_contacts_never_link_two_externals() {
+        let spec = MobilitySpec {
+            external: 30,
+            target_external_contacts: 300.0,
+            ..small_spec()
+        };
+        let t = spec.generate(11);
+        let ext_ext = t
+            .contacts()
+            .iter()
+            .filter(|c| !t.is_internal(c.a) && !t.is_internal(c.b))
+            .count();
+        assert_eq!(ext_ext, 0);
+        let int_ext = t
+            .contacts()
+            .iter()
+            .filter(|c| t.is_internal(c.a) != t.is_internal(c.b))
+            .count();
+        assert!(int_ext > 150, "external sightings too few: {int_ext}");
+    }
+
+    #[test]
+    fn miss_probability_thins_single_slots() {
+        let base = small_spec();
+        let missing = MobilitySpec {
+            miss_probability: 0.6,
+            // compensate so targets stay comparable
+            ..base.clone()
+        };
+        let kept: usize = (0..4).map(|s| base.generate(s).num_contacts()).sum();
+        let kept_missing: usize = (0..4).map(|s| missing.generate(s).num_contacts()).sum();
+        // normalization compensates: totals should be in the same ballpark
+        let ratio = kept_missing as f64 / kept as f64;
+        assert!(ratio > 0.7 && ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn community_structure_visible_in_degrees() {
+        let spec = MobilitySpec {
+            internal: 30,
+            communities: 3,
+            community_weight: 30.0,
+            sociability_sigma: 0.0,
+            target_internal_contacts: 3000.0,
+            ..small_spec()
+        };
+        let t = spec.generate(5);
+        // same-community pair (0, 3) vs cross pair (0, 1)
+        let same = t
+            .pair_contacts(omnet_temporal::NodeId(0), omnet_temporal::NodeId(3))
+            .len();
+        let cross = t
+            .pair_contacts(omnet_temporal::NodeId(0), omnet_temporal::NodeId(1))
+            .len();
+        assert!(same > cross, "same {same} cross {cross}");
+    }
+
+    #[test]
+    fn gatherings_form_cliques_and_keep_totals() {
+        let spec = MobilitySpec {
+            gatherings: Some(GatheringSpec {
+                events_per_day: 40.0,
+                group_size: 6,
+            }),
+            ..small_spec()
+        };
+        let mut totals = Vec::new();
+        for seed in 0..4 {
+            totals.push(spec.generate(seed).num_contacts() as f64);
+        }
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        // the carve-out keeps the overall volume near the 600 target
+        assert!(mean > 400.0 && mean < 760.0, "mean contacts {mean}");
+        // cliques exist: some instant has a triangle (three pairwise
+        // overlapping contacts among three nodes)
+        let t = spec.generate(1);
+        let mut found_triangle = false;
+        'outer: for c in t.contacts() {
+            let probe = c.start();
+            let snap = t.snapshot(probe);
+            for (u, peers) in snap.iter().enumerate() {
+                for &v in peers {
+                    if v.index() <= u {
+                        continue;
+                    }
+                    for &w in &snap[v.index()] {
+                        if w.index() > v.index() && snap[u].contains(&w) {
+                            found_triangle = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found_triangle, "gatherings should create triangles");
+    }
+
+    #[test]
+    fn weighted_sampling_is_distinct_and_biased() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = vec![10.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let mut first_count = 0;
+        for _ in 0..500 {
+            let picked = weighted_sample_without_replacement(&weights, 3, &mut rng);
+            assert_eq!(picked.len(), 3);
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicates in {picked:?}");
+            if picked.contains(&0) {
+                first_count += 1;
+            }
+        }
+        // node 0 has 10x the weight: it should appear in most samples
+        assert!(first_count > 400, "node 0 picked only {first_count}/500");
+    }
+
+    #[test]
+    fn granularity_statistic_matches_spec() {
+        let spec = small_spec();
+        let t = spec.generate(1);
+        assert_eq!(stats::estimate_granularity(&t), Some(Dur::mins(2.0)));
+    }
+}

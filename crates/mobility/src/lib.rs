@@ -1,0 +1,34 @@
+//! Synthetic human-mobility contact traces, calibrated to the four data
+//! sets of the CoNEXT'07 diameter paper (Infocom05, Infocom06, Hong-Kong,
+//! MIT Reality Mining).
+//!
+//! The real traces are not redistributable, so this crate substitutes a
+//! generative model that reproduces their *published aggregate statistics*
+//! — device counts, observation length, scan granularity, contact totals,
+//! the heavy-tailed contact-duration mixture of Figure 7, and the diurnal
+//! activity structure of Figure 6 — which are the only properties the
+//! diameter analyses consume (DESIGN.md §3 documents the substitution).
+//!
+//! ```
+//! use omnet_mobility::Dataset;
+//! use omnet_temporal::stats::TraceStats;
+//!
+//! let trace = Dataset::Infocom05.generate_days(0.5, 42);
+//! let stats = TraceStats::of(&trace);
+//! assert_eq!(stats.internal_devices, 41);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod duration;
+pub mod generator;
+pub mod presets;
+pub mod schedule;
+pub mod social;
+
+pub use duration::DurationModel;
+pub use generator::{GatheringSpec, MobilitySpec};
+pub use presets::Dataset;
+pub use schedule::Schedule;
+pub use social::SocialStructure;

@@ -1,0 +1,190 @@
+//! Time-of-day activity schedules.
+//!
+//! The paper's data sets show strong diurnal structure (§5.2, Figure 6):
+//! conference attendees are "almost always in a high contact period, except
+//! at night", while campus and city traces alternate short active periods
+//! with long disconnections. A [`Schedule`] modulates the pairwise contact
+//! intensity as a deterministic, piecewise-constant multiplier of wall-clock
+//! time.
+
+use omnet_temporal::Time;
+
+const HOUR: f64 = 3600.0;
+const DAY: f64 = 86_400.0;
+
+/// A deterministic intensity multiplier over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Constant multiplier 1 (the homogeneous model of §3).
+    Flat,
+    /// A conference day: quiet nights, busy sessions, intense coffee breaks
+    /// and lunches (Infocom05/06-like).
+    Conference,
+    /// A campus term: active weekday daytime, quiet evenings, near-silent
+    /// weekends (Reality-Mining-like).
+    Campus,
+    /// A city week: brief commute/evening peaks over a very quiet baseline
+    /// (Hong-Kong-like; participants share no social ties).
+    City,
+}
+
+impl Schedule {
+    /// The multiplier at time `t` (seconds since the trace origin, which is
+    /// taken to be midnight of day 0).
+    pub fn multiplier(&self, t: Time) -> f64 {
+        let secs = t.as_secs();
+        debug_assert!(secs.is_finite() && secs >= 0.0);
+        let day = (secs / DAY).floor();
+        let tod = secs - day * DAY; // time of day in seconds
+        let h = tod / HOUR;
+        match self {
+            Schedule::Flat => 1.0,
+            Schedule::Conference => conference_hour(h),
+            Schedule::Campus => {
+                let weekday = (day as u64) % 7 < 5;
+                campus_hour(h, weekday)
+            }
+            Schedule::City => city_hour(h),
+        }
+    }
+
+    /// The supremum of the multiplier (for thinning).
+    pub fn max_multiplier(&self) -> f64 {
+        match self {
+            Schedule::Flat => 1.0,
+            Schedule::Conference => 3.0,
+            Schedule::Campus => 1.2,
+            Schedule::City => 1.5,
+        }
+    }
+
+    /// The average multiplier over `[0, horizon)`, integrated at one-minute
+    /// resolution (schedules are piecewise constant on coarser pieces, so
+    /// this is exact enough for rate normalization).
+    pub fn mean_multiplier(&self, horizon: Time) -> f64 {
+        let end = horizon.as_secs();
+        assert!(end > 0.0, "horizon must be positive");
+        let step = 60.0f64.min(end);
+        let mut sum = 0.0;
+        let mut t = step / 2.0;
+        let mut count = 0usize;
+        while t < end {
+            sum += self.multiplier(Time::secs(t));
+            count += 1;
+            t += step;
+        }
+        sum / count.max(1) as f64
+    }
+}
+
+/// Conference-day profile by hour of day.
+fn conference_hour(h: f64) -> f64 {
+    match h {
+        _ if h < 8.0 => 0.04,  // night
+        _ if h < 9.0 => 1.5,   // arrival & registration
+        _ if h < 10.5 => 1.2,  // morning session
+        _ if h < 11.0 => 3.0,  // coffee break
+        _ if h < 12.5 => 1.2,  // late-morning session
+        _ if h < 14.0 => 2.2,  // lunch
+        _ if h < 15.5 => 1.2,  // afternoon session
+        _ if h < 16.0 => 3.0,  // coffee break
+        _ if h < 17.5 => 1.2,  // late session
+        _ if h < 19.5 => 1.8,  // reception / demos
+        _ => 0.25,             // evening
+    }
+}
+
+/// Campus profile by hour of day and weekday flag.
+fn campus_hour(h: f64, weekday: bool) -> f64 {
+    if !weekday {
+        return 0.12;
+    }
+    match h {
+        _ if h < 8.0 => 0.05,
+        _ if h < 18.0 => 1.2, // classes and labs
+        _ if h < 22.0 => 0.45,
+        _ => 0.1,
+    }
+}
+
+/// City profile: two commute peaks and an evening social peak.
+fn city_hour(h: f64) -> f64 {
+    match h {
+        _ if h < 7.0 => 0.05,
+        _ if h < 9.0 => 1.5,  // morning commute
+        _ if h < 17.0 => 0.5,
+        _ if h < 19.0 => 1.5, // evening commute
+        _ if h < 23.0 => 1.0, // bars & restaurants
+        _ => 0.15,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnet_temporal::Dur;
+
+    #[test]
+    fn flat_is_one_everywhere() {
+        for t in [0.0, 1e3, 1e6] {
+            assert_eq!(Schedule::Flat.multiplier(Time::secs(t)), 1.0);
+        }
+        assert_eq!(Schedule::Flat.mean_multiplier(Time::secs(1e5)), 1.0);
+    }
+
+    #[test]
+    fn conference_peaks_at_breaks() {
+        let s = Schedule::Conference;
+        let coffee = s.multiplier(Time::ZERO + Dur::hours(10.75));
+        let night = s.multiplier(Time::ZERO + Dur::hours(3.0));
+        let session = s.multiplier(Time::ZERO + Dur::hours(9.5));
+        assert!(coffee > session && session > night);
+        assert_eq!(coffee, 3.0);
+    }
+
+    #[test]
+    fn multipliers_bounded_by_max() {
+        for s in [
+            Schedule::Flat,
+            Schedule::Conference,
+            Schedule::Campus,
+            Schedule::City,
+        ] {
+            let max = s.max_multiplier();
+            for i in 0..(7 * 24 * 4) {
+                let t = Time::secs(i as f64 * 900.0);
+                let m = s.multiplier(t);
+                assert!(m > 0.0 && m <= max + 1e-12, "{s:?} at {t}: {m} > {max}");
+            }
+        }
+    }
+
+    #[test]
+    fn campus_weekend_is_quiet() {
+        let s = Schedule::Campus;
+        // day 5 (Saturday) noon vs day 1 (Tuesday) noon
+        let weekend = s.multiplier(Time::ZERO + Dur::days(5.0) + Dur::hours(12.0));
+        let weekday = s.multiplier(Time::ZERO + Dur::days(1.0) + Dur::hours(12.0));
+        assert!(weekend < 0.2 * weekday);
+    }
+
+    #[test]
+    fn schedule_repeats_daily() {
+        let s = Schedule::Conference;
+        let a = s.multiplier(Time::ZERO + Dur::hours(10.75));
+        let b = s.multiplier(Time::ZERO + Dur::days(2.0) + Dur::hours(10.75));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_multiplier_sane() {
+        for s in [Schedule::Conference, Schedule::Campus, Schedule::City] {
+            let mean = s.mean_multiplier(Time::ZERO + Dur::days(7.0));
+            assert!(mean > 0.0 && mean < s.max_multiplier());
+        }
+        // conference mean over a full day is well below the coffee peak and
+        // above the night floor.
+        let m = Schedule::Conference.mean_multiplier(Time::ZERO + Dur::days(1.0));
+        assert!(m > 0.3 && m < 1.5, "mean {m}");
+    }
+}

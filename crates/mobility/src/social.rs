@@ -1,0 +1,164 @@
+//! Pairwise contact-intensity structure.
+//!
+//! The paper's §3.4 lists *homogeneity* as the key simplification of the
+//! random model: real people meet "according to their habits and the
+//! communities of interest that they share". The generator therefore draws
+//! per-pair intensities from a community structure (same-community pairs
+//! meet `community_weight`× more often) combined with per-node sociability
+//! multipliers (log-normal), which reproduces the skewed per-node contact
+//! counts visible in Figure 6.
+
+use rand::Rng;
+
+/// Per-pair relative contact weights for the internal population.
+#[derive(Debug, Clone)]
+pub struct SocialStructure {
+    community: Vec<u32>,
+    sociability: Vec<f64>,
+    community_weight: f64,
+}
+
+impl SocialStructure {
+    /// A fully homogeneous population (every pair weight 1) — the random
+    /// temporal network assumption.
+    pub fn homogeneous(n: u32) -> SocialStructure {
+        SocialStructure {
+            community: vec![0; n as usize],
+            sociability: vec![1.0; n as usize],
+            community_weight: 1.0,
+        }
+    }
+
+    /// A population of `n` nodes split round-robin into `communities`
+    /// groups; same-group pairs weigh `community_weight` (≥ 1), others 1.
+    /// Sociabilities are `exp(σ·Z)` with `Z` standard normal (median 1).
+    pub fn with_communities<R: Rng>(
+        n: u32,
+        communities: u32,
+        community_weight: f64,
+        sociability_sigma: f64,
+        rng: &mut R,
+    ) -> SocialStructure {
+        assert!(n >= 1, "population must be non-empty");
+        assert!(communities >= 1, "need at least one community");
+        assert!(community_weight >= 1.0, "community weight must be >= 1");
+        assert!(sociability_sigma >= 0.0, "sigma must be non-negative");
+        let community = (0..n).map(|i| i % communities).collect();
+        let sociability = (0..n)
+            .map(|_| (sociability_sigma * standard_normal(rng)).exp())
+            .collect();
+        SocialStructure {
+            community,
+            sociability,
+            community_weight,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.community.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.community.is_empty()
+    }
+
+    /// The relative weight of the unordered pair `(u, v)`.
+    pub fn weight(&self, u: u32, v: u32) -> f64 {
+        assert!(u != v, "no self-pairs");
+        let base = self.sociability[u as usize] * self.sociability[v as usize];
+        if self.community[u as usize] == self.community[v as usize] {
+            base * self.community_weight
+        } else {
+            base
+        }
+    }
+
+    /// The sum of weights over all unordered pairs (normalization constant).
+    pub fn total_weight(&self) -> f64 {
+        let n = self.len() as u32;
+        let mut sum = 0.0;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                sum += self.weight(u, v);
+            }
+        }
+        sum
+    }
+
+    /// The sociability multiplier of one node.
+    pub fn sociability(&self, u: u32) -> f64 {
+        self.sociability[u as usize]
+    }
+}
+
+/// Standard normal via Box–Muller (keeps the dependency surface at `rand`
+/// alone; no `rand_distr`).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn homogeneous_weights_are_one() {
+        let s = SocialStructure::homogeneous(5);
+        assert_eq!(s.weight(0, 4), 1.0);
+        assert_eq!(s.total_weight(), 10.0);
+    }
+
+    #[test]
+    fn community_pairs_weigh_more() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = SocialStructure::with_communities(10, 2, 5.0, 0.0, &mut rng);
+        // round robin: 0 and 2 share community 0; 0 and 1 do not.
+        assert_eq!(s.weight(0, 2), 5.0);
+        assert_eq!(s.weight(0, 1), 1.0);
+    }
+
+    #[test]
+    fn weight_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = SocialStructure::with_communities(20, 4, 3.0, 0.8, &mut rng);
+        for u in 0..20 {
+            for v in (u + 1)..20 {
+                assert_eq!(s.weight(u, v), s.weight(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn sociability_skews_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = SocialStructure::with_communities(200, 1, 1.0, 1.0, &mut rng);
+        // with σ = 1 the weights must vary by orders of magnitude
+        let mut weights: Vec<f64> = (1..200).map(|v| s.weight(0, v)).collect();
+        weights.sort_by(f64::total_cmp);
+        assert!(weights[198] / weights[0] > 10.0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-pairs")]
+    fn self_pair_rejected() {
+        let s = SocialStructure::homogeneous(3);
+        let _ = s.weight(1, 1);
+    }
+}

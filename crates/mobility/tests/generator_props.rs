@@ -1,0 +1,104 @@
+//! Property tests of the synthetic-trace generator: every generated trace
+//! respects its spec's structural constraints regardless of parameters.
+
+use omnet_mobility::{DurationModel, GatheringSpec, MobilitySpec, Schedule};
+use omnet_temporal::Dur;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = MobilitySpec> {
+    (
+        3u32..15,          // internal
+        0u32..10,          // external
+        1u32..4,           // communities
+        0u32..3,           // schedule selector
+        50u32..800,        // target internal contacts
+        0u32..200,         // target external contacts
+        0u32..40,          // miss probability (percent, < 40)
+        prop::option::of((5u32..40, 3u32..8)), // gatherings
+    )
+        .prop_map(
+            |(internal, external, communities, sched, tgt_i, tgt_e, miss, gath)| MobilitySpec {
+                name: "prop",
+                internal,
+                external,
+                duration: Dur::hours(12.0),
+                granularity: Dur::mins(2.0),
+                communities,
+                community_weight: 3.0,
+                sociability_sigma: 0.5,
+                target_internal_contacts: tgt_i as f64,
+                target_external_contacts: tgt_e as f64,
+                schedule: match sched {
+                    0 => Schedule::Flat,
+                    1 => Schedule::Conference,
+                    _ => Schedule::City,
+                },
+                durations: DurationModel::conference(),
+                external_durations: DurationModel::new(0.9, 1.5, Dur::hours(1.0)),
+                miss_probability: miss as f64 / 100.0,
+                gatherings: gath.map(|(events, size)| GatheringSpec {
+                    events_per_day: events as f64,
+                    group_size: size,
+                }),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_traces_respect_the_spec(spec in spec_strategy(), seed in 0u64..1000) {
+        let trace = spec.generate(seed);
+        // universe and split
+        prop_assert_eq!(trace.num_nodes(), spec.internal + spec.external);
+        prop_assert_eq!(trace.num_internal(), spec.internal);
+        // window
+        prop_assert_eq!(trace.span().duration(), spec.duration);
+        let g = spec.granularity.as_secs();
+        for c in trace.contacts() {
+            // inside the window
+            prop_assert!(c.start() >= trace.span().start);
+            prop_assert!(c.end() <= trace.span().end);
+            // grid-aligned starts
+            let s = c.start().as_secs();
+            prop_assert!((s / g - (s / g).round()).abs() < 1e-9, "start {s} off-grid");
+            // no external-external contacts
+            prop_assert!(
+                trace.is_internal(c.a) || trace.is_internal(c.b),
+                "external pair {:?}", c
+            );
+        }
+        // determinism
+        let again = spec.generate(seed);
+        prop_assert_eq!(trace.contacts(), again.contacts());
+    }
+
+    #[test]
+    fn volume_scales_with_target(seed in 0u64..50) {
+        let base = MobilitySpec {
+            name: "scale",
+            internal: 10,
+            external: 0,
+            duration: Dur::hours(12.0),
+            granularity: Dur::mins(2.0),
+            communities: 2,
+            community_weight: 2.0,
+            sociability_sigma: 0.3,
+            target_internal_contacts: 200.0,
+            target_external_contacts: 0.0,
+            schedule: Schedule::Flat,
+            durations: DurationModel::conference(),
+            external_durations: DurationModel::conference(),
+            miss_probability: 0.0,
+            gatherings: None,
+        };
+        let small = base.generate(seed).num_contacts();
+        let big_spec = MobilitySpec {
+            target_internal_contacts: 800.0,
+            ..base
+        };
+        let big = big_spec.generate(seed).num_contacts();
+        prop_assert!(big > 2 * small, "4x target gave {big} vs {small}");
+    }
+}

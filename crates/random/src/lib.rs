@@ -1,0 +1,40 @@
+//! Random temporal networks (§3 of the CoNEXT'07 paper): the discrete and
+//! continuous models, the closed-form phase-transition theory behind
+//! Figures 1–3, and the Monte-Carlo / exact-combinatorial machinery that
+//! validates it.
+//!
+//! # Example: the phase transition, empirically
+//!
+//! ```
+//! use omnet_random::{budgets, constrained_path_probability, theory, DiscreteModel};
+//! use omnet_random::theory::ContactCase;
+//!
+//! let n = 300;
+//! let lambda = 1.0;
+//! let model = DiscreteModel::new(n, lambda);
+//! let m = theory::phase_maximum(ContactCase::Short, lambda).unwrap();
+//! let gamma = theory::gamma_star(ContactCase::Short, lambda).unwrap();
+//!
+//! // Super-critical delay budget: constrained paths exist almost surely.
+//! let (t, k) = budgets(n, 3.0 / m, gamma);
+//! let p = constrained_path_probability(model, ContactCase::Short, t, k, 20, 1);
+//! assert!(p > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod modulated;
+pub mod montecarlo;
+pub mod renewal;
+pub mod theory;
+
+pub use model::{ContinuousModel, DiscreteModel, SlotEdges};
+pub use modulated::ModulatedModel;
+pub use renewal::{InterContactLaw, RenewalModel};
+pub use montecarlo::{
+    budgets, constrained_path_probability, delay_optimal_stats, estimate_optimal_path,
+    ln_expected_path_count, OptimalPathEstimate,
+};
+pub use theory::ContactCase;

@@ -1,0 +1,276 @@
+//! Random temporal network models (§3.1).
+//!
+//! * [`DiscreteModel`] — a sequence of independent uniform random graphs
+//!   `G(N, p = λ/N)`, one per time slot (the generalization of Erdős–Rényi
+//!   of §3.1.1);
+//! * [`ContinuousModel`] — per-pair Poisson contact processes (§3.1.2),
+//!   generated as instantaneous interval contacts so the trace machinery of
+//!   `omnet-temporal`/`omnet-core` applies unchanged.
+
+use omnet_temporal::{Trace, TraceBuilder};
+use rand::Rng;
+
+/// One slot of a discrete random temporal network: the edges present.
+pub type SlotEdges = Vec<(u32, u32)>;
+
+/// The discrete-time model: each slot, every unordered pair is in contact
+/// independently with probability `p = λ/N`.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscreteModel {
+    /// Number of nodes `N`.
+    pub n: usize,
+    /// Contact rate λ: the expected number of contacts per node per slot is
+    /// `(N−1)·λ/N ≈ λ`.
+    pub lambda: f64,
+}
+
+impl DiscreteModel {
+    /// Creates the model; requires `n >= 2` and `0 < λ <= n` (so that
+    /// `p <= 1`).
+    pub fn new(n: usize, lambda: f64) -> DiscreteModel {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(
+            lambda > 0.0 && lambda <= n as f64,
+            "contact rate must satisfy 0 < λ <= N"
+        );
+        DiscreteModel { n, lambda }
+    }
+
+    /// The per-pair contact probability `p = λ/N`.
+    pub fn edge_probability(&self) -> f64 {
+        self.lambda / self.n as f64
+    }
+
+    /// Samples the edge set of one slot.
+    ///
+    /// Uses geometric skipping over the `N(N−1)/2` pair indices, so the cost
+    /// is proportional to the expected number of edges (`≈ λN/2`), not to
+    /// the number of pairs.
+    pub fn sample_slot<R: Rng>(&self, rng: &mut R) -> SlotEdges {
+        let p = self.edge_probability();
+        let total = self.n * (self.n - 1) / 2;
+        let mut edges = Vec::new();
+        if p >= 1.0 {
+            for i in 0..self.n as u32 {
+                for j in (i + 1)..self.n as u32 {
+                    edges.push((i, j));
+                }
+            }
+            return edges;
+        }
+        let ln_q = (1.0 - p).ln(); // p < 1 here, so ln_q is finite and negative
+        let mut idx: usize = 0;
+        loop {
+            // geometric skip: number of failures before the next success
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let skip = (u.ln() / ln_q).floor() as usize;
+            idx = match idx.checked_add(skip) {
+                Some(v) => v,
+                None => break,
+            };
+            if idx >= total {
+                break;
+            }
+            edges.push(pair_from_index(self.n, idx));
+            idx += 1;
+        }
+        edges
+    }
+
+    /// Samples `slots` consecutive slot graphs.
+    pub fn sample<R: Rng>(&self, slots: usize, rng: &mut R) -> Vec<SlotEdges> {
+        (0..slots).map(|_| self.sample_slot(rng)).collect()
+    }
+
+    /// Materializes slot graphs as an interval-contact trace: the edge of
+    /// slot `t` becomes the contact `[t·slot, (t+1)·slot]`. Consecutive
+    /// slots touch, so the interval-based path algebra reproduces the
+    /// *long-contact* semantics (`t_{i+1} ≥ t_i`), which is also the
+    /// semantics of the empirical methodology (§4.2).
+    pub fn to_trace(&self, slots: &[SlotEdges], slot_secs: f64) -> Trace {
+        assert!(slot_secs > 0.0, "slot duration must be positive");
+        let mut b = TraceBuilder::new().num_nodes(self.n as u32).window(
+            omnet_temporal::Interval::secs(0.0, slots.len().max(1) as f64 * slot_secs),
+        );
+        for (t, edges) in slots.iter().enumerate() {
+            let s = t as f64 * slot_secs;
+            for &(u, v) in edges {
+                b.push(omnet_temporal::Contact::secs(u, v, s, s + slot_secs));
+            }
+        }
+        b.build()
+    }
+}
+
+/// Maps a flat pair index in `0..N(N−1)/2` to the unordered pair `(i, j)`,
+/// enumerating `(0,1), (0,2), …, (0,N−1), (1,2), …`.
+fn pair_from_index(n: usize, idx: usize) -> (u32, u32) {
+    debug_assert!(idx < n * (n - 1) / 2);
+    // Row i starts at offset i*n - i*(i+1)/2 - i… solve incrementally.
+    let mut i = 0usize;
+    let mut offset = 0usize;
+    loop {
+        let row = n - 1 - i;
+        if idx < offset + row {
+            let j = i + 1 + (idx - offset);
+            return (i as u32, j as u32);
+        }
+        offset += row;
+        i += 1;
+    }
+}
+
+/// The continuous-time model: every unordered pair meets at the instants of
+/// an independent Poisson process of rate `λ/N` per unit time, so each node
+/// takes part in `≈ λ` contacts per unit time. Contacts are instantaneous.
+#[derive(Debug, Clone, Copy)]
+pub struct ContinuousModel {
+    /// Number of nodes `N`.
+    pub n: usize,
+    /// Per-node contact rate λ per unit time.
+    pub lambda: f64,
+}
+
+impl ContinuousModel {
+    /// Creates the model; requires `n >= 2` and `λ > 0`.
+    pub fn new(n: usize, lambda: f64) -> ContinuousModel {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(lambda > 0.0, "contact rate must be positive");
+        ContinuousModel { n, lambda }
+    }
+
+    /// Generates all contacts in `[0, horizon)` as a trace of instantaneous
+    /// contacts.
+    ///
+    /// The superposition of all pair processes is a Poisson process of rate
+    /// `N(N−1)/2 · λ/N = (N−1)λ/2` whose events pick a uniform pair, which
+    /// is how the sampling is implemented (one exponential stream instead of
+    /// `N²/2`).
+    pub fn generate<R: Rng>(&self, horizon: f64, rng: &mut R) -> Trace {
+        assert!(horizon > 0.0, "horizon must be positive");
+        let total_rate = (self.n - 1) as f64 * self.lambda / 2.0;
+        let mut b = TraceBuilder::new()
+            .num_nodes(self.n as u32)
+            .window(omnet_temporal::Interval::secs(0.0, horizon));
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            t += -u.ln() / total_rate;
+            if t >= horizon {
+                break;
+            }
+            let pair_count = self.n * (self.n - 1) / 2;
+            let idx = rng.gen_range(0..pair_count);
+            let (i, j) = pair_from_index(self.n, idx);
+            b.push(omnet_temporal::Contact::secs(i, j, t, t));
+        }
+        b.build()
+    }
+
+    /// Expected number of contacts in `[0, horizon)`.
+    pub fn expected_contacts(&self, horizon: f64) -> f64 {
+        (self.n - 1) as f64 * self.lambda / 2.0 * horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnet_temporal::Time;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_index_enumeration_is_bijective() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            let (i, j) = pair_from_index(n, idx);
+            assert!(i < j && (j as usize) < n);
+            assert!(seen.insert((i, j)));
+        }
+        assert_eq!(seen.len(), 21);
+        assert_eq!(pair_from_index(n, 0), (0, 1));
+        assert_eq!(pair_from_index(n, 5), (0, 6));
+        assert_eq!(pair_from_index(n, 6), (1, 2));
+        assert_eq!(pair_from_index(n, 20), (5, 6));
+    }
+
+    #[test]
+    fn slot_edge_count_matches_expectation() {
+        let m = DiscreteModel::new(200, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0usize;
+        let reps = 400;
+        for _ in 0..reps {
+            total += m.sample_slot(&mut rng).len();
+        }
+        let mean = total as f64 / reps as f64;
+        // expected λ(N−1)/2 = 1.5·199/2 = 149.25
+        let expected = 1.5 * 199.0 / 2.0;
+        assert!(
+            (mean - expected).abs() < 0.05 * expected,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn slot_edges_are_valid_pairs() {
+        let m = DiscreteModel::new(50, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            for (i, j) in m.sample_slot(&mut rng) {
+                assert!(i < j && j < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_limit_full_graph() {
+        let m = DiscreteModel::new(6, 6.0); // p = 1
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.sample_slot(&mut rng).len(), 15);
+    }
+
+    #[test]
+    fn to_trace_layout() {
+        let m = DiscreteModel::new(4, 2.0);
+        let slots = vec![vec![(0u32, 1u32)], vec![], vec![(1, 2), (2, 3)]];
+        let t = m.to_trace(&slots, 10.0);
+        assert_eq!(t.num_contacts(), 3);
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.span(), omnet_temporal::Interval::secs(0.0, 30.0));
+        let c = t.contacts()[0];
+        assert_eq!(c.start(), Time::secs(0.0));
+        assert_eq!(c.end(), Time::secs(10.0));
+        let last = t.contacts()[2];
+        assert_eq!(last.start(), Time::secs(20.0));
+    }
+
+    #[test]
+    fn continuous_contact_count_matches_expectation() {
+        let m = ContinuousModel::new(60, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let horizon = 50.0;
+        let t = m.generate(horizon, &mut rng);
+        let expected = m.expected_contacts(horizon); // 59/2*50 = 1475
+        let got = t.num_contacts() as f64;
+        assert!(
+            (got - expected).abs() < 0.1 * expected,
+            "got {got} vs {expected}"
+        );
+        // instantaneous contacts inside the horizon
+        assert!(t
+            .contacts()
+            .iter()
+            .all(|c| c.duration() == omnet_temporal::Dur::ZERO
+                && c.start() >= Time::ZERO
+                && c.end() <= Time::secs(horizon)));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < λ <= N")]
+    fn discrete_rejects_p_above_one() {
+        let _ = DiscreteModel::new(4, 5.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Non-stationary random temporal networks (§3.4, "Stationarity").
+//!
+//! Human traces alternate dense, highly mobile periods with sparse, slowly
+//! varying ones (days vs nights). The paper conjectures this modulation
+//! stretches the *delay* of optimal paths but hardly changes their *hop
+//! count*. [`ModulatedModel`] makes the conjecture testable: a discrete
+//! random temporal network whose contact rate follows a deterministic
+//! high/low duty cycle with a prescribed time-average.
+
+use crate::model::{DiscreteModel, SlotEdges};
+use crate::montecarlo::relax_slot;
+use crate::theory::ContactCase;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A discrete model whose per-slot rate alternates between `lambda_high`
+/// (for `duty · period` slots) and `lambda_low` (for the rest).
+#[derive(Debug, Clone, Copy)]
+pub struct ModulatedModel {
+    /// Number of nodes.
+    pub n: usize,
+    /// Rate during the active phase.
+    pub lambda_high: f64,
+    /// Rate during the quiet phase.
+    pub lambda_low: f64,
+    /// Cycle length in slots.
+    pub period: usize,
+    /// Fraction of the cycle spent in the active phase, in `(0, 1]`.
+    pub duty: f64,
+}
+
+impl ModulatedModel {
+    /// Creates the model; validates all parameters.
+    pub fn new(
+        n: usize,
+        lambda_high: f64,
+        lambda_low: f64,
+        period: usize,
+        duty: f64,
+    ) -> ModulatedModel {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(
+            lambda_high > 0.0 && lambda_high <= n as f64,
+            "high rate out of range"
+        );
+        assert!(
+            lambda_low >= 0.0 && lambda_low <= n as f64,
+            "low rate out of range"
+        );
+        assert!(period >= 1, "period must be at least one slot");
+        assert!(duty > 0.0 && duty <= 1.0, "duty cycle in (0, 1]");
+        ModulatedModel {
+            n,
+            lambda_high,
+            lambda_low,
+            period,
+            duty,
+        }
+    }
+
+    /// A modulated model with the same time-average rate as a stationary
+    /// model of rate `lambda_mean`: the active phase runs at
+    /// `lambda_mean · boost`, the quiet phase is scaled so the duty-weighted
+    /// mean stays `lambda_mean`.
+    pub fn with_mean(n: usize, lambda_mean: f64, boost: f64, period: usize, duty: f64) -> ModulatedModel {
+        assert!(boost >= 1.0, "boost must be at least 1");
+        let high = lambda_mean * boost;
+        let low = (lambda_mean - duty * high) / (1.0 - duty).max(1e-12);
+        assert!(
+            low >= 0.0,
+            "boost {boost} with duty {duty} would need a negative quiet rate"
+        );
+        ModulatedModel::new(n, high, low.max(0.0), period, duty)
+    }
+
+    /// The time-average contact rate.
+    pub fn mean_rate(&self) -> f64 {
+        self.duty * self.lambda_high + (1.0 - self.duty) * self.lambda_low
+    }
+
+    /// The rate in force during slot `t`.
+    pub fn rate_at(&self, t: usize) -> f64 {
+        let phase = (t % self.period) as f64 / self.period as f64;
+        if phase < self.duty {
+            self.lambda_high
+        } else {
+            self.lambda_low
+        }
+    }
+
+    /// Samples the edges of slot `t`.
+    pub fn sample_slot(&self, t: usize, rng: &mut StdRng) -> SlotEdges {
+        let rate = self.rate_at(t);
+        if rate <= 0.0 {
+            return Vec::new();
+        }
+        DiscreteModel::new(self.n, rate).sample_slot(rng)
+    }
+
+    /// Floods from node 0 toward node `N−1` and reports the delay-optimal
+    /// path's `(delay_slots, hops)` — the modulated counterpart of
+    /// [`crate::delay_optimal_stats`]. The message is created at a uniform
+    /// random phase of the cycle, so night stalls are sampled fairly.
+    pub fn delay_optimal_stats(
+        &self,
+        case: ContactCase,
+        max_slots: usize,
+        rng: &mut StdRng,
+    ) -> Option<(usize, u32)> {
+        use rand::Rng as _;
+        let dest = self.n - 1;
+        let mut labels = vec![u32::MAX; self.n];
+        labels[0] = 0;
+        let phase = rng.gen_range(0..self.period);
+        for slot in 1..=max_slots {
+            let edges = self.sample_slot(phase + slot - 1, rng);
+            relax_slot(&mut labels, &edges, case);
+            if labels[dest] != u32::MAX {
+                return Some((slot, labels[dest]));
+            }
+        }
+        None
+    }
+
+    /// Mean `(delay/lnN, hops/lnN)` over `reps` floods, skipping misses.
+    pub fn estimate_optimal_path(
+        &self,
+        case: ContactCase,
+        max_slots: usize,
+        reps: usize,
+        seed: u64,
+    ) -> crate::OptimalPathEstimate {
+        assert!(reps > 0, "need at least one replication");
+        let results = omnet_analysis::par_map(reps, |r| {
+            let mut rng =
+                StdRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            self.delay_optimal_stats(case, max_slots, &mut rng)
+        });
+        let ln_n = (self.n as f64).ln();
+        let mut d = 0.0;
+        let mut h = 0.0;
+        let mut hits = 0usize;
+        for r in results.iter().flatten() {
+            d += r.0 as f64;
+            h += r.1 as f64;
+            hits += 1;
+        }
+        crate::OptimalPathEstimate {
+            delay_coefficient: if hits > 0 { d / hits as f64 / ln_n } else { f64::NAN },
+            hop_coefficient: if hits > 0 { h / hits as f64 / ln_n } else { f64::NAN },
+            misses: reps - hits,
+            hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_rate_preserved_by_with_mean() {
+        let m = ModulatedModel::with_mean(100, 1.0, 2.5, 24, 0.4);
+        assert!((m.mean_rate() - 1.0).abs() < 1e-12);
+        assert!((m.lambda_high - 2.5).abs() < 1e-12);
+        assert!(m.lambda_low < m.lambda_high);
+    }
+
+    #[test]
+    fn rate_follows_duty_cycle() {
+        let m = ModulatedModel::new(50, 2.0, 0.1, 10, 0.3);
+        assert_eq!(m.rate_at(0), 2.0);
+        assert_eq!(m.rate_at(2), 2.0);
+        assert_eq!(m.rate_at(3), 0.1);
+        assert_eq!(m.rate_at(9), 0.1);
+        assert_eq!(m.rate_at(10), 2.0); // wraps
+    }
+
+    #[test]
+    fn quiet_phase_produces_fewer_edges() {
+        let m = ModulatedModel::new(200, 3.0, 0.1, 10, 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut high = 0usize;
+        let mut low = 0usize;
+        for cycle in 0..40 {
+            high += m.sample_slot(cycle * 10, &mut rng).len();
+            low += m.sample_slot(cycle * 10 + 7, &mut rng).len();
+        }
+        assert!(high > 10 * low.max(1), "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn zero_low_rate_allowed() {
+        let m = ModulatedModel::new(30, 1.0, 0.0, 4, 0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(m.sample_slot(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn modulated_path_stats_eventually_connect() {
+        let m = ModulatedModel::with_mean(300, 1.0, 3.0, 20, 0.3);
+        let est = m.estimate_optimal_path(ContactCase::Short, 600, 20, 6);
+        assert_eq!(est.misses, 0);
+        assert!(est.hop_coefficient > 0.0);
+        assert!(est.delay_coefficient > 0.0);
+    }
+
+    #[test]
+    fn hop_count_insensitive_delay_inflated() {
+        // The §3.4 conjecture, in miniature: same mean rate, bursty vs
+        // stationary — the delay coefficient grows, the hop coefficient
+        // stays in the same range.
+        let n = 400;
+        let stationary = crate::estimate_optimal_path(
+            crate::DiscreteModel::new(n, 0.5),
+            ContactCase::Short,
+            800,
+            30,
+            11,
+        );
+        let bursty = ModulatedModel::with_mean(n, 0.5, 4.0, 40, 0.25)
+            .estimate_optimal_path(ContactCase::Short, 800, 30, 11);
+        assert_eq!(stationary.misses, 0);
+        assert_eq!(bursty.misses, 0);
+        assert!(
+            (bursty.hop_coefficient - stationary.hop_coefficient).abs()
+                < 0.5 * stationary.hop_coefficient,
+            "hops moved too much: {} vs {}",
+            bursty.hop_coefficient,
+            stationary.hop_coefficient
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! Monte-Carlo and exact-combinatorial validation of §3.
+//!
+//! Three instruments:
+//!
+//! * a slot-by-slot reachability dynamic program measuring whether a path
+//!   satisfying the logarithmic constraints (1) exists — the empirical side
+//!   of the phase transition (Figures 1–2);
+//! * flooding statistics of the *delay-optimal* path — its delay in slots
+//!   and its hop count, the empirical side of Figure 3;
+//! * the exact expected number of constrained paths `E[Π_N]` in closed
+//!   combinatorial form — a numeric check of Lemma 1's growth exponent.
+
+use crate::model::DiscreteModel;
+use crate::theory::ContactCase;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hop-count labels after flooding one slot graph.
+///
+/// `labels[v]` is the minimum number of contacts needed to reach `v` so far;
+/// `u32::MAX` marks "not reached".
+pub(crate) fn relax_slot(labels: &mut [u32], edges: &[(u32, u32)], case: ContactCase) {
+    match case {
+        ContactCase::Short => {
+            // One contact per slot per path: relax strictly from the labels
+            // as they stood when the slot began.
+            let before = labels.to_vec();
+            for &(u, v) in edges {
+                let (u, v) = (u as usize, v as usize);
+                if before[u] != u32::MAX && before[u] + 1 < labels[v] {
+                    labels[v] = before[u] + 1;
+                }
+                if before[v] != u32::MAX && before[v] + 1 < labels[u] {
+                    labels[u] = before[v] + 1;
+                }
+            }
+        }
+        ContactCase::Long => {
+            // Chains within the slot: relax to a fixpoint.
+            loop {
+                let mut changed = false;
+                for &(u, v) in edges {
+                    let (u, v) = (u as usize, v as usize);
+                    if labels[u] != u32::MAX && labels[u] + 1 < labels[v] {
+                        labels[v] = labels[u] + 1;
+                        changed = true;
+                    }
+                    if labels[v] != u32::MAX && labels[v] + 1 < labels[u] {
+                        labels[u] = labels[v] + 1;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Floods from node 0 toward node `N−1` and reports the delay-optimal
+/// path's `(delay_slots, hops)`: the first slot at which the destination is
+/// reached, and the minimum hop count at that moment. `None` if the
+/// destination stays unreached within `max_slots`.
+pub fn delay_optimal_stats(
+    model: DiscreteModel,
+    case: ContactCase,
+    max_slots: usize,
+    rng: &mut StdRng,
+) -> Option<(usize, u32)> {
+    let n = model.n;
+    let dest = n - 1;
+    let mut labels = vec![u32::MAX; n];
+    labels[0] = 0;
+    for slot in 1..=max_slots {
+        let edges = model.sample_slot(rng);
+        relax_slot(&mut labels, &edges, case);
+        if labels[dest] != u32::MAX {
+            return Some((slot, labels[dest]));
+        }
+    }
+    None
+}
+
+/// Monte-Carlo estimate of the probability that a path from node 0 to node
+/// `N−1` exists with delay ≤ `t_slots` **and** hop count ≤ `max_hops`
+/// (the constrained-path event of Lemma 1 / Corollary 1).
+pub fn constrained_path_probability(
+    model: DiscreteModel,
+    case: ContactCase,
+    t_slots: usize,
+    max_hops: u32,
+    reps: usize,
+    seed: u64,
+) -> f64 {
+    assert!(reps > 0, "need at least one replication");
+    let hits: usize = omnet_analysis::par_map(reps, |r| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let n = model.n;
+        let dest = n - 1;
+        let mut labels = vec![u32::MAX; n];
+        labels[0] = 0;
+        for _ in 1..=t_slots {
+            let edges = model.sample_slot(&mut rng);
+            relax_slot(&mut labels, &edges, case);
+            if labels[dest] <= max_hops {
+                return 1usize;
+            }
+        }
+        0usize
+    })
+    .into_iter()
+    .sum();
+    hits as f64 / reps as f64
+}
+
+/// Converts the `(τ, γ)` parametrization of constraint (1) into concrete
+/// slot and hop budgets for a network of `n` nodes:
+/// `t = ⌈τ ln N⌉`, `k = max(1, ⌊γ t⌋)`.
+pub fn budgets(n: usize, tau: f64, gamma: f64) -> (usize, u32) {
+    assert!(n >= 2 && tau > 0.0 && gamma > 0.0);
+    let t = (tau * (n as f64).ln()).ceil().max(1.0) as usize;
+    let k = ((gamma * t as f64).floor().max(1.0)) as u32;
+    (t, k)
+}
+
+/// Mean `(delay_slots / ln N, hops / ln N)` of the delay-optimal path over
+/// `reps` floods — the empirical points of Figure 3. Replications where the
+/// destination is never reached within `max_slots` are dropped (and counted
+/// in `misses`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalPathEstimate {
+    /// Mean delay divided by `ln N`.
+    pub delay_coefficient: f64,
+    /// Mean hop count divided by `ln N`.
+    pub hop_coefficient: f64,
+    /// Replications that never reached the destination.
+    pub misses: usize,
+    /// Replications that did.
+    pub hits: usize,
+}
+
+/// Estimates the delay/hop coefficients of the delay-optimal path.
+pub fn estimate_optimal_path(
+    model: DiscreteModel,
+    case: ContactCase,
+    max_slots: usize,
+    reps: usize,
+    seed: u64,
+) -> OptimalPathEstimate {
+    assert!(reps > 0, "need at least one replication");
+    let results = omnet_analysis::par_map(reps, |r| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        delay_optimal_stats(model, case, max_slots, &mut rng)
+    });
+    let ln_n = (model.n as f64).ln();
+    let mut d_sum = 0.0;
+    let mut h_sum = 0.0;
+    let mut hits = 0usize;
+    for r in results.iter().flatten() {
+        d_sum += r.0 as f64;
+        h_sum += r.1 as f64;
+        hits += 1;
+    }
+    OptimalPathEstimate {
+        delay_coefficient: if hits > 0 { d_sum / hits as f64 / ln_n } else { f64::NAN },
+        hop_coefficient: if hits > 0 { h_sum / hits as f64 / ln_n } else { f64::NAN },
+        misses: reps - hits,
+        hits,
+    }
+}
+
+/// Natural log of the exact expected number of paths from a fixed source to
+/// a fixed destination with delay ≤ `t_slots` and hop count ≤ `max_hops`
+/// (Lemma 1, computed in closed combinatorial form):
+///
+/// `E[Π] = Σ_{j=1..k}  (N−2)(N−3)…(N−j) · p^j · T_j` with
+/// `T_j = C(t, j)` (short: strictly increasing slot indices) or
+/// `T_j = C(t+j−1, j)` (long: non-decreasing slot indices).
+pub fn ln_expected_path_count(
+    case: ContactCase,
+    n: usize,
+    lambda: f64,
+    t_slots: usize,
+    max_hops: usize,
+) -> f64 {
+    assert!(n >= 2 && lambda > 0.0 && t_slots >= 1 && max_hops >= 1);
+    let ln_p = (lambda / n as f64).ln();
+    let mut terms: Vec<f64> = Vec::with_capacity(max_hops);
+    for j in 1..=max_hops {
+        // intermediates: (N-2)(N-3)...(N-j), i.e. j-1 factors
+        let mut ln_nodes = 0.0;
+        for step in 0..(j - 1) {
+            let factor = n as f64 - 2.0 - step as f64;
+            if factor <= 0.0 {
+                ln_nodes = f64::NEG_INFINITY;
+                break;
+            }
+            ln_nodes += factor.ln();
+        }
+        if ln_nodes == f64::NEG_INFINITY {
+            continue;
+        }
+        let ln_times = match case {
+            ContactCase::Short => {
+                if j > t_slots {
+                    continue; // no strictly increasing assignment
+                }
+                ln_choose(t_slots as f64, j as f64)
+            }
+            ContactCase::Long => ln_choose((t_slots + j - 1) as f64, j as f64),
+        };
+        terms.push(ln_nodes + j as f64 * ln_p + ln_times);
+    }
+    log_sum_exp(&terms)
+}
+
+/// `ln C(a, b)` via `ln Γ`.
+fn ln_choose(a: f64, b: f64) -> f64 {
+    ln_gamma(a + 1.0) - ln_gamma(b + 1.0) - ln_gamma(a - b + 1.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0` (g = 7, n = 9; ~15
+/// significant digits).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain is x > 0");
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+fn log_sum_exp(terms: &[f64]) -> f64 {
+    let m = terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + terms.iter().map(|t| (t - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for (n, f) in [(1u64, 1.0f64), (2, 1.0), (5, 24.0), (10, 362_880.0)] {
+            let got = ln_gamma(n as f64);
+            assert!(
+                (got - f.ln()).abs() < 1e-10,
+                "lnΓ({n}) = {got}, want {}",
+                f.ln()
+            );
+        }
+        // half-integer: Γ(1/2) = √π
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!((ln_choose(5.0, 2.0) - 10.0f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(10.0, 0.0) - 0.0).abs() < 1e-10);
+        assert!((ln_choose(52.0, 5.0) - 2_598_960.0f64.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn budgets_shapes() {
+        let (t, k) = budgets(1000, 2.0, 0.5);
+        assert_eq!(t, (2.0 * 1000f64.ln()).ceil() as usize);
+        assert_eq!(k, (0.5 * t as f64).floor() as u32);
+        let (_, k_min) = budgets(3, 0.1, 0.01);
+        assert_eq!(k_min, 1);
+    }
+
+    #[test]
+    fn relax_short_uses_one_hop_per_slot() {
+        let mut labels = vec![0u32, u32::MAX, u32::MAX];
+        // chain 0-1, 1-2 in the SAME slot: short case reaches only node 1.
+        relax_slot(&mut labels, &[(0, 1), (1, 2)], ContactCase::Short);
+        assert_eq!(labels, vec![0, 1, u32::MAX]);
+        // next slot, the second edge carries it on.
+        relax_slot(&mut labels, &[(1, 2)], ContactCase::Short);
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn relax_long_chains_within_slot() {
+        let mut labels = vec![0u32, u32::MAX, u32::MAX];
+        relax_slot(&mut labels, &[(1, 2), (0, 1)], ContactCase::Long);
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn supercritical_paths_found_subcritical_not() {
+        let n = 400;
+        let lambda = 1.0;
+        let model = DiscreteModel::new(n, lambda);
+        let m = theory::phase_maximum(ContactCase::Short, lambda).unwrap();
+        let gs = theory::gamma_star(ContactCase::Short, lambda).unwrap();
+        // comfortably supercritical: τ = 3/M
+        let (t, k) = budgets(n, 3.0 / m, gs);
+        let p_super =
+            constrained_path_probability(model, ContactCase::Short, t, k, 60, 7);
+        // comfortably subcritical: τ = 0.4/M (γ budget scaled along)
+        let (t2, k2) = budgets(n, 0.4 / m, gs);
+        let p_sub =
+            constrained_path_probability(model, ContactCase::Short, t2, k2, 60, 7);
+        assert!(
+            p_super > 0.8,
+            "supercritical probability too low: {p_super}"
+        );
+        assert!(p_sub < 0.2, "subcritical probability too high: {p_sub}");
+    }
+
+    #[test]
+    fn optimal_path_estimates_track_theory_short() {
+        // λ = 1, short contacts: delay coeff = 1/ln 2 ≈ 1.44, hop coeff =
+        // 1/(2 ln 2) ≈ 0.72. Finite-size effects at N = 800 are sizeable, so
+        // accept ±35%.
+        let n = 800;
+        let model = DiscreteModel::new(n, 1.0);
+        let est = estimate_optimal_path(model, ContactCase::Short, 200, 40, 13);
+        assert_eq!(est.misses, 0);
+        let want_d = theory::delay_coefficient(ContactCase::Short, 1.0);
+        let want_h = theory::hop_coefficient(ContactCase::Short, 1.0);
+        assert!(
+            (est.delay_coefficient - want_d).abs() < 0.35 * want_d,
+            "delay {} vs {want_d}",
+            est.delay_coefficient
+        );
+        assert!(
+            (est.hop_coefficient - want_h).abs() < 0.35 * want_h,
+            "hops {} vs {want_h}",
+            est.hop_coefficient
+        );
+    }
+
+    #[test]
+    fn expected_count_exponent_matches_lemma1() {
+        // Fix (τ, γ) and check that ln E[Π_N] / ln N converges to
+        // −1 + τ(γ ln λ + h(γ)) as N grows (Θ up to ln-power factors, so
+        // compare the slope between two large N values).
+        let lambda = 1.0;
+        let tau = 3.0;
+        let gamma = 0.5;
+        let theory_exp = theory::lemma1_exponent(ContactCase::Short, lambda, tau, gamma);
+        let measure = |n: usize| {
+            let (t, k) = budgets(n, tau, gamma);
+            ln_expected_path_count(ContactCase::Short, n, lambda, t, k as usize)
+        };
+        let (n1, n2) = (2_000usize, 60_000usize);
+        let slope = (measure(n2) - measure(n1)) / ((n2 as f64).ln() - (n1 as f64).ln());
+        assert!(
+            (slope - theory_exp).abs() < 0.25,
+            "slope {slope} vs theory {theory_exp}"
+        );
+    }
+
+    #[test]
+    fn expected_count_monotone_in_budgets() {
+        let base = ln_expected_path_count(ContactCase::Short, 500, 0.8, 20, 8);
+        assert!(ln_expected_path_count(ContactCase::Short, 500, 0.8, 30, 8) > base);
+        assert!(ln_expected_path_count(ContactCase::Short, 500, 0.8, 20, 12) > base);
+        // long contacts allow more time assignments than short
+        assert!(
+            ln_expected_path_count(ContactCase::Long, 500, 0.8, 20, 8) > base
+        );
+    }
+}

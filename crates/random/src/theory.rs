@@ -1,0 +1,325 @@
+//! Closed-form phase-transition theory (§3.2–3.3).
+//!
+//! For a random temporal network with contact rate λ, the expected number of
+//! paths with delay ≤ τ·ln N and hop count ≤ γ·τ·ln N grows like
+//! `N^(−1 + τ·(γ ln λ + f(γ)))` (Lemma 1), where `f = h` (binary entropy)
+//! in the short-contact case and `f = g` in the long-contact case. The sign
+//! of the exponent separates the sub- and super-critical phases; maximizing
+//! `γ ln λ + f(γ)` over γ yields the critical delay coefficient and the
+//! hop-count coefficient of the delay-optimal path plotted in Figures 1–3.
+
+/// Which per-slot forwarding model (§3.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContactCase {
+    /// At most one contact per time slot may be used by a path.
+    Short,
+    /// Any number of contacts may be chained inside one slot.
+    Long,
+}
+
+/// Binary entropy `h(x) = −x ln x − (1−x) ln(1−x)` on `[0, 1]`,
+/// with `h(0) = h(1) = 0`.
+pub fn binary_entropy(x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "binary entropy domain is [0,1]");
+    let term = |p: f64| if p <= 0.0 { 0.0 } else { -p * p.ln() };
+    term(x) + term(1.0 - x)
+}
+
+/// The long-contact counterpart `g(x) = (1+x) ln(1+x) − x ln x` on `x ≥ 0`,
+/// with `g(0) = 0`.
+pub fn g_function(x: f64) -> f64 {
+    assert!(x >= 0.0, "g is defined for non-negative x");
+    if x == 0.0 {
+        return 0.0;
+    }
+    (1.0 + x) * (1.0 + x).ln() - x * x.ln()
+}
+
+/// The phase function `γ ln λ + f(γ)` whose sign against `1/τ` decides the
+/// phase (Corollary 1). Domain: `γ ∈ [0, 1]` for `Short`, `γ ≥ 0` for
+/// `Long`.
+pub fn phase_value(case: ContactCase, lambda: f64, gamma: f64) -> f64 {
+    assert!(lambda > 0.0, "contact rate must be positive");
+    let f = match case {
+        ContactCase::Short => binary_entropy(gamma),
+        ContactCase::Long => g_function(gamma),
+    };
+    if gamma == 0.0 {
+        f
+    } else {
+        gamma * lambda.ln() + f
+    }
+}
+
+/// The maximum of the phase function over γ: `M = ln(1+λ)` (short) or
+/// `M = −ln(1−λ)` (long, λ < 1). `None` in the long case with λ ≥ 1, where
+/// the function increases without bound.
+pub fn phase_maximum(case: ContactCase, lambda: f64) -> Option<f64> {
+    assert!(lambda > 0.0, "contact rate must be positive");
+    match case {
+        ContactCase::Short => Some((1.0 + lambda).ln()),
+        ContactCase::Long => {
+            if lambda < 1.0 {
+                Some(-(1.0 - lambda).ln())
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The maximizing γ*: `λ/(1+λ)` (short) or `λ/(1−λ)` (long, λ < 1).
+pub fn gamma_star(case: ContactCase, lambda: f64) -> Option<f64> {
+    assert!(lambda > 0.0, "contact rate must be positive");
+    match case {
+        ContactCase::Short => Some(lambda / (1.0 + lambda)),
+        ContactCase::Long => {
+            if lambda < 1.0 {
+                Some(lambda / (1.0 - lambda))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The delay of the delay-optimal path divided by `ln N` (the critical τ):
+/// `1/ln(1+λ)` (short), `1/(−ln(1−λ))` (long λ < 1), and `0` in the
+/// almost-simultaneously-connected regime (long, λ > 1). At exactly λ = 1
+/// (long) the coefficient is also 0 in the large-N limit.
+pub fn delay_coefficient(case: ContactCase, lambda: f64) -> f64 {
+    match phase_maximum(case, lambda) {
+        Some(m) => 1.0 / m,
+        None => 0.0,
+    }
+}
+
+/// The hop count of the delay-optimal path divided by `ln N` (Figure 3):
+///
+/// ```
+/// use omnet_random::theory::{hop_coefficient, ContactCase};
+/// // paper §3.2.2's example: short contacts at λ = 0.5
+/// let k = hop_coefficient(ContactCase::Short, 0.5);
+/// assert!((k - 0.822).abs() < 1e-3);
+/// ```
+///
+/// * short: `λ / ((1+λ) ln(1+λ))`;
+/// * long, λ < 1: `λ / ((1−λ)(−ln(1−λ)))`;
+/// * long, λ > 1: `1 / ln λ` (paths inside the giant component);
+/// * long, λ = 1: `+∞` (the singularity visible in Figure 3).
+///
+/// Both cases converge to 1 as λ → 0: the hop count of the delay-optimal
+/// path becomes `ln N`, insensitive to the contact rate (§3.3).
+pub fn hop_coefficient(case: ContactCase, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "contact rate must be positive");
+    match case {
+        ContactCase::Short => lambda / ((1.0 + lambda) * (1.0 + lambda).ln()),
+        ContactCase::Long => {
+            if lambda < 1.0 {
+                lambda / ((1.0 - lambda) * -(1.0 - lambda).ln())
+            } else if lambda == 1.0 {
+                f64::INFINITY
+            } else {
+                1.0 / lambda.ln()
+            }
+        }
+    }
+}
+
+/// Lemma 1's growth exponent: `E[Π_N] = Θ(N^exponent)` with
+/// `exponent = −1 + τ (γ ln λ + f(γ))`.
+pub fn lemma1_exponent(case: ContactCase, lambda: f64, tau: f64, gamma: f64) -> f64 {
+    assert!(tau > 0.0, "delay coefficient must be positive");
+    -1.0 + tau * phase_value(case, lambda, gamma)
+}
+
+/// Corollary 1: `true` when `(τ, γ)` lies in the super-critical phase
+/// (`1/τ < γ ln λ + f(γ)`, expected path count diverging).
+pub fn supercritical(case: ContactCase, lambda: f64, tau: f64, gamma: f64) -> bool {
+    lemma1_exponent(case, lambda, tau, gamma) > 0.0
+}
+
+/// The super-critical γ-interval `[γ₁, γ₂]` for a given τ, found numerically
+/// by bisection on each side of γ* (empty when τ is sub-critical).
+pub fn gamma_interval(case: ContactCase, lambda: f64, tau: f64) -> Option<(f64, f64)> {
+    assert!(tau > 0.0, "delay coefficient must be positive");
+    let target = 1.0 / tau;
+    let hi_domain = match case {
+        ContactCase::Short => 1.0,
+        // the phase function grows like γ ln λ for λ>1 (unbounded) and is
+        // eventually decreasing for λ<=1; 64 safely brackets either way.
+        ContactCase::Long => 64.0,
+    };
+    let peak_g = match gamma_star(case, lambda) {
+        Some(gs) => gs.min(hi_domain),
+        None => hi_domain, // long, λ>=1: increasing; "peak" at right edge
+    };
+    if phase_value(case, lambda, peak_g) <= target {
+        return None;
+    }
+    let f = |g: f64| phase_value(case, lambda, g) - target;
+    let bisect = |mut lo: f64, mut hi: f64, rising: bool| {
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let v = f(mid);
+            if (v > 0.0) == rising {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+    // Left edge: f(0+) relative to target.
+    let g1 = if f(1e-12) >= 0.0 {
+        0.0
+    } else {
+        bisect(1e-12, peak_g, true)
+    };
+    // Right edge.
+    let g2 = if peak_g >= hi_domain || f(hi_domain) >= 0.0 {
+        hi_domain
+    } else {
+        bisect(peak_g, hi_domain, false)
+    };
+    Some((g1, g2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn entropy_endpoints_and_symmetry() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - std::f64::consts::LN_2).abs() < EPS);
+        assert!((binary_entropy(0.3) - binary_entropy(0.7)).abs() < EPS);
+    }
+
+    #[test]
+    fn g_values() {
+        assert_eq!(g_function(0.0), 0.0);
+        assert!((g_function(1.0) - 2.0 * std::f64::consts::LN_2).abs() < EPS);
+        // g is increasing
+        assert!(g_function(2.0) > g_function(1.0));
+    }
+
+    #[test]
+    fn short_case_maximum_at_gamma_star() {
+        for lambda in [0.5, 1.0, 1.5] {
+            let gs = gamma_star(ContactCase::Short, lambda).unwrap();
+            let m = phase_maximum(ContactCase::Short, lambda).unwrap();
+            assert!((phase_value(ContactCase::Short, lambda, gs) - m).abs() < EPS);
+            // nearby values are below the maximum
+            assert!(phase_value(ContactCase::Short, lambda, gs + 0.01) < m);
+            assert!(phase_value(ContactCase::Short, lambda, gs - 0.01) < m);
+        }
+    }
+
+    #[test]
+    fn long_case_maximum_below_one() {
+        let lambda = 0.5;
+        let gs = gamma_star(ContactCase::Long, lambda).unwrap();
+        assert!((gs - 1.0).abs() < EPS); // 0.5 / 0.5
+        let m = phase_maximum(ContactCase::Long, lambda).unwrap();
+        assert!((phase_value(ContactCase::Long, lambda, gs) - m).abs() < EPS);
+        assert!((m - std::f64::consts::LN_2).abs() < EPS); // -ln(0.5)
+    }
+
+    #[test]
+    fn long_case_unbounded_above_one() {
+        assert!(phase_maximum(ContactCase::Long, 1.5).is_none());
+        assert!(gamma_star(ContactCase::Long, 1.5).is_none());
+        // increasing without bound
+        assert!(
+            phase_value(ContactCase::Long, 1.5, 50.0)
+                > phase_value(ContactCase::Long, 1.5, 10.0)
+        );
+    }
+
+    #[test]
+    fn paper_numeric_examples() {
+        // Short, λ = 0.5: delay coefficient 1/ln 1.5 ≈ 2.466 ("t ≈ 2.47 ln N").
+        let tau = delay_coefficient(ContactCase::Short, 0.5);
+        assert!((tau - 2.466).abs() < 5e-3, "tau = {tau}");
+        // its hop coefficient γ*·τ = (1/3)·2.466 ≈ 0.822.
+        let k = hop_coefficient(ContactCase::Short, 0.5);
+        assert!((k - 0.8221).abs() < 5e-4, "k = {k}");
+        // Long, λ = 0.5: delay and hop coefficients both 1/ln 2 ≈ 1.443
+        // ("the same number of hops").
+        let tau_l = delay_coefficient(ContactCase::Long, 0.5);
+        let k_l = hop_coefficient(ContactCase::Long, 0.5);
+        assert!((tau_l - 1.4427).abs() < 5e-4);
+        assert!((k_l - tau_l).abs() < EPS);
+    }
+
+    #[test]
+    fn hop_coefficient_limits() {
+        // λ -> 0: both cases converge to 1 (k ≈ ln N, §3.3).
+        for case in [ContactCase::Short, ContactCase::Long] {
+            let k = hop_coefficient(case, 1e-6);
+            assert!((k - 1.0).abs() < 1e-4, "{case:?}: {k}");
+        }
+        // singularity at λ = 1 in the long case only
+        assert!(hop_coefficient(ContactCase::Long, 1.0).is_infinite());
+        assert!(hop_coefficient(ContactCase::Short, 1.0).is_finite());
+        // dense regime: long case ≈ ln N / ln λ
+        assert!((hop_coefficient(ContactCase::Long, std::f64::consts::E) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn supercritical_dichotomy() {
+        let lambda = 0.5;
+        let m = phase_maximum(ContactCase::Short, lambda).unwrap();
+        let gs = gamma_star(ContactCase::Short, lambda).unwrap();
+        // τ below critical: no γ is supercritical.
+        let tau = 0.9 / m;
+        for i in 1..100 {
+            let gamma = i as f64 / 100.0;
+            assert!(!supercritical(ContactCase::Short, lambda, tau, gamma));
+        }
+        // τ above critical: γ* is supercritical.
+        let tau = 1.1 / m;
+        assert!(supercritical(ContactCase::Short, lambda, tau, gs));
+    }
+
+    #[test]
+    fn gamma_interval_brackets_gamma_star() {
+        let lambda = 0.5;
+        let m = phase_maximum(ContactCase::Short, lambda).unwrap();
+        let gs = gamma_star(ContactCase::Short, lambda).unwrap();
+        let (g1, g2) = gamma_interval(ContactCase::Short, lambda, 1.2 / m).unwrap();
+        assert!(g1 < gs && gs < g2, "({g1}, {g2}) should bracket {gs}");
+        // boundary values sit on the threshold
+        let target = m / 1.2;
+        assert!((phase_value(ContactCase::Short, lambda, g1) - target).abs() < 1e-6);
+        assert!((phase_value(ContactCase::Short, lambda, g2) - target).abs() < 1e-6);
+        // subcritical τ: empty interval
+        assert!(gamma_interval(ContactCase::Short, lambda, 0.9 / m).is_none());
+    }
+
+    #[test]
+    fn gamma_interval_long_dense_reaches_domain_edge() {
+        // λ > 1, long contacts: any τ admits paths; interval extends to the
+        // domain edge on the right.
+        let (g1, g2) = gamma_interval(ContactCase::Long, 1.5, 0.05).unwrap();
+        assert!(g1 > 0.0);
+        assert_eq!(g2, 64.0);
+        // the left edge is near 1/(τ ln λ): γ ln λ ≈ 1/τ for large γ…
+        // the asymptote argument of §3.2.3.
+        let predicted = 1.0 / (0.05 * 1.5f64.ln());
+        assert!(g1 < predicted, "g1 = {g1} should undercut {predicted}");
+    }
+
+    #[test]
+    fn exponent_sign_matches_phase() {
+        let e_sub = lemma1_exponent(ContactCase::Short, 0.5, 0.5, 0.3);
+        assert!(e_sub < 0.0);
+        let gs = gamma_star(ContactCase::Short, 0.5).unwrap();
+        let e_super = lemma1_exponent(ContactCase::Short, 0.5, 5.0, gs);
+        assert!(e_super > 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Contemporaneous connectivity: the static graph the network forms at one
+//! instant.
+//!
+//! §3.2.3 explains the dense long-contact regime (λ > 1) through the giant
+//! component of the snapshot graph — "the network is essentially
+//! almost-simultaneously connected". These helpers measure that directly on
+//! any trace: connected components at an instant and the giant-component
+//! fraction over time.
+
+use crate::node::NodeId;
+use crate::time::Time;
+use crate::trace::Trace;
+
+/// Connected components of the snapshot graph at instant `t`, largest
+/// first. Isolated nodes appear as singleton components.
+pub fn snapshot_components(trace: &Trace, t: Time) -> Vec<Vec<NodeId>> {
+    let n = trace.num_nodes() as usize;
+    let adj = trace.snapshot(t);
+    let mut seen = vec![false; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut comp = Vec::new();
+        while let Some(u) = stack.pop() {
+            comp.push(NodeId(u as u32));
+            for v in &adj[u] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v.index());
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    components
+}
+
+/// Fraction of nodes inside the largest snapshot component at `t`.
+pub fn giant_component_fraction(trace: &Trace, t: Time) -> f64 {
+    if trace.num_nodes() == 0 {
+        return 0.0;
+    }
+    let comps = snapshot_components(trace, t);
+    comps[0].len() as f64 / trace.num_nodes() as f64
+}
+
+/// BFS eccentricity structure of the snapshot at `t`: the maximum, over
+/// reachable ordered pairs, of the hop distance — i.e. the *static* diameter
+/// of the instant graph, which bounds how deep a contemporaneous chain can
+/// be (long-contact case).
+pub fn snapshot_diameter(trace: &Trace, t: Time) -> usize {
+    let n = trace.num_nodes() as usize;
+    let adj = trace.snapshot(t);
+    let mut best = 0usize;
+    for s in 0..n {
+        if adj[s].is_empty() {
+            continue;
+        }
+        // BFS from s
+        let mut dist = vec![usize::MAX; n];
+        dist[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for v in &adj[u] {
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = dist[u] + 1;
+                    queue.push_back(v.index());
+                }
+            }
+        }
+        let ecc = dist.iter().filter(|d| **d != usize::MAX).max().copied().unwrap_or(0);
+        best = best.max(ecc);
+    }
+    best
+}
+
+/// Samples the giant-component fraction on `samples` uniform instants —
+/// the time series behind "dense by day, disconnected by night".
+pub fn giant_component_series(trace: &Trace, samples: usize) -> Vec<(Time, f64)> {
+    assert!(samples >= 2, "need at least two sample points");
+    let span = trace.span();
+    (0..samples)
+        .map(|i| {
+            let t = Time::secs(
+                span.start.as_secs()
+                    + span.duration().as_secs() * i as f64 / (samples - 1) as f64,
+            );
+            (t, giant_component_fraction(trace, t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn two_triangles() -> Trace {
+        // triangle {0,1,2} and edge {3,4} live at t=10; node 5 isolated.
+        TraceBuilder::new()
+            .num_nodes(6)
+            .contact_secs(0, 1, 0.0, 20.0)
+            .contact_secs(1, 2, 5.0, 25.0)
+            .contact_secs(0, 2, 5.0, 15.0)
+            .contact_secs(3, 4, 8.0, 12.0)
+            .contact_secs(2, 3, 30.0, 40.0)
+            .build()
+    }
+
+    #[test]
+    fn components_at_instant() {
+        let t = two_triangles();
+        let comps = snapshot_components(&t, Time::secs(10.0));
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(comps[1], vec![NodeId(3), NodeId(4)]);
+        assert_eq!(comps[2], vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn giant_fraction() {
+        let t = two_triangles();
+        assert_eq!(giant_component_fraction(&t, Time::secs(10.0)), 0.5);
+        // at t=35 only the 2-3 contact lives
+        assert!((giant_component_fraction(&t, Time::secs(35.0)) - 2.0 / 6.0).abs() < 1e-12);
+        // empty instant: all singletons
+        assert!((giant_component_fraction(&t, Time::secs(100.0)) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_diameter_depth() {
+        // path 0-1-2-3 at t=5: diameter 3
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 0.0, 10.0)
+            .contact_secs(2, 3, 0.0, 10.0)
+            .build();
+        assert_eq!(snapshot_diameter(&t, Time::secs(5.0)), 3);
+        assert_eq!(snapshot_diameter(&t, Time::secs(50.0)), 0);
+        // adding the chord 0-3 shrinks it
+        let t2 = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 0.0, 10.0)
+            .contact_secs(2, 3, 0.0, 10.0)
+            .contact_secs(0, 3, 0.0, 10.0)
+            .build();
+        assert_eq!(snapshot_diameter(&t2, Time::secs(5.0)), 2);
+    }
+
+    #[test]
+    fn series_shape() {
+        let t = two_triangles();
+        let series = giant_component_series(&t, 9);
+        assert_eq!(series.len(), 9);
+        assert!(series.iter().all(|(_, f)| (0.0..=1.0).contains(f)));
+        // peak occupancy is mid-trace
+        let peak = series
+            .iter()
+            .map(|(_, f)| *f)
+            .fold(0.0f64, f64::max);
+        assert_eq!(peak, 0.5);
+    }
+}

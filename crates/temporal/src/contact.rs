@@ -1,0 +1,190 @@
+//! Interval contacts.
+//!
+//! A contact is an edge of the temporal graph labelled with the time interval
+//! `[start, end]` during which the two devices could exchange data (§4.2).
+//! Contacts are stored undirected — the radio link is symmetric for the whole
+//! overlap — and expanded into the two directed arcs by the path algorithms.
+
+use crate::node::NodeId;
+use crate::time::{Dur, Time};
+
+/// A closed, finite time interval `[start, end]` with `start <= end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    /// Beginning of the interval.
+    pub start: Time,
+    /// End of the interval (inclusive).
+    pub end: Time,
+}
+
+impl Interval {
+    /// Creates an interval; panics unless `start <= end` and both finite.
+    pub fn new(start: Time, end: Time) -> Interval {
+        assert!(start.is_finite() && end.is_finite(), "interval must be finite");
+        assert!(start <= end, "interval start must not exceed its end");
+        Interval { start, end }
+    }
+
+    /// Shorthand from raw seconds.
+    pub fn secs(start: f64, end: f64) -> Interval {
+        Interval::new(Time::secs(start), Time::secs(end))
+    }
+
+    /// Length of the interval.
+    pub fn duration(&self) -> Dur {
+        self.end.since(self.start)
+    }
+
+    /// True when `t` lies inside the interval (inclusive).
+    pub fn contains(&self, t: Time) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// True when the two intervals share at least one instant.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The union of two overlapping (or touching) intervals; `None` when
+    /// disjoint.
+    pub fn merge(&self, other: &Interval) -> Option<Interval> {
+        if self.overlaps(other) {
+            Some(Interval {
+                start: self.start.min(other.start),
+                end: self.end.max(other.end),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The intersection of two intervals; `None` when disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        if self.overlaps(other) {
+            Some(Interval {
+                start: self.start.max(other.start),
+                end: self.end.min(other.end),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// An undirected contact between two distinct devices over an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Contact {
+    /// One endpoint (the smaller id after canonicalization).
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// When the devices were in range.
+    pub interval: Interval,
+}
+
+/// Index of a contact inside its trace's contact vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContactId(pub u32);
+
+impl Contact {
+    /// Creates a contact, canonicalizing the endpoint order to `a < b`.
+    /// Panics on a self-contact.
+    pub fn new(u: NodeId, v: NodeId, interval: Interval) -> Contact {
+        assert!(u != v, "self-contacts are not allowed");
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        Contact { a, b, interval }
+    }
+
+    /// Shorthand from raw indices and seconds.
+    pub fn secs(u: u32, v: u32, start: f64, end: f64) -> Contact {
+        Contact::new(NodeId(u), NodeId(v), Interval::secs(start, end))
+    }
+
+    /// Start of the contact.
+    pub fn start(&self) -> Time {
+        self.interval.start
+    }
+
+    /// End of the contact.
+    pub fn end(&self) -> Time {
+        self.interval.end
+    }
+
+    /// Contact duration.
+    pub fn duration(&self) -> Dur {
+        self.interval.duration()
+    }
+
+    /// True when `n` is one of the endpoints.
+    pub fn touches(&self, n: NodeId) -> bool {
+        self.a == n || self.b == n
+    }
+
+    /// The endpoint that is not `n`; panics if `n` is not an endpoint.
+    pub fn peer_of(&self, n: NodeId) -> NodeId {
+        if self.a == n {
+            self.b
+        } else if self.b == n {
+            self.a
+        } else {
+            panic!("{n:?} is not an endpoint of {self:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let i = Interval::secs(10.0, 30.0);
+        assert_eq!(i.duration(), Dur::secs(20.0));
+        assert!(i.contains(Time::secs(10.0)));
+        assert!(i.contains(Time::secs(30.0)));
+        assert!(!i.contains(Time::secs(30.1)));
+    }
+
+    #[test]
+    fn interval_overlap_and_merge() {
+        let a = Interval::secs(0.0, 10.0);
+        let b = Interval::secs(10.0, 20.0);
+        let c = Interval::secs(21.0, 25.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.merge(&b), Some(Interval::secs(0.0, 20.0)));
+        assert_eq!(a.merge(&c), None);
+        assert_eq!(a.intersect(&b), Some(Interval::secs(10.0, 10.0)));
+        assert_eq!(b.intersect(&c), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "start must not exceed")]
+    fn inverted_interval_rejected() {
+        let _ = Interval::secs(5.0, 1.0);
+    }
+
+    #[test]
+    fn contact_canonicalizes_endpoints() {
+        let c = Contact::secs(9, 2, 0.0, 5.0);
+        assert_eq!(c.a, NodeId(2));
+        assert_eq!(c.b, NodeId(9));
+        assert_eq!(c.peer_of(NodeId(2)), NodeId(9));
+        assert_eq!(c.peer_of(NodeId(9)), NodeId(2));
+        assert!(c.touches(NodeId(9)));
+        assert!(!c.touches(NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-contacts")]
+    fn self_contact_rejected() {
+        let _ = Contact::secs(4, 4, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn peer_of_stranger_panics() {
+        let c = Contact::secs(0, 1, 0.0, 1.0);
+        let _ = c.peer_of(NodeId(5));
+    }
+}

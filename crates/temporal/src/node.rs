@@ -1,0 +1,64 @@
+//! Node identities.
+//!
+//! Devices in a trace are numbered densely from zero; the distinction between
+//! *internal* devices (experiment participants, full contact logs) and
+//! *external* devices (opportunistically seen Bluetooth devices whose mutual
+//! contacts are invisible, paper §5.1) is carried by the trace metadata, not
+//! by the id itself.
+
+use std::fmt;
+
+/// A device identifier, dense in `0..Trace::num_nodes()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let n: NodeId = 7u32.into();
+        assert_eq!(n.index(), 7);
+        let m: NodeId = 9usize.into();
+        assert_eq!(m, NodeId(9));
+        assert_eq!(format!("{n}"), "7");
+        assert_eq!(format!("{n:?}"), "n7");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(NodeId(3) < NodeId(10));
+    }
+}

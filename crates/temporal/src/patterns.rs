@@ -1,0 +1,182 @@
+//! A zoo of deterministic temporal-network patterns.
+//!
+//! Hand-analyzable traces with known delivery functions and diameters —
+//! used across the test suites as ground truth, in examples, and whenever a
+//! controlled topology is needed (the temporal analogues of the path /
+//! star / ring / clique graphs of static graph theory).
+
+use crate::contact::Interval;
+use crate::trace::{Trace, TraceBuilder};
+
+/// A chain `0 – 1 – … – n−1` whose i-th contact is live during
+/// `[i·period, i·period + duration]`: the canonical store-and-forward
+/// relay line. End-to-end needs `n−1` hops and delivers at
+/// `(n−2)·period` for messages created by `duration`.
+pub fn relay_line(n: u32, period: f64, duration: f64) -> Trace {
+    assert!(n >= 2, "a line needs two nodes");
+    assert!(period > 0.0 && duration > 0.0 && duration <= period);
+    let mut b = TraceBuilder::new().num_nodes(n);
+    for i in 0..(n - 1) {
+        let start = i as f64 * period;
+        b.push(crate::contact::Contact::secs(
+            i,
+            i + 1,
+            start,
+            start + duration,
+        ));
+    }
+    b.build()
+}
+
+/// A star: the hub (node 0) meets spoke `i ∈ 1..n` during
+/// `[i·gap, i·gap + duration]`, one spoke at a time. Spoke-to-spoke
+/// delivery always needs 2 hops through the hub and respects visit order.
+pub fn sequential_star(n: u32, gap: f64, duration: f64) -> Trace {
+    assert!(n >= 2, "a star needs a hub and a spoke");
+    assert!(gap > 0.0 && duration > 0.0 && duration <= gap);
+    let mut b = TraceBuilder::new().num_nodes(n);
+    for i in 1..n {
+        let start = i as f64 * gap;
+        b.push(crate::contact::Contact::secs(0, i, start, start + duration));
+    }
+    b.build()
+}
+
+/// A rotating ring: at step `k ∈ 0..steps`, node `k mod n` meets
+/// `(k+1) mod n` during `[k·period, k·period + duration]`. A message can
+/// ride around the ring indefinitely; hop distance between nodes follows
+/// ring distance.
+pub fn rotating_ring(n: u32, steps: u32, period: f64, duration: f64) -> Trace {
+    assert!(n >= 3, "a ring needs three nodes");
+    assert!(period > 0.0 && duration > 0.0 && duration <= period);
+    let mut b = TraceBuilder::new().num_nodes(n);
+    for k in 0..steps {
+        let u = k % n;
+        let v = (k + 1) % n;
+        let start = k as f64 * period;
+        b.push(crate::contact::Contact::secs(u, v, start, start + duration));
+    }
+    b.build()
+}
+
+/// Periodic full meshes ("gatherings"): every pair is in contact during
+/// `[k·period, k·period + duration]` for `k ∈ 0..repeats` — the temporal
+/// clique, diameter 1 whenever a gathering is live.
+pub fn periodic_clique(n: u32, repeats: u32, period: f64, duration: f64) -> Trace {
+    assert!(n >= 2 && repeats >= 1);
+    assert!(period > 0.0 && duration > 0.0 && duration <= period);
+    let mut b = TraceBuilder::new().num_nodes(n).window(Interval::secs(
+        0.0,
+        (repeats - 1) as f64 * period + duration,
+    ));
+    for k in 0..repeats {
+        let start = k as f64 * period;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.push(crate::contact::Contact::secs(u, v, start, start + duration));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Two cliques of size `half` bridged by a single courier (the last node of
+/// the first clique) who alternates sides each period: the minimal
+/// community topology. Cross-community delivery must route through the
+/// courier, so the diameter is 3 (member → courier wait → member).
+pub fn two_communities(half: u32, periods: u32, period: f64) -> Trace {
+    assert!(half >= 2 && periods >= 2);
+    assert!(period > 0.0);
+    let n = 2 * half;
+    let courier = half - 1; // member of community A
+    let duration = period * 0.4;
+    let mut b = TraceBuilder::new().num_nodes(n);
+    for k in 0..periods {
+        let start = k as f64 * period;
+        let end = start + duration;
+        // community A fully meets every period (courier present on even k)
+        for u in 0..half {
+            for v in (u + 1)..half {
+                if (u == courier || v == courier) && k % 2 == 1 {
+                    continue; // courier is away
+                }
+                b.push(crate::contact::Contact::secs(u, v, start, end));
+            }
+        }
+        // community B fully meets every period (courier visits on odd k)
+        for u in half..n {
+            for v in (u + 1)..n {
+                b.push(crate::contact::Contact::secs(u, v, start, end));
+            }
+        }
+        if k % 2 == 1 {
+            for v in half..n {
+                b.push(crate::contact::Contact::secs(courier, v, start, end));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::time::Time;
+
+    #[test]
+    fn relay_line_structure() {
+        let t = relay_line(5, 100.0, 10.0);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_contacts(), 4);
+        // contacts are disjoint in time and sequential
+        for w in t.contacts().windows(2) {
+            assert!(w[0].end() < w[1].start());
+        }
+    }
+
+    #[test]
+    fn sequential_star_visits_in_order() {
+        let t = sequential_star(4, 50.0, 5.0);
+        assert_eq!(t.num_contacts(), 3);
+        assert!(t.contacts().iter().all(|c| c.a == NodeId(0)));
+    }
+
+    #[test]
+    fn rotating_ring_wraps() {
+        let t = rotating_ring(3, 6, 10.0, 2.0);
+        assert_eq!(t.num_contacts(), 6);
+        let pairs: Vec<(u32, u32)> = t.contacts().iter().map(|c| (c.a.0, c.b.0)).collect();
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 2)));
+        assert!(pairs.contains(&(0, 2))); // the (2,0) wrap, canonicalized
+    }
+
+    #[test]
+    fn periodic_clique_counts() {
+        let t = periodic_clique(4, 3, 100.0, 10.0);
+        assert_eq!(t.num_contacts(), 3 * 6);
+        // during a gathering everyone is adjacent
+        let snap = t.snapshot(Time::secs(105.0));
+        assert!(snap.iter().all(|l| l.len() == 3));
+    }
+
+    #[test]
+    fn two_communities_bridge_via_courier() {
+        let t = two_communities(3, 4, 100.0);
+        assert_eq!(t.num_nodes(), 6);
+        // no direct contact between a non-courier A member and any B member
+        for c in t.contacts() {
+            let cross = (c.a.0 < 3) != (c.b.0 < 3);
+            if cross {
+                assert_eq!(c.a.0, 2, "only the courier crosses: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn degenerate_line_rejected() {
+        let _ = relay_line(1, 1.0, 0.5);
+    }
+}

@@ -1,0 +1,330 @@
+//! Trace statistics: everything Table 1, Figure 6 and Figure 7 report.
+//!
+//! *Rate of contact* is stated per node and per hour (average number of
+//! contact initiations a device takes part in, per hour of trace): the ACM
+//! copy of the paper prints the numeric Table 1 rates illegibly, so the unit
+//! is pinned here and recorded in EXPERIMENTS.md alongside the measured
+//! values.
+
+use crate::contact::Interval;
+use crate::node::NodeId;
+use crate::time::{Dur, Time};
+use crate::trace::Trace;
+
+/// Aggregate characteristics of a trace (Table 1 row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Observation window length.
+    pub duration: Dur,
+    /// Estimated scan granularity (smallest positive contact duration).
+    pub granularity: Option<Dur>,
+    /// Number of internal (experimental) devices.
+    pub internal_devices: u32,
+    /// Number of external devices.
+    pub external_devices: u32,
+    /// Contacts whose endpoints are both internal.
+    pub internal_contacts: usize,
+    /// Contacts touching at least one external device.
+    pub external_contacts: usize,
+    /// Average contact initiations per internal device per hour, counting
+    /// internal-internal contacts only.
+    pub internal_rate_per_node_hour: f64,
+    /// Same, counting every contact incident to an internal device.
+    pub total_rate_per_node_hour: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of `trace`.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let duration = trace.span().duration();
+        let hours = duration.as_hours();
+        let mut internal_contacts = 0usize;
+        let mut external_contacts = 0usize;
+        let mut internal_endpoint_incidences = 0usize; // internal-internal, both sides
+        let mut any_endpoint_incidences = 0usize;
+        for c in trace.contacts() {
+            let ia = trace.is_internal(c.a);
+            let ib = trace.is_internal(c.b);
+            if ia && ib {
+                internal_contacts += 1;
+                internal_endpoint_incidences += 2;
+                any_endpoint_incidences += 2;
+            } else {
+                external_contacts += 1;
+                any_endpoint_incidences += usize::from(ia) + usize::from(ib);
+            }
+        }
+        let n_int = trace.num_internal().max(1) as f64;
+        let per_node_hour = |incidences: usize| {
+            if hours > 0.0 {
+                incidences as f64 / n_int / hours
+            } else {
+                0.0
+            }
+        };
+        TraceStats {
+            duration,
+            granularity: estimate_granularity(trace),
+            internal_devices: trace.num_internal(),
+            external_devices: trace.num_external(),
+            internal_contacts,
+            external_contacts,
+            internal_rate_per_node_hour: per_node_hour(internal_endpoint_incidences),
+            total_rate_per_node_hour: per_node_hour(any_endpoint_incidences),
+        }
+    }
+}
+
+/// Smallest positive contact duration — for scanner-quantized traces this is
+/// the scan period (a "single-slot" contact, §5.3).
+pub fn estimate_granularity(trace: &Trace) -> Option<Dur> {
+    trace
+        .contacts()
+        .iter()
+        .map(|c| c.duration())
+        .filter(|d| *d > Dur::ZERO)
+        .min()
+}
+
+/// All contact durations.
+pub fn contact_durations(trace: &Trace) -> Vec<Dur> {
+    trace.contacts().iter().map(|c| c.duration()).collect()
+}
+
+/// Inter-contact times: for every unordered pair, the gaps between the end of
+/// one contact and the start of the pair's next contact (§2's inter-contact
+/// time). Pairs that never meet contribute nothing; overlapping same-pair
+/// contacts contribute a zero gap.
+pub fn inter_contact_times(trace: &Trace) -> Vec<Dur> {
+    let mut per_pair: std::collections::HashMap<(NodeId, NodeId), Vec<Interval>> =
+        std::collections::HashMap::new();
+    for c in trace.contacts() {
+        per_pair.entry((c.a, c.b)).or_default().push(c.interval);
+    }
+    let mut gaps = Vec::new();
+    for (_, mut ivs) in per_pair {
+        ivs.sort_by_key(|i| (i.start, i.end));
+        for w in ivs.windows(2) {
+            let gap = w[1].start.since(w[0].end);
+            gaps.push(gap.max(Dur::ZERO));
+        }
+    }
+    gaps
+}
+
+/// Number of distinct peers each node ever contacts.
+pub fn degrees(trace: &Trace) -> Vec<usize> {
+    let n = trace.num_nodes() as usize;
+    let mut peers: Vec<std::collections::HashSet<NodeId>> = vec![Default::default(); n];
+    for c in trace.contacts() {
+        peers[c.a.index()].insert(c.b);
+        peers[c.b.index()].insert(c.a);
+    }
+    peers.into_iter().map(|s| s.len()).collect()
+}
+
+/// Number of contacts each node takes part in.
+pub fn contact_counts(trace: &Trace) -> Vec<usize> {
+    let n = trace.num_nodes() as usize;
+    let mut counts = vec![0usize; n];
+    for c in trace.contacts() {
+        counts[c.a.index()] += 1;
+        counts[c.b.index()] += 1;
+    }
+    counts
+}
+
+/// Figure 6's quantity: the first time at or after `t` when `node` is in
+/// range of *any* other device; `Time::INF` when it never is again.
+pub fn next_contact_at(trace: &Trace, node: NodeId, t: Time) -> Time {
+    let mut best = Time::INF;
+    for c in trace.contacts() {
+        if c.start() > best {
+            break; // contacts are start-sorted; nothing later can improve
+        }
+        if !c.touches(node) || c.end() < t {
+            continue;
+        }
+        best = best.min(c.start().max(t));
+        if best == t {
+            break;
+        }
+    }
+    best
+}
+
+/// Samples the Figure 6 step function on `samples` uniform departure times
+/// across the trace window, returning `(departure, next-contact arrival)`
+/// pairs.
+pub fn next_contact_series(trace: &Trace, node: NodeId, samples: usize) -> Vec<(Time, Time)> {
+    assert!(samples >= 2, "need at least two sample points");
+    let span = trace.span();
+    let lo = span.start.as_secs();
+    let hi = span.end.as_secs();
+    (0..samples)
+        .map(|i| {
+            let t = Time::secs(lo + (hi - lo) * i as f64 / (samples - 1) as f64);
+            (t, next_contact_at(trace, node, t))
+        })
+        .collect()
+}
+
+/// Fraction of a node's window spent in contact with at least one device.
+pub fn occupancy(trace: &Trace, node: NodeId) -> f64 {
+    let mut ivs: Vec<Interval> = trace
+        .contacts()
+        .iter()
+        .filter(|c| c.touches(node))
+        .map(|c| c.interval)
+        .collect();
+    ivs.sort_by_key(|i| (i.start, i.end));
+    let mut covered = Dur::ZERO;
+    let mut current: Option<Interval> = None;
+    for iv in ivs {
+        current = Some(match current {
+            None => iv,
+            Some(cur) => match cur.merge(&iv) {
+                Some(m) => m,
+                None => {
+                    covered = covered + cur.duration();
+                    iv
+                }
+            },
+        });
+    }
+    if let Some(cur) = current {
+        covered = covered + cur.duration();
+    }
+    let total = trace.span().duration();
+    if total > Dur::ZERO {
+        covered.as_secs() / total.as_secs()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn toy() -> Trace {
+        // 0-1 twice, 1-2 once; window [0, 3600].
+        TraceBuilder::new()
+            .window(Interval::secs(0.0, 3600.0))
+            .contact_secs(0, 1, 0.0, 120.0)
+            .contact_secs(0, 1, 600.0, 840.0)
+            .contact_secs(1, 2, 1800.0, 2160.0)
+            .build()
+    }
+
+    #[test]
+    fn table1_style_stats() {
+        let s = TraceStats::of(&toy());
+        assert_eq!(s.duration, Dur::hours(1.0));
+        assert_eq!(s.granularity, Some(Dur::mins(2.0)));
+        assert_eq!(s.internal_devices, 3);
+        assert_eq!(s.external_devices, 0);
+        assert_eq!(s.internal_contacts, 3);
+        assert_eq!(s.external_contacts, 0);
+        // 3 contacts × 2 endpoints / 3 nodes / 1 hour = 2 per node-hour.
+        assert!((s.internal_rate_per_node_hour - 2.0).abs() < 1e-12);
+        assert_eq!(
+            s.internal_rate_per_node_hour,
+            s.total_rate_per_node_hour
+        );
+    }
+
+    #[test]
+    fn internal_external_contact_split() {
+        let t = TraceBuilder::new()
+            .num_nodes(4)
+            .internal(2)
+            .window(Interval::secs(0.0, 3600.0))
+            .contact_secs(0, 1, 0.0, 10.0) // internal-internal
+            .contact_secs(0, 2, 0.0, 10.0) // internal-external
+            .contact_secs(2, 3, 0.0, 10.0) // external-external
+            .build();
+        let s = TraceStats::of(&t);
+        assert_eq!(s.internal_contacts, 1);
+        assert_eq!(s.external_contacts, 2);
+        // internal incidences: 2 (c0) ; any incidences: 2 + 1 + 0 = 3.
+        assert!((s.internal_rate_per_node_hour - 1.0).abs() < 1e-12);
+        assert!((s.total_rate_per_node_hour - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durations_and_granularity() {
+        let d = contact_durations(&toy());
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(&Dur::mins(2.0)));
+        assert!(d.contains(&Dur::mins(4.0)));
+        assert!(d.contains(&Dur::mins(6.0)));
+    }
+
+    #[test]
+    fn inter_contact_gaps() {
+        let gaps = inter_contact_times(&toy());
+        // only pair (0,1) repeats: gap 600 - 120 = 480 s.
+        assert_eq!(gaps, vec![Dur::secs(480.0)]);
+    }
+
+    #[test]
+    fn overlapping_pair_contacts_give_zero_gap() {
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 100.0)
+            .contact_secs(0, 1, 50.0, 150.0)
+            .build();
+        assert_eq!(inter_contact_times(&t), vec![Dur::ZERO]);
+    }
+
+    #[test]
+    fn degrees_and_counts() {
+        let t = toy();
+        assert_eq!(degrees(&t), vec![1, 2, 1]);
+        assert_eq!(contact_counts(&t), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn next_contact_semantics() {
+        let t = toy();
+        // During a contact the next contact is "now".
+        assert_eq!(next_contact_at(&t, NodeId(0), Time::secs(50.0)), Time::secs(50.0));
+        // Between contacts: the next start.
+        assert_eq!(
+            next_contact_at(&t, NodeId(0), Time::secs(200.0)),
+            Time::secs(600.0)
+        );
+        // After the last incident contact: never.
+        assert_eq!(next_contact_at(&t, NodeId(0), Time::secs(900.0)), Time::INF);
+        // Node 2 waits for its single contact.
+        assert_eq!(
+            next_contact_at(&t, NodeId(2), Time::secs(0.0)),
+            Time::secs(1800.0)
+        );
+    }
+
+    #[test]
+    fn next_contact_series_shape() {
+        let t = toy();
+        let series = next_contact_series(&t, NodeId(1), 13);
+        assert_eq!(series.len(), 13);
+        assert_eq!(series[0].0, Time::ZERO);
+        assert_eq!(series[12].0, Time::secs(3600.0));
+        // arrival is always >= departure
+        assert!(series.iter().all(|(d, a)| a >= d));
+    }
+
+    #[test]
+    fn occupancy_fraction() {
+        let t = toy();
+        // node 0: [0,120] ∪ [600,840] = 360 s of 3600 s.
+        assert!((occupancy(&t, NodeId(0)) - 0.1).abs() < 1e-12);
+        // node with no contacts
+        let empty = TraceBuilder::new()
+            .num_nodes(2)
+            .window(Interval::secs(0.0, 100.0))
+            .build();
+        assert_eq!(occupancy(&empty, NodeId(0)), 0.0);
+    }
+}

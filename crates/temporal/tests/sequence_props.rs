@@ -1,0 +1,102 @@
+//! Property tests of the contact-sequence algebra (§4.2): construction via
+//! `extended` always yields valid sequences, summaries agree with the
+//! concatenation rule, and schedules witness validity.
+
+use omnet_temporal::{Contact, ContactSeq, LdEa, NodeId, Time};
+use proptest::prelude::*;
+
+fn contact_strategy() -> impl Strategy<Value = Contact> {
+    (0u32..5, 0u32..5, 0u32..60, 0u32..30).prop_filter_map("self contact", |(u, v, s, d)| {
+        if u == v {
+            None
+        } else {
+            Some(Contact::secs(u, v, s as f64, (s + d) as f64))
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn extended_sequences_are_valid(contacts in prop::collection::vec(contact_strategy(), 1..7)) {
+        let mut seq = ContactSeq::at(NodeId(0));
+        for c in &contacts {
+            if let Some(next) = seq.extended(c) {
+                seq = next;
+                prop_assert!(seq.is_valid(), "invalid after extending with {c:?}");
+            }
+        }
+        // summary matches the fold of single-contact summaries
+        let mut folded = LdEa::EMPTY;
+        for c in seq.contacts() {
+            folded = folded.extend(c).expect("sequence was built validly");
+        }
+        prop_assert_eq!(seq.summary(), folded);
+    }
+
+    #[test]
+    fn schedule_exists_iff_t_before_ld(
+        contacts in prop::collection::vec(contact_strategy(), 1..6),
+        t in 0u32..80,
+    ) {
+        let Some(seq) = ContactSeq::build(NodeId(0), &contacts) else {
+            return Ok(());
+        };
+        let t = Time::secs(t as f64);
+        let summary = seq.summary();
+        match seq.schedule(t) {
+            Some(times) => {
+                prop_assert!(t <= summary.ld);
+                // non-decreasing, inside intervals, ends at delivery time
+                for (i, (ct, at)) in seq.contacts().iter().zip(&times).enumerate() {
+                    prop_assert!(ct.interval.contains(*at), "hop {i} out of interval");
+                    if i > 0 {
+                        prop_assert!(times[i - 1] <= *at);
+                    }
+                }
+                if let Some(last) = times.last() {
+                    prop_assert_eq!(*last, summary.delivery(t));
+                }
+            }
+            None => prop_assert!(t > summary.ld),
+        }
+    }
+
+    #[test]
+    fn dominance_is_consistent_with_delivery(
+        (ld1, ea1, ld2, ea2) in (0u32..50, 0u32..50, 0u32..50, 0u32..50),
+        probes in prop::collection::vec(0u32..60, 1..10),
+    ) {
+        let a = LdEa { ld: Time::secs(ld1 as f64), ea: Time::secs(ea1 as f64) };
+        let b = LdEa { ld: Time::secs(ld2 as f64), ea: Time::secs(ea2 as f64) };
+        if a.dominates(b) {
+            for p in probes {
+                let t = Time::secs(p as f64);
+                prop_assert!(
+                    a.delivery(t) <= b.delivery(t),
+                    "dominating summary delivered later at {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concat_monotone_in_both_arguments(
+        (l1, e1, l2, e2) in (0u32..40, 0u32..40, 0u32..40, 0u32..40),
+    ) {
+        let left = LdEa { ld: Time::secs(l1 as f64), ea: Time::secs(e1 as f64) };
+        let right = LdEa { ld: Time::secs(l2 as f64), ea: Time::secs(e2 as f64) };
+        if let Some(joined) = left.concat(right) {
+            // the compound never departs later than either part nor arrives
+            // earlier than either part
+            prop_assert!(joined.ld <= left.ld && joined.ld <= right.ld);
+            prop_assert!(joined.ea >= left.ea && joined.ea >= right.ea);
+            // compound LD/EA are exactly min/max
+            prop_assert_eq!(joined.ld, left.ld.min(right.ld));
+            prop_assert_eq!(joined.ea, left.ea.max(right.ea));
+        } else {
+            prop_assert!(left.ea > right.ld);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Contact-removal study (the §6 methodology): how random removal and
+//! duration filtering change delay and diameter on a busy conference day.
+//!
+//! ```sh
+//! cargo run --release --example contact_pruning
+//! ```
+
+use opportunistic_diameter::prelude::*;
+use opportunistic_diameter::temporal::transform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn measure(trace: &Trace, grid: &[Dur]) -> (Vec<f64>, Option<usize>) {
+    let curves = SuccessCurves::compute(trace, &CurveOptions::standard(8, grid.to_vec()));
+    let flood = curves.curve(HopBound::Unlimited).unwrap().to_vec();
+    (flood, curves.diameter(0.01))
+}
+
+fn main() {
+    // Day 2 of the synthetic Infocom06 trace, internal contacts only.
+    let full = Dataset::Infocom06.generate_days(2.0, 7);
+    let day2 = transform::crop(
+        &transform::internal_only(&full),
+        Interval::new(Time::ZERO + Dur::days(1.0), Time::ZERO + Dur::days(2.0)),
+    );
+    println!(
+        "Infocom06 (synthetic) day 2: {} contacts among {} devices\n",
+        day2.num_contacts(),
+        day2.num_internal()
+    );
+
+    let grid: Vec<Dur> = log_grid(120.0, 86_400.0, 10).into_iter().map(Dur::secs).collect();
+    let labels: Vec<String> = grid.iter().map(|d| format!("{d}")).collect();
+
+    let mut table = Table::new(
+        std::iter::once("scenario".to_string())
+            .chain(labels.iter().cloned())
+            .chain(std::iter::once("diam".to_string())),
+    );
+    let mut add_row = |name: &str, trace: &Trace| {
+        let (flood, diam) = measure(trace, &grid);
+        let mut row = vec![name.to_string()];
+        row.extend(flood.iter().map(|v| format!("{:.3}", v)));
+        row.push(diam.map_or("->8".into(), |d| d.to_string()));
+        table.row(row);
+    };
+
+    add_row("original", &day2);
+
+    // §6.1: random removal, averaged presentation replaced by one seeded
+    // draw per probability (the harness averages over 5 seeds).
+    let mut rng = StdRng::seed_from_u64(1);
+    for p in [0.9, 0.99] {
+        let pruned = transform::remove_random(&day2, p, &mut rng);
+        add_row(&format!("random keep {:.0}%", (1.0 - p) * 100.0), &pruned);
+    }
+
+    // §6.2: duration thresholds.
+    for mins in [2.0, 10.0, 30.0] {
+        let filtered = transform::min_duration(&day2, Dur::mins(mins));
+        add_row(&format!("duration >= {mins:.0} min"), &filtered);
+    }
+
+    println!("flooding success P[delay <= x] and 99%-diameter per scenario:");
+    println!("{}", table.render());
+    println!(
+        "expected shape (paper §6): random removal degrades delay but leaves\n\
+         the diameter small; dropping short contacts preserves short-delay\n\
+         paths yet can *increase* the diameter."
+    );
+}

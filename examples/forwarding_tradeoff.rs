@@ -1,0 +1,67 @@
+//! The engineering payoff of the small-diameter result: hop-limited
+//! epidemic forwarding loses almost nothing once the TTL reaches the
+//! network diameter, while direct and two-hop schemes pay real delay and
+//! success-rate costs.
+//!
+//! ```sh
+//! cargo run --release --example forwarding_tradeoff
+//! ```
+
+use opportunistic_diameter::flooding::{
+    direct_delivery, epidemic_ttl, evaluate_scheme, flood, two_hop_relay,
+};
+use opportunistic_diameter::prelude::*;
+use opportunistic_diameter::temporal::transform;
+
+fn main() {
+    let trace = transform::internal_only(&Dataset::Infocom05.generate_days(1.0, 3));
+    println!(
+        "synthetic Infocom05 day 1: {} devices, {} contacts\n",
+        trace.num_internal(),
+        trace.num_contacts()
+    );
+
+    let samples = 16;
+    let mut table = Table::new(["scheme", "success", "mean delay"]);
+    let fmt = |s: opportunistic_diameter::flooding::SchemeStats| {
+        (
+            format!("{:.1}%", s.success_rate * 100.0),
+            if s.mean_delay_secs.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{}", Dur::secs(s.mean_delay_secs))
+            },
+        )
+    };
+
+    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| direct_delivery(t, a, b, t0));
+    let (succ, delay) = fmt(s);
+    table.row(["direct delivery (1 hop)".to_string(), succ, delay]);
+
+    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| {
+        two_hop_relay(t, a, b, t0, 4)
+    });
+    let (succ, delay) = fmt(s);
+    table.row(["two-hop relay (4 copies)".to_string(), succ, delay]);
+
+    for ttl in [2u32, 3, 4, 6] {
+        let s = evaluate_scheme(&trace, samples, move |t, a, b, t0| {
+            epidemic_ttl(t, a, b, t0, ttl)
+        });
+        let (succ, delay) = fmt(s);
+        table.row([format!("epidemic, TTL {ttl}"), succ, delay]);
+    }
+
+    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| {
+        flood(t, a, t0, None).delivery(b)
+    });
+    let (succ, delay) = fmt(s);
+    table.row(["epidemic, unlimited".to_string(), succ, delay]);
+
+    println!("{}", table.render());
+    println!(
+        "once the TTL reaches the network diameter (4-6 hops), hop-limited\n\
+         epidemic matches unlimited flooding: messages can be discarded after\n\
+         a few hops at marginal cost (paper, conclusion)."
+    );
+}

@@ -1,0 +1,73 @@
+//! Optimal journeys under the microscope: list every delay-optimal path of
+//! a pair (the Pareto frontier with concrete routes), and relate snapshot
+//! connectivity to the instant delivery the long-contact case allows.
+//!
+//! ```sh
+//! cargo run --release --example optimal_journeys
+//! ```
+
+use opportunistic_diameter::core::{optimal_journeys, route_string};
+use opportunistic_diameter::prelude::*;
+use opportunistic_diameter::temporal::connectivity;
+use opportunistic_diameter::temporal::transform;
+
+fn main() {
+    let trace = transform::internal_universe(&Dataset::Infocom05.generate_days(0.5, 17));
+    println!(
+        "synthetic Infocom05 (12h): {} devices, {} contacts\n",
+        trace.num_internal(),
+        trace.num_contacts()
+    );
+
+    // Pick the busiest ordered pair and unfold its optimal journeys.
+    let profiles = AllPairsProfiles::compute(&trace, ProfileOptions::default());
+    let (mut best, mut s, mut d) = (0usize, NodeId(0), NodeId(1));
+    for a in 0..trace.num_internal() {
+        for b in 0..trace.num_internal() {
+            if a == b {
+                continue;
+            }
+            let len = profiles
+                .profile(NodeId(a), NodeId(b), HopBound::Unlimited)
+                .len();
+            if len > best {
+                best = len;
+                s = NodeId(a);
+                d = NodeId(b);
+            }
+        }
+    }
+    let f = profiles.profile(s, d, HopBound::Unlimited);
+    println!("pair {s} -> {d} has {} optimal journeys:", f.len());
+    for (pair, path) in optimal_journeys(&trace, s, d, f).iter().take(10) {
+        println!(
+            "  leave by {:>9}  arrive {:>9}  {} hops: {}",
+            pair.ld,
+            pair.ea,
+            path.hops(),
+            route_string(path)
+        );
+    }
+    if f.len() > 10 {
+        println!("  … {} more", f.len() - 10);
+    }
+
+    // Snapshot connectivity across the day: when the giant component is
+    // large, the long-contact case delivers (almost) instantly — the §3.2.3
+    // "almost-simultaneously connected" regime.
+    println!("\ngiant-component fraction over the day (every 2h):");
+    for (t, frac) in connectivity::giant_component_series(&trace, 7) {
+        let diam = connectivity::snapshot_diameter(&trace, t);
+        println!(
+            "  t = {:>9}  giant component {:>5.1}%  snapshot diameter {}",
+            t,
+            frac * 100.0,
+            diam
+        );
+    }
+    println!(
+        "\nreading: during busy hours the instant graph concentrates into one\n\
+         large, shallow component — contemporaneous multi-hop delivery — and\n\
+         dissolves at night, when paths must store-and-forward across time."
+    );
+}

@@ -1,0 +1,64 @@
+//! # opportunistic-diameter
+//!
+//! A from-scratch Rust reproduction of Chaintreau, Mtibaa, Massoulié & Diot,
+//! *The Diameter of Opportunistic Mobile Networks* (CoNEXT 2007): temporal
+//! networks, exhaustive delay-optimal path computation, the (1−ε)-diameter,
+//! the random-temporal-network phase transition, synthetic stand-ins for the
+//! four mobility data sets, and the full experiment harness regenerating
+//! every table and figure.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`temporal`] | time, contacts, traces, LD/EA sequence algebra, stats, transforms, I/O |
+//! | [`core`] | delivery functions, all-pairs hop-bounded profiles, diameter, Dijkstra |
+//! | [`random`] | §3 models, phase-transition theory, Monte Carlo |
+//! | [`mobility`] | calibrated synthetic traces (Infocom05/06, Hong-Kong, Reality Mining) |
+//! | [`flooding`] | epidemic simulator, Zhang baseline, forwarding schemes |
+//! | [`analysis`] | ECDF/CCDF, grids, tables, parallel map |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use opportunistic_diameter::prelude::*;
+//!
+//! // Generate a (shortened) synthetic Infocom05 conference trace…
+//! let trace = Dataset::Infocom05.generate_days(0.5, 7);
+//!
+//! // …compute the exact success curves for hop classes 1..=12 and flooding…
+//! let grid = log_grid(120.0, 43_200.0, 24)
+//!     .into_iter()
+//!     .map(Dur::secs)
+//!     .collect();
+//! let curves = SuccessCurves::compute(&trace, &CurveOptions::standard(12, grid));
+//!
+//! // …and read off the 99%-diameter.
+//! let diameter = curves.diameter(0.01);
+//! assert!(diameter.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use omnet_analysis as analysis;
+pub use omnet_core as core;
+pub use omnet_flooding as flooding;
+pub use omnet_mobility as mobility;
+pub use omnet_random as random;
+pub use omnet_temporal as temporal;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use omnet_analysis::{linear_grid, log_grid, Ccdf, Ecdf, Series, Summary, Table};
+    pub use omnet_core::{
+        earliest_arrival, AllPairsProfiles, CurveOptions, DeliveryFunction, HopBound,
+        ProfileOptions, SourceProfiles, SuccessCurves,
+    };
+    pub use omnet_flooding::{flood, ZhangProfile};
+    pub use omnet_mobility::{Dataset, MobilitySpec, Schedule};
+    pub use omnet_random::{ContactCase, ContinuousModel, DiscreteModel};
+    pub use omnet_temporal::{
+        Contact, Dur, Interval, LdEa, NodeId, Time, Trace, TraceBuilder,
+    };
+}

@@ -1,0 +1,167 @@
+//! End-to-end integration tests spanning every crate: synthetic data sets
+//! flow through the trace machinery into the path/diameter analyses, random
+//! temporal networks flow into the core algorithm, and the paper's headline
+//! qualitative claims hold on small instances.
+
+use opportunistic_diameter::prelude::*;
+use opportunistic_diameter::random::theory;
+use opportunistic_diameter::temporal::{stats, transform};
+
+/// A small conference slice used across tests (deterministic).
+fn conference_slice() -> Trace {
+    transform::internal_only(&Dataset::Infocom05.generate_days(0.25, 11))
+}
+
+#[test]
+fn dataset_to_diameter_pipeline() {
+    let trace = conference_slice();
+    assert!(trace.num_contacts() > 300, "slice unexpectedly sparse");
+    let grid: Vec<Dur> = log_grid(120.0, 21_600.0, 8).into_iter().map(Dur::secs).collect();
+    let curves = SuccessCurves::compute(&trace, &CurveOptions::standard(12, grid));
+    let d = curves.diameter(0.01);
+    assert!(d.is_some(), "conference slice must have a finite diameter");
+    assert!(d.unwrap() <= 12, "diameter {d:?} unreasonably large");
+    // flooding success grows with the budget
+    let flood = curves.curve(HopBound::Unlimited).unwrap();
+    assert!(flood.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    assert!(flood[flood.len() - 1] > 0.2);
+}
+
+#[test]
+fn discrete_random_model_through_core_algorithm() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let model = DiscreteModel::new(40, 1.0);
+    let slots = model.sample(30, &mut rng);
+    let trace = model.to_trace(&slots, 1.0);
+    let profiles = AllPairsProfiles::compute(&trace, ProfileOptions::default());
+    // flooding from node 0 at slot 0 must match the slot DP reachability
+    let flood = opportunistic_diameter::flooding::flood(&trace, NodeId(0), Time::ZERO, None);
+    let reached = flood.reached();
+    assert!(reached > 10, "a λ=1 network over 30 slots should percolate");
+    for d in 1..40u32 {
+        let via = profiles
+            .profile(NodeId(0), NodeId(d), HopBound::Unlimited)
+            .delivery(Time::ZERO);
+        assert_eq!(via, flood.delivery(NodeId(d)));
+    }
+}
+
+#[test]
+fn continuous_model_instantaneous_contacts_forward() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let trace = ContinuousModel::new(30, 1.5).generate(40.0, &mut rng);
+    let profiles = AllPairsProfiles::compute(&trace, ProfileOptions::default());
+    // with instantaneous contacts, multi-hop paths still form over time
+    let mut multi_hop_pairs = 0;
+    for s in 0..30u32 {
+        for d in 0..30u32 {
+            if s == d {
+                continue;
+            }
+            let one = profiles.profile(NodeId(s), NodeId(d), HopBound::AtMost(1));
+            let all = profiles.profile(NodeId(s), NodeId(d), HopBound::Unlimited);
+            if all.delivery(Time::ZERO) < Time::INF && one.delivery(Time::ZERO) == Time::INF
+            {
+                multi_hop_pairs += 1;
+            }
+        }
+    }
+    assert!(multi_hop_pairs > 50, "only {multi_hop_pairs} multi-hop pairs");
+}
+
+#[test]
+fn hop_ttl_saturates_at_the_diameter() {
+    let trace = conference_slice();
+    let grid: Vec<Dur> = log_grid(120.0, 21_600.0, 6).into_iter().map(Dur::secs).collect();
+    let curves = SuccessCurves::compute(&trace, &CurveOptions::standard(10, grid));
+    let diam = curves.diameter(0.01).expect("finite diameter");
+    let flood = curves.curve(HopBound::Unlimited).unwrap();
+    let at_diam = curves.curve(HopBound::AtMost(diam)).unwrap();
+    for (a, f) in at_diam.iter().zip(flood) {
+        assert!(*a >= 0.99 * f - 1e-12);
+    }
+    // and one hop class below must fail the criterion somewhere
+    if diam > 1 {
+        let below = curves.curve(HopBound::AtMost(diam - 1)).unwrap();
+        assert!(
+            below.iter().zip(flood).any(|(b, f)| *b < 0.99 * f),
+            "diameter not minimal"
+        );
+    }
+}
+
+#[test]
+fn contact_removal_experiment_end_to_end() {
+    use rand::SeedableRng;
+    let trace = conference_slice();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let removed = transform::remove_random(&trace, 0.9, &mut rng);
+    let grid: Vec<Dur> = log_grid(120.0, 21_600.0, 6).into_iter().map(Dur::secs).collect();
+    let full = SuccessCurves::compute(&trace, &CurveOptions::standard(6, grid.clone()));
+    let thin = SuccessCurves::compute(&removed, &CurveOptions::standard(6, grid));
+    let f_full = full.curve(HopBound::Unlimited).unwrap();
+    let f_thin = thin.curve(HopBound::Unlimited).unwrap();
+    // removal can only hurt flooding success (statistically; allow epsilon)
+    for (a, b) in f_thin.iter().zip(f_full) {
+        assert!(*a <= b + 0.02, "removal improved success: {a} > {b}");
+    }
+}
+
+#[test]
+fn duration_filter_keeps_small_delay_paths_better_than_random() {
+    // the §6.2 observation, on a synthetic conference day
+    use rand::SeedableRng;
+    let trace = transform::internal_only(&Dataset::Infocom06.generate_days(0.5, 21));
+    let by_duration = transform::min_duration(&trace, Dur::mins(10.0));
+    let frac_kept = by_duration.num_contacts() as f64 / trace.num_contacts() as f64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let by_random = transform::remove_random(&trace, 1.0 - frac_kept, &mut rng);
+    let grid = vec![Dur::mins(10.0)];
+    let d_cur = SuccessCurves::compute(&by_duration, &CurveOptions::standard(6, grid.clone()));
+    let r_cur = SuccessCurves::compute(&by_random, &CurveOptions::standard(6, grid));
+    let d10 = d_cur.curve(HopBound::Unlimited).unwrap()[0];
+    let r10 = r_cur.curve(HopBound::Unlimited).unwrap()[0];
+    assert!(
+        d10 > r10,
+        "keeping long contacts should preserve more quick paths: {d10} vs {r10}"
+    );
+}
+
+#[test]
+fn trace_io_of_generated_dataset() {
+    let trace = Dataset::HongKong.generate_days(1.0, 13);
+    let text = opportunistic_diameter::temporal::io::to_string(&trace);
+    let back = opportunistic_diameter::temporal::io::from_str(&text).unwrap();
+    assert_eq!(back.contacts(), trace.contacts());
+    assert_eq!(back.num_internal(), trace.num_internal());
+    let s1 = stats::TraceStats::of(&trace);
+    let s2 = stats::TraceStats::of(&back);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn theory_constants_consistent_across_crates() {
+    // the λ→0 limit of the hop coefficient is 1 in both cases (paper §3.3)
+    for case in [ContactCase::Short, ContactCase::Long] {
+        assert!((theory::hop_coefficient(case, 1e-9) - 1.0).abs() < 1e-6);
+    }
+    // paper's short-contact λ=0.5 example
+    assert!((theory::delay_coefficient(ContactCase::Short, 0.5) - 2.466).abs() < 5e-3);
+}
+
+#[test]
+fn zhang_baseline_agrees_on_boundaries_of_generated_trace() {
+    let trace = transform::internal_only(&Dataset::Infocom05.generate_days(0.1, 17));
+    let profiles = AllPairsProfiles::compute(&trace, ProfileOptions::default());
+    let z = ZhangProfile::compute(&trace, NodeId(0));
+    for c in trace.contacts().iter().step_by(7) {
+        for d in 1..trace.num_internal().min(10) {
+            let exact = profiles
+                .profile(NodeId(0), NodeId(d), HopBound::Unlimited)
+                .delivery(c.start());
+            assert_eq!(z.delivery(NodeId(d), c.start()), exact);
+        }
+    }
+}

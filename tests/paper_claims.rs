@@ -1,0 +1,143 @@
+//! The paper's headline qualitative claims, asserted end-to-end on small
+//! (but non-toy) instances. These are the statements a reader would quote
+//! from the abstract and conclusion; each test names the claim it pins.
+
+use opportunistic_diameter::prelude::*;
+use opportunistic_diameter::random::theory;
+use opportunistic_diameter::random::{budgets, constrained_path_probability, estimate_optimal_path};
+use opportunistic_diameter::temporal::transform;
+
+fn slice() -> Trace {
+    transform::internal_only(&Dataset::Infocom05.generate_days(0.25, 2))
+}
+
+fn slice_curves(trace: &Trace, max_hops: usize) -> SuccessCurves {
+    let horizon = trace.span().duration().as_secs();
+    let grid: Vec<Dur> = log_grid(120.0, horizon, 8).into_iter().map(Dur::secs).collect();
+    SuccessCurves::compute(trace, &CurveOptions::standard(max_hops, grid))
+}
+
+/// "Opportunistic mobile networks in general are characterized by a small
+/// diameter" — a 41-device conference network needs only a handful of
+/// relays, not O(N).
+#[test]
+fn claim_small_diameter() {
+    let trace = slice();
+    let curves = slice_curves(&trace, 12);
+    let d = curves.diameter(0.01).expect("diameter exists");
+    assert!(
+        (2..=10).contains(&d),
+        "diameter {d} outside the small-world band for 41 devices"
+    );
+}
+
+/// "Messages can be discarded after a few hops without incurring more than
+/// a marginal performance cost" (conclusion): at the diameter, the success
+/// curve is within 1% of flooding at *every* delay.
+#[test]
+fn claim_ttl_cost_is_marginal() {
+    let trace = slice();
+    let curves = slice_curves(&trace, 12);
+    let d = curves.diameter(0.01).expect("diameter exists");
+    let at_d = curves.curve(HopBound::AtMost(d)).unwrap();
+    let flood = curves.curve(HopBound::Unlimited).unwrap();
+    for (a, f) in at_d.iter().zip(flood) {
+        assert!(*a >= 0.99 * f - 1e-12, "{a} vs {f}");
+    }
+}
+
+/// "The diameter varies only a little when contacts are removed" (§6.1):
+/// removing 90% of contacts moves the diameter by at most a few hops.
+#[test]
+fn claim_diameter_robust_to_removal() {
+    use rand::SeedableRng;
+    let trace = slice();
+    let base = slice_curves(&trace, 12).diameter(0.01).expect("baseline");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let removed = transform::remove_random(&trace, 0.9, &mut rng);
+    let after = slice_curves(&removed, 12).diameter(0.01);
+    if let Some(after) = after {
+        assert!(
+            after as i64 - base as i64 <= 3,
+            "removal exploded the diameter: {base} -> {after}"
+        );
+    }
+    // (an unmeasurable diameter after removal would mean >12 hops — fail)
+    assert!(after.is_some(), "diameter beyond 12 hops after removal");
+}
+
+/// "Opportunistic schemes have to take advantage of short contacts …
+/// those may help to keep the diameter small" (§6.2): filtering short
+/// contacts never shrinks the diameter.
+#[test]
+fn claim_short_contacts_keep_diameter_small() {
+    let trace = transform::internal_only(&Dataset::Infocom06.generate_days(0.5, 5));
+    let horizon = trace.span().duration().as_secs();
+    let grid: Vec<Dur> = log_grid(120.0, horizon, 6).into_iter().map(Dur::secs).collect();
+    let base = SuccessCurves::compute(&trace, &CurveOptions::standard(12, grid.clone()))
+        .diameter(0.01)
+        .expect("baseline diameter");
+    let long_only = transform::min_duration(&trace, Dur::mins(10.0));
+    let filtered = SuccessCurves::compute(&long_only, &CurveOptions::standard(12, grid))
+        .diameter(0.01);
+    match filtered {
+        Some(f) => assert!(f >= base, "filtering shrank the diameter: {base} -> {f}"),
+        None => {} // beyond 12 hops: grew, claim holds a fortiori
+    }
+}
+
+/// §3's phase transition: below the critical delay coefficient constrained
+/// paths (almost) never exist; above it they (almost) always do.
+#[test]
+fn claim_phase_transition_dichotomy() {
+    let n = 300;
+    let lambda = 1.0;
+    let case = ContactCase::Short;
+    let m = theory::phase_maximum(case, lambda).unwrap();
+    let gs = theory::gamma_star(case, lambda).unwrap();
+    let model = DiscreteModel::new(n, lambda);
+    let (t_sub, k_sub) = budgets(n, 0.4 / m, gs);
+    let (t_sup, k_sup) = budgets(n, 3.0 / m, gs);
+    let p_sub = constrained_path_probability(model, case, t_sub, k_sub, 40, 3);
+    let p_sup = constrained_path_probability(model, case, t_sup, k_sup, 40, 3);
+    assert!(p_sub < 0.2, "sub-critical P[path] = {p_sub}");
+    assert!(p_sup > 0.9, "super-critical P[path] = {p_sup}");
+}
+
+/// §3.3: the hop count of the delay-optimal path "varies little with the
+/// contact rate" — across an 8× rate change the normalized hop count stays
+/// within a factor ~2, while the delay coefficient moves by much more.
+#[test]
+fn claim_hop_count_insensitive_to_rate() {
+    let case = ContactCase::Short;
+    let lo = estimate_optimal_path(DiscreteModel::new(600, 0.25), case, 2_000, 20, 4);
+    let hi = estimate_optimal_path(DiscreteModel::new(600, 2.0), case, 2_000, 20, 4);
+    assert_eq!(lo.misses + hi.misses, 0);
+    let hop_ratio = lo.hop_coefficient / hi.hop_coefficient;
+    let delay_ratio = lo.delay_coefficient / hi.delay_coefficient;
+    assert!(
+        (0.5..=2.5).contains(&hop_ratio),
+        "hop coefficient moved too much: {hop_ratio}"
+    );
+    assert!(
+        delay_ratio > 2.0 * hop_ratio,
+        "delay should react far more than hops: delay x{delay_ratio:.2}, hops x{hop_ratio:.2}"
+    );
+}
+
+/// §5.3's cross-data-set contrast: the conference network is far better
+/// connected than the city one at equal observation length.
+#[test]
+fn claim_conference_denser_than_city() {
+    let conf = transform::internal_only(&Dataset::Infocom05.generate_days(1.0, 6));
+    let city = transform::internal_only(&Dataset::HongKong.generate_days(1.0, 6));
+    let grid = vec![Dur::hours(6.0)];
+    let c_conf = SuccessCurves::compute(&conf, &CurveOptions::standard(1, grid.clone()));
+    let c_city = SuccessCurves::compute(&city, &CurveOptions::standard(1, grid));
+    let direct_conf = c_conf.curve(HopBound::AtMost(1)).unwrap()[0];
+    let direct_city = c_city.curve(HopBound::AtMost(1)).unwrap()[0];
+    assert!(
+        direct_conf > 10.0 * direct_city,
+        "conference {direct_conf} vs city {direct_city}"
+    );
+}

@@ -1,0 +1,136 @@
+//! Closed-form oracles: the pattern zoo's delivery functions and diameters
+//! are known analytically; the full pipeline must reproduce them exactly.
+
+use opportunistic_diameter::core::{reachability_by_hops, ProfileStats};
+use opportunistic_diameter::prelude::*;
+use opportunistic_diameter::temporal::patterns;
+
+#[test]
+fn relay_line_delivery_function_is_exact() {
+    // contacts: i—i+1 live on [100 i, 100 i + 10]
+    let t = patterns::relay_line(5, 100.0, 10.0);
+    let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+    // 0 -> 4 uses all four contacts: LD = end of first = 10, EA = start of
+    // last = 300.
+    let f = p.profile(NodeId(0), NodeId(4), HopBound::Unlimited);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f.pairs()[0].ld, Time::secs(10.0));
+    assert_eq!(f.pairs()[0].ea, Time::secs(300.0));
+    // intermediate destinations: LD stays 10, EA = 100 (i-1)
+    for d in 1..4u32 {
+        let f = p.profile(NodeId(0), NodeId(d), HopBound::Unlimited);
+        assert_eq!(f.len(), 1, "0->{d}");
+        assert_eq!(f.pairs()[0].ea, Time::secs((d as f64 - 1.0) * 100.0));
+    }
+    // the reverse direction is impossible beyond each shared contact
+    assert!(p.profile(NodeId(4), NodeId(0), HopBound::Unlimited).is_empty());
+}
+
+#[test]
+fn relay_line_hop_classes_match_distance() {
+    let t = patterns::relay_line(6, 50.0, 5.0);
+    let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+    for d in 1..6u32 {
+        let need = d as usize; // 0 -> d needs exactly d hops
+        assert!(
+            p.profile(NodeId(0), NodeId(d), HopBound::AtMost(need - 1)).is_empty(),
+            "0->{d} reachable too early"
+        );
+        assert!(
+            !p.profile(NodeId(0), NodeId(d), HopBound::AtMost(need)).is_empty(),
+            "0->{d} not reachable at its distance"
+        );
+    }
+    let stats = ProfileStats::of(&p);
+    assert_eq!(stats.max_useful_hops(), 5);
+}
+
+#[test]
+fn sequential_star_spokes_route_through_hub() {
+    let t = patterns::sequential_star(5, 100.0, 10.0);
+    let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+    // spoke i -> spoke j (i < j): pick up at hub contact i, drop at contact j:
+    // LD = 100 i + 10, EA = 100 j.
+    for i in 1..5u32 {
+        for j in (i + 1)..5u32 {
+            let f = p.profile(NodeId(i), NodeId(j), HopBound::Unlimited);
+            assert_eq!(f.len(), 1, "{i}->{j}");
+            assert_eq!(f.pairs()[0].ld, Time::secs(i as f64 * 100.0 + 10.0));
+            assert_eq!(f.pairs()[0].ea, Time::secs(j as f64 * 100.0));
+            // exactly two hops, never one
+            assert!(p.profile(NodeId(i), NodeId(j), HopBound::AtMost(1)).is_empty());
+            assert!(!p.profile(NodeId(i), NodeId(j), HopBound::AtMost(2)).is_empty());
+            // and never backwards in visit order
+            assert!(p.profile(NodeId(j), NodeId(i), HopBound::Unlimited).is_empty());
+        }
+    }
+}
+
+#[test]
+fn rotating_ring_hop_distance_follows_the_rotation() {
+    // 4 nodes, 8 steps: message at node 0 rides 0-1, 1-2, 2-3, …
+    let t = patterns::rotating_ring(4, 8, 10.0, 2.0);
+    let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+    let f = p.profile(NodeId(0), NodeId(3), HopBound::Unlimited);
+    assert!(!f.is_empty());
+    // forward rotation needs 3 hops (0->1->2->3) earliest arriving at the
+    // 2-3 contact (t = 20); the direct wrap contact (3,0) at step 3 gives a
+    // 1-hop option later (t = 30).
+    let flood = opportunistic_diameter::flooding::flood(&t, NodeId(0), Time::ZERO, None);
+    assert_eq!(flood.delivery(NodeId(3)), Time::secs(20.0));
+    assert_eq!(flood.hops[3], 3);
+    let one_hop = p.profile(NodeId(0), NodeId(3), HopBound::AtMost(1));
+    assert!(!one_hop.is_empty());
+    assert_eq!(one_hop.pairs()[0].ea, Time::secs(30.0));
+}
+
+#[test]
+fn periodic_clique_diameter_is_one() {
+    let t = patterns::periodic_clique(6, 3, 100.0, 10.0);
+    let grid: Vec<Dur> = vec![Dur::secs(10.0), Dur::secs(100.0), Dur::INF];
+    let curves = SuccessCurves::compute(&t, &CurveOptions::standard(3, grid));
+    assert_eq!(curves.diameter(0.01), Some(1));
+    let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+    let stairs = reachability_by_hops(&p, 2);
+    assert_eq!(stairs, vec![1.0, 1.0]);
+}
+
+#[test]
+fn two_communities_diameter_is_three() {
+    // member -> courier (hop 1, even period), courier crosses (odd period),
+    // courier -> member (hop 2), so worst pairs need 2 hops via the courier
+    // but 3 when the sender must first reach the courier's side… measure it.
+    let t = patterns::two_communities(4, 8, 100.0);
+    let grid: Vec<Dur> = vec![Dur::secs(200.0), Dur::secs(500.0), Dur::INF];
+    let curves = SuccessCurves::compute(&t, &CurveOptions::standard(6, grid));
+    let d = curves.diameter(0.01).expect("connected enough");
+    assert!((2..=3).contains(&d), "two-community diameter {d}");
+}
+
+#[test]
+fn zoo_flooding_matches_profiles_everywhere() {
+    let traces = [
+        patterns::relay_line(6, 30.0, 5.0),
+        patterns::sequential_star(6, 40.0, 8.0),
+        patterns::rotating_ring(5, 12, 10.0, 3.0),
+        patterns::periodic_clique(4, 2, 50.0, 10.0),
+        patterns::two_communities(3, 4, 60.0),
+    ];
+    for t in &traces {
+        let p = AllPairsProfiles::compute(t, ProfileOptions::default());
+        for s in 0..t.num_nodes().min(6) {
+            for probe in [0.0, 15.0, 95.0, 230.0] {
+                let start = Time::secs(probe);
+                let flood = opportunistic_diameter::flooding::flood(t, NodeId(s), start, None);
+                for d in 0..t.num_nodes() {
+                    assert_eq!(
+                        flood.delivery(NodeId(d)),
+                        p.profile(NodeId(s), NodeId(d), HopBound::Unlimited)
+                            .delivery(start),
+                        "{s}->{d} at {probe}"
+                    );
+                }
+            }
+        }
+    }
+}
