@@ -84,7 +84,10 @@ impl LogHistogram {
 
     /// The geometric midpoints of the bins (for plotting).
     pub fn centers(&self) -> Vec<f64> {
-        self.edges.windows(2).map(|e| (e[0] * e[1]).sqrt()).collect()
+        self.edges
+            .windows(2)
+            .map(|e| (e[0] * e[1]).sqrt())
+            .collect()
     }
 }
 
@@ -103,7 +106,12 @@ mod tests {
 
     #[test]
     fn samples_land_in_the_right_bins() {
-        let h = LogHistogram::new(1.0, 100.0, 2, &[0.5, 1.0, 5.0, 9.9, 10.0, 50.0, 100.0, 200.0]);
+        let h = LogHistogram::new(
+            1.0,
+            100.0,
+            2,
+            &[0.5, 1.0, 5.0, 9.9, 10.0, 50.0, 100.0, 200.0],
+        );
         // bins: [1, 10), [10, 100)
         assert_eq!(h.below(), 1);
         assert_eq!(h.above(), 2);

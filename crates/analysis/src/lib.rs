@@ -8,7 +8,7 @@
 //! involved; see DESIGN.md §6).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ecdf;
 pub mod fit;

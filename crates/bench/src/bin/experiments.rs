@@ -20,7 +20,9 @@ fn main() {
         match a.as_str() {
             "--quick" => cfg.quick = true,
             "--seed" => {
-                let v = it.next().unwrap_or_else(|| usage("missing value after --seed"));
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value after --seed"));
                 cfg.seed = v.parse().unwrap_or_else(|_| usage("invalid --seed value"));
             }
             "--help" | "-h" => usage(""),
@@ -46,9 +48,8 @@ fn main() {
     } else {
         ids.iter()
             .map(|id| {
-                find(id).unwrap_or_else(|| {
-                    usage(&format!("unknown experiment '{id}' (try 'list')"))
-                })
+                find(id)
+                    .unwrap_or_else(|| usage(&format!("unknown experiment '{id}' (try 'list')")))
             })
             .collect()
     };

@@ -55,7 +55,11 @@ fn measure(
         f64::NAN
     };
     let worst = if hits > 0 { delays[hits - 1] } else { f64::NAN };
-    let mean_hops = if hits > 0 { hops / hits as f64 } else { f64::NAN };
+    let mean_hops = if hits > 0 {
+        hops / hits as f64
+    } else {
+        f64::NAN
+    };
     (median, p90, worst, mean_hops, queries - hits)
 }
 

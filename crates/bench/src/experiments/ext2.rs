@@ -28,7 +28,12 @@ pub fn run(cfg: &Config) -> String {
     let duty = 0.3; // 30% of each cycle is "day"
     let period = 48; // slots per cycle
     let mut table = omnet_analysis::Table::new([
-        "boost", "lambda day", "lambda night", "delay/lnN", "hops/lnN", "misses",
+        "boost",
+        "lambda day",
+        "lambda night",
+        "delay/lnN",
+        "hops/lnN",
+        "misses",
     ]);
     // boost 1 == the stationary reference
     let stationary = estimate_optimal_path(

@@ -14,10 +14,10 @@ use omnet_flooding::{
     direct_delivery, epidemic_ttl, evaluate_fresh, evaluate_scheme, flood, prophet_batch,
     spray_and_wait, two_hop_relay, ProphetParams,
 };
-use omnet_temporal::{NodeId, Time};
 use omnet_mobility::Dataset;
 use omnet_temporal::transform::internal_only;
 use omnet_temporal::Dur;
+use omnet_temporal::{NodeId, Time};
 use std::fmt::Write as _;
 
 /// Runs the experiment and renders the result.
@@ -46,7 +46,7 @@ pub fn run(cfg: &Config) -> String {
         }
     };
 
-    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| direct_delivery(t, a, b, t0));
+    let s = evaluate_scheme(&trace, samples, direct_delivery);
     table.row([
         "direct delivery".to_string(),
         format!("{:.1}%", s.success_rate * 100.0),

@@ -34,7 +34,11 @@ pub fn run(cfg: &Config) -> String {
         "exp rate/h (r2)",
         "better fit",
     ]);
-    for ds in [Dataset::Infocom05, Dataset::Infocom06, Dataset::RealityMining] {
+    for ds in [
+        Dataset::Infocom05,
+        Dataset::Infocom06,
+        Dataset::RealityMining,
+    ] {
         let trace = if cfg.quick {
             internal_only(&ds.generate_days(2.0, cfg.seed))
         } else {
@@ -52,11 +56,17 @@ pub fn run(cfg: &Config) -> String {
         for (band, samples) in [
             (
                 "< 12h",
-                gaps.iter().copied().filter(|g| *g < knee).collect::<Vec<_>>(),
+                gaps.iter()
+                    .copied()
+                    .filter(|g| *g < knee)
+                    .collect::<Vec<_>>(),
             ),
             (
                 ">= 12h",
-                gaps.iter().copied().filter(|g| *g >= knee).collect::<Vec<_>>(),
+                gaps.iter()
+                    .copied()
+                    .filter(|g| *g >= knee)
+                    .collect::<Vec<_>>(),
             ),
         ] {
             let row = match fit_tail(&samples, 0.2) {

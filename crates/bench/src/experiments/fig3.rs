@@ -53,7 +53,12 @@ pub fn run(cfg: &Config) -> String {
         (1_500, 40, 2_000)
     };
     let mut table = omnet_analysis::Table::new([
-        "case", "lambda", "theory", "measured", "delay/lnN theory", "measured ",
+        "case",
+        "lambda",
+        "theory",
+        "measured",
+        "delay/lnN theory",
+        "measured ",
     ]);
     let probe_lambdas: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
     for case in [ContactCase::Short, ContactCase::Long] {

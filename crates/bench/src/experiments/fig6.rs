@@ -67,7 +67,9 @@ pub fn run(cfg: &Config) -> String {
                 })
                 .collect();
             let ecdf = omnet_analysis::Ecdf::new(waits.clone());
-            let med = ecdf.median().map_or("inf".into(), |m| format!("{}", Dur::secs(m)));
+            let med = ecdf
+                .median()
+                .map_or("inf".into(), |m| format!("{}", Dur::secs(m)));
             waits.retain(|w| w.is_finite());
             let max = waits.iter().copied().fold(0.0f64, f64::max);
             let _ = writeln!(

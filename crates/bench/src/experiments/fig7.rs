@@ -12,7 +12,10 @@ use std::fmt::Write as _;
 /// Runs the experiment and renders the result.
 pub fn run(cfg: &Config) -> String {
     let mut out = String::new();
-    section(&mut out, "Figure 7: CCDF of contact duration, four data sets");
+    section(
+        &mut out,
+        "Figure 7: CCDF of contact duration, four data sets",
+    );
     let grid = omnet_analysis::log_grid(60.0, 12.0 * 3600.0, 16);
     let mut series = omnet_analysis::Series::new("duration_s", grid.clone());
     let mut headline = String::new();

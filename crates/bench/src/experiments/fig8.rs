@@ -30,7 +30,7 @@ fn pick_pair(trace: &Trace) -> Option<(NodeId, SourceProfiles, NodeId)> {
             let all = prof.profile(NodeId(d), HopBound::Unlimited);
             if one.is_empty() && all.len() >= 3 {
                 let score = all.len();
-                if best.as_ref().map_or(true, |(b, _, _, _)| score > *b) {
+                if best.as_ref().is_none_or(|(b, _, _, _)| score > *b) {
                     best = Some((score, NodeId(s), prof.clone(), NodeId(d)));
                 }
             }
@@ -86,8 +86,7 @@ pub fn run(cfg: &Config) -> String {
     let samples = 12;
     let mut xs = Vec::new();
     for i in 0..samples {
-        let t = span.start.as_secs()
-            + span.duration().as_secs() * i as f64 / (samples - 1) as f64;
+        let t = span.start.as_secs() + span.duration().as_secs() * i as f64 / (samples - 1) as f64;
         xs.push(t);
     }
     let mut series = omnet_analysis::Series::new("t_s", xs.clone());

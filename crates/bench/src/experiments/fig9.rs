@@ -130,6 +130,6 @@ mod tests {
         assert!(text.contains("Infocom05"));
         assert!(text.contains("Reality Mining"));
         assert!(text.contains("Hong-Kong"));
-        assert_eq!(text.matches("diameter").count() >= 3, true, "{text}");
+        assert!(text.matches("diameter").count() >= 3, "{text}");
     }
 }

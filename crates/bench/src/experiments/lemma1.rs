@@ -23,7 +23,13 @@ pub fn run(cfg: &Config) -> String {
         (5_000usize, 200_000usize)
     };
     let mut table = omnet_analysis::Table::new([
-        "case", "lambda", "tau", "gamma", "theory exp", "measured slope", "phase",
+        "case",
+        "lambda",
+        "tau",
+        "gamma",
+        "theory exp",
+        "measured slope",
+        "phase",
     ]);
     let probes = [
         (0.5f64, 3.0f64, 0.3f64),
@@ -40,8 +46,7 @@ pub fn run(cfg: &Config) -> String {
                 let (t, k) = budgets(n, tau, gamma);
                 ln_expected_path_count(case, n, lambda, t, k as usize)
             };
-            let slope =
-                (measure(n2) - measure(n1)) / ((n2 as f64).ln() - (n1 as f64).ln());
+            let slope = (measure(n2) - measure(n1)) / ((n2 as f64).ln() - (n1 as f64).ln());
             table.row([
                 format!("{case:?}"),
                 format!("{lambda}"),
@@ -87,8 +92,7 @@ mod tests {
                     let (t, k) = budgets(n, tau, gamma);
                     ln_expected_path_count(case, n, lambda, t, k as usize)
                 };
-                let slope = (measure(20_000) - measure(1_000))
-                    / (20_000f64.ln() - 1_000f64.ln());
+                let slope = (measure(20_000) - measure(1_000)) / (20_000f64.ln() - 1_000f64.ln());
                 // sign (phase) must always agree
                 assert_eq!(
                     slope > 0.0,

@@ -132,7 +132,11 @@ pub fn run(cfg: &Config) -> String {
     let _ = writeln!(
         out,
         "\nTOTAL: {total_q} queries, {total_m} mismatches{}",
-        if total_m == 0 { " — all engines agree" } else { " — INVESTIGATE" }
+        if total_m == 0 {
+            " — all engines agree"
+        } else {
+            " — INVESTIGATE"
+        }
     );
     out
 }

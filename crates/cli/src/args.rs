@@ -28,6 +28,8 @@ pub enum Command {
     Simulate(SimulateArgs),
     /// `omnet components <trace> <t>`
     Components(ComponentsArgs),
+    /// `omnet check <trace> [--oracle] [--starts N]`
+    Check(CheckArgs),
 }
 
 /// Arguments of `omnet flood`.
@@ -163,6 +165,18 @@ pub struct PruneArgs {
     pub seed: u64,
 }
 
+/// Arguments of `omnet check`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+    /// Also cross-check hop-bounded frontiers against the exponential
+    /// brute-force oracle (small traces only).
+    pub oracle: bool,
+    /// Number of evenly spaced start times for the Dijkstra cross-check.
+    pub starts: usize,
+}
+
 /// Outcome of parsing argv.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParsedArgs {
@@ -268,7 +282,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
             Command::Flood(FloodArgs {
                 trace: trace.into(),
                 src: src.parse().map_err(|_| "invalid src id".to_string())?,
-                start: start.parse().map_err(|_| "invalid start time".to_string())?,
+                start: start
+                    .parse()
+                    .map_err(|_| "invalid start time".to_string())?,
                 ttl: flag_value(&flags, "--ttl")?,
             })
         }
@@ -286,17 +302,30 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
             Command::Simulate(SimulateArgs {
                 trace: trace.into(),
                 messages: flag_value(&flags, "--messages")?.unwrap_or(200),
-                routing: flag_str(&flags, "--routing").unwrap_or("epidemic").to_string(),
+                routing: flag_str(&flags, "--routing")
+                    .unwrap_or("epidemic")
+                    .to_string(),
                 buffer: flag_value(&flags, "--buffer")?.unwrap_or(0),
                 ttl_hops: flag_value(&flags, "--ttl-hops")?,
                 seed: flag_value(&flags, "--seed")?.unwrap_or(7),
+            })
+        }
+        "check" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let [trace] = positional::<1>(&pos, "check <trace> [--oracle] [--starts N]")?;
+            Command::Check(CheckArgs {
+                trace: trace.into(),
+                oracle: flags.iter().any(|(k, _)| *k == "--oracle"),
+                starts: flag_value(&flags, "--starts")?.unwrap_or(4),
             })
         }
         "components" => {
             let [trace, at] = positional::<2>(&rest, "components <trace> <t-secs>")?;
             Command::Components(ComponentsArgs {
                 trace: trace.into(),
-                at: at.parse().map_err(|_| "invalid snapshot time".to_string())?,
+                at: at
+                    .parse()
+                    .map_err(|_| "invalid snapshot time".to_string())?,
             })
         }
         other => return Err(format!("unknown subcommand '{other}'")),
@@ -304,15 +333,18 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
     Ok(ParsedArgs::Run(cmd))
 }
 
+/// Flags parsed from argv: `(--name, optional value)` pairs.
+type ParsedFlags<'a> = Vec<(&'a str, Option<&'a str>)>;
+
 /// Splits `rest` into positional arguments and `--flag [value]` pairs.
-fn split_flags<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, Vec<(&'a str, Option<&'a str>)>), String> {
+fn split_flags<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, ParsedFlags<'a>), String> {
     let mut pos = Vec::new();
     let mut flags = Vec::new();
     let mut i = 0;
     while i < rest.len() {
         let a = rest[i];
         if a.starts_with("--") {
-            let takes_value = !matches!(a, "--internal-only");
+            let takes_value = !matches!(a, "--internal-only" | "--oracle");
             if takes_value {
                 let v = rest
                     .get(i + 1)
@@ -439,8 +471,7 @@ mod tests {
             panic!()
         };
         assert_eq!((a.src, a.start, a.ttl), (4, 120.0, Some(3)));
-        let ParsedArgs::Run(Command::Journeys(j)) =
-            parse(&argv("journeys t.trace 1 2")).unwrap()
+        let ParsedArgs::Run(Command::Journeys(j)) = parse(&argv("journeys t.trace 1 2")).unwrap()
         else {
             panic!()
         };
@@ -472,9 +503,15 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(parse(&argv("bogus")).unwrap_err().contains("unknown subcommand"));
+        assert!(parse(&argv("bogus"))
+            .unwrap_err()
+            .contains("unknown subcommand"));
         assert!(parse(&argv("stats")).unwrap_err().contains("stats <trace>"));
-        assert!(parse(&argv("cdf t --hops a,b")).unwrap_err().contains("--hops"));
-        assert!(parse(&argv("diameter t --eps")).unwrap_err().contains("needs a value"));
+        assert!(parse(&argv("cdf t --hops a,b"))
+            .unwrap_err()
+            .contains("--hops"));
+        assert!(parse(&argv("diameter t --eps"))
+            .unwrap_err()
+            .contains("needs a value"));
     }
 }

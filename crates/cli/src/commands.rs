@@ -14,11 +14,11 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 fn load(path: &Path) -> Result<Trace, String> {
-    io::load(path).map_err(|e| format!("cannot read trace {}: {e}", path.display()))
+    io::load(path).map_err(|e| format!("cannot read trace: {e}"))
 }
 
 fn save(trace: &Trace, path: &Path) -> Result<(), String> {
-    io::save(trace, path).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    io::save(trace, path).map_err(|e| format!("cannot write trace: {e}"))
 }
 
 /// `omnet stats`.
@@ -50,9 +50,8 @@ pub fn stats(a: &StatsArgs) -> Result<String, String> {
         "contact rate:        {:.2} per internal device-hour ({:.2} incl. external)",
         s.internal_rate_per_node_hour, s.total_rate_per_node_hour
     );
-    let dsum = omnet_analysis::Summary::of(
-        &durations.iter().map(|d| d.as_secs()).collect::<Vec<_>>(),
-    );
+    let dsum =
+        omnet_analysis::Summary::of(&durations.iter().map(|d| d.as_secs()).collect::<Vec<_>>());
     if dsum.count > 0 {
         let _ = writeln!(
             out,
@@ -62,8 +61,7 @@ pub fn stats(a: &StatsArgs) -> Result<String, String> {
             Dur::secs(dsum.max)
         );
     }
-    let gsum =
-        omnet_analysis::Summary::of(&gaps.iter().map(|d| d.as_secs()).collect::<Vec<_>>());
+    let gsum = omnet_analysis::Summary::of(&gaps.iter().map(|d| d.as_secs()).collect::<Vec<_>>());
     if gsum.count > 0 {
         let _ = writeln!(
             out,
@@ -349,8 +347,11 @@ pub fn journeys(a: &JourneysArgs) -> Result<String, String> {
     let profiles = AllPairsProfiles::compute(&trace, ProfileOptions::default());
     let f = profiles.profile(NodeId(a.src), NodeId(a.dst), HopBound::Unlimited);
     if f.is_empty() {
-        return Ok(format!("no path ever exists from {} to {}
-", a.src, a.dst));
+        return Ok(format!(
+            "no path ever exists from {} to {}
+",
+            a.src, a.dst
+        ));
     }
     let mut text = format!(
         "{} optimal journeys from {} to {}:
@@ -412,7 +413,11 @@ pub fn simulate_cmd(a: &SimulateArgs) -> Result<String, String> {
         r.delivery_ratio() * 100.0
     );
     if !r.mean_delay_secs.is_nan() {
-        let _ = writeln!(text, "mean delay:          {}", Dur::secs(r.mean_delay_secs));
+        let _ = writeln!(
+            text,
+            "mean delay:          {}",
+            Dur::secs(r.mean_delay_secs)
+        );
     }
     let _ = writeln!(
         text,
@@ -456,6 +461,71 @@ pub fn components(a: &ComponentsArgs) -> Result<String, String> {
     Ok(text)
 }
 
+/// `omnet check`.
+pub fn check(a: &CheckArgs) -> Result<String, String> {
+    use omnet_core::{cross_check, CrossCheckOptions};
+    let trace = load(&a.trace)?;
+    let mut text = String::new();
+    trace
+        .validate()
+        .map_err(|v| format!("trace structure: FAILED — {v}"))?;
+    let _ = writeln!(
+        text,
+        "trace structure: OK ({} nodes, {} contacts, span {})",
+        trace.num_nodes(),
+        trace.num_contacts(),
+        trace.span().duration()
+    );
+
+    let hop_classes = if a.oracle {
+        if trace.num_contacts() > 64 {
+            return Err(format!(
+                "--oracle enumerates every contact sequence (exponential) and this \
+                 trace has {} contacts; prune it below 64 first",
+                trace.num_contacts()
+            ));
+        }
+        vec![1, 2, 3, 4]
+    } else {
+        Vec::new()
+    };
+    let span = trace.span();
+    let starts: Vec<Time> = (0..a.starts.max(1))
+        .map(|i| {
+            let frac = i as f64 / a.starts.max(1) as f64;
+            Time::secs(span.start.as_secs() + frac * span.duration().as_secs())
+        })
+        .collect();
+    let opts = CrossCheckOptions {
+        hop_classes,
+        starts,
+        max_divergences: 8,
+    };
+    let divergences = cross_check(&trace, &opts);
+    if divergences.is_empty() {
+        let _ = writeln!(
+            text,
+            "delivery frontiers: OK (all pairs satisfy condition 4)"
+        );
+        let _ = writeln!(
+            text,
+            "differential cross-check: OK (profiles vs Dijkstra at {} starts{})",
+            a.starts.max(1),
+            if a.oracle {
+                ", hop classes 1-4 vs brute force"
+            } else {
+                ""
+            }
+        );
+        Ok(text)
+    } else {
+        for d in &divergences {
+            let _ = writeln!(text, "DIVERGENCE: {d}");
+        }
+        Err(text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +545,43 @@ mod tests {
         )
         .unwrap();
         p
+    }
+
+    #[test]
+    fn check_passes_on_well_formed_trace() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = check(&CheckArgs {
+            trace: p,
+            oracle: true,
+            starts: 3,
+        })
+        .unwrap();
+        assert!(out.contains("trace structure: OK"));
+        assert!(out.contains("condition 4"));
+        assert!(out.contains("brute force"));
+    }
+
+    #[test]
+    fn check_oracle_refuses_large_traces() {
+        let dir = tempdir();
+        let p = dir.join("large.trace");
+        let mut text = String::from(
+            "# nodes 40
+",
+        );
+        for i in 0..70u32 {
+            let t = f64::from(i) * 10.0;
+            let _ = writeln!(text, "{} {} {} {}", i % 39, i % 39 + 1, t, t + 5.0);
+        }
+        std::fs::write(&p, text).unwrap();
+        let err = check(&CheckArgs {
+            trace: p,
+            oracle: true,
+            starts: 1,
+        })
+        .unwrap_err();
+        assert!(err.contains("prune"), "{err}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! omnet journeys  <trace> <src> <dst>           every delay-optimal route of a pair
 //! omnet simulate  <trace> [...]                 buffered multi-message DTN simulation
 //! omnet components <trace> <t>                  contemporaneous connectivity snapshot
+//! omnet check     <trace> [--oracle]            structural invariants + differential oracles
 //! ```
 
 #![forbid(unsafe_code)]
@@ -40,6 +41,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
         Command::Journeys(a) => commands::journeys(&a),
         Command::Simulate(a) => commands::simulate_cmd(&a),
         Command::Components(a) => commands::components(&a),
+        Command::Check(a) => commands::check(&a),
     }
 }
 
@@ -62,6 +64,7 @@ USAGE:
   omnet simulate <trace> [--messages N] [--routing epidemic|direct|spray:L]
                  [--buffer B] [--ttl-hops K] [--seed N]
   omnet components <trace> <t-secs>
+  omnet check    <trace> [--oracle] [--starts N]
 
 Traces are plain text: optional `# nodes/internal/window` headers, then one
 `a b start end` row per contact; `convert` also accepts Haggle/CRAWDAD-style

@@ -99,7 +99,12 @@ pub struct SourceProfiles {
 
 impl SourceProfiles {
     /// Runs the §4.4 induction for one source.
-    pub fn compute(trace: &Trace, arcs: &Arcs, source: NodeId, opts: ProfileOptions) -> SourceProfiles {
+    pub fn compute(
+        trace: &Trace,
+        arcs: &Arcs,
+        source: NodeId,
+        opts: ProfileOptions,
+    ) -> SourceProfiles {
         let n = trace.num_nodes() as usize;
         assert_eq!(arcs.num_nodes(), n, "arcs built for a different trace");
         assert!(source.index() < n, "source outside the node universe");
@@ -115,12 +120,12 @@ impl SourceProfiles {
 
         let mut cands: Vec<Vec<LdEa>> = vec![Vec::new(); n];
         for k in 1..=opts.max_levels {
-            for m in 0..n {
-                if delta[m].is_empty() {
+            for (m, d) in delta.iter().enumerate() {
+                if d.is_empty() {
                     continue;
                 }
                 for &(to, iv) in arcs.leaving(NodeId(m as u32)) {
-                    cands[to as usize].extend(delta[m].extend_with(iv));
+                    cands[to as usize].extend(d.extend_with(iv));
                 }
             }
             let mut changed = false;
@@ -239,7 +244,12 @@ impl SourceProfiles {
     }
 
     /// Optimal delivery time to `dest` for a message created at `t`.
-    pub fn delivery(&self, dest: NodeId, t: omnet_temporal::Time, bound: HopBound) -> omnet_temporal::Time {
+    pub fn delivery(
+        &self,
+        dest: NodeId,
+        t: omnet_temporal::Time,
+        bound: HopBound,
+    ) -> omnet_temporal::Time {
         self.profile(dest, bound).delivery(t)
     }
 
@@ -292,7 +302,11 @@ impl AllPairsProfiles {
     /// The largest per-source fixpoint level: beyond this many hops no pair
     /// gains anything anywhere in the network.
     pub fn max_useful_hops(&self) -> usize {
-        self.rows.iter().map(|r| r.converged_at()).max().unwrap_or(0)
+        self.rows
+            .iter()
+            .map(|r| r.converged_at())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of nodes.
@@ -335,8 +349,12 @@ mod tests {
         assert_eq!(f.delivery(Time::secs(10.0)), Time::secs(40.0));
         assert_eq!(f.delivery(Time::secs(10.1)), Time::INF);
         // Hop classes: unreachable below 3 hops.
-        assert!(p.profile(NodeId(0), NodeId(3), HopBound::AtMost(2)).is_empty());
-        assert!(!p.profile(NodeId(0), NodeId(3), HopBound::AtMost(3)).is_empty());
+        assert!(p
+            .profile(NodeId(0), NodeId(3), HopBound::AtMost(2))
+            .is_empty());
+        assert!(!p
+            .profile(NodeId(0), NodeId(3), HopBound::AtMost(3))
+            .is_empty());
     }
 
     #[test]
@@ -344,7 +362,9 @@ mod tests {
         let t = line_trace();
         let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
         // 3 -> 0 would need the contacts in reverse chronological order.
-        assert!(p.profile(NodeId(3), NodeId(0), HopBound::Unlimited).is_empty());
+        assert!(p
+            .profile(NodeId(3), NodeId(0), HopBound::Unlimited)
+            .is_empty());
         // 3 -> 2 works through the undirected contact.
         let f = p.profile(NodeId(3), NodeId(2), HopBound::Unlimited);
         assert_eq!(f.delivery(Time::ZERO), Time::secs(40.0));
@@ -477,7 +497,11 @@ mod tests {
             .contact_secs(0, 1, 0.0, 10.0)
             .build();
         let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
-        assert!(p.profile(NodeId(0), NodeId(2), HopBound::Unlimited).is_empty());
-        assert!(p.profile(NodeId(2), NodeId(0), HopBound::Unlimited).is_empty());
+        assert!(p
+            .profile(NodeId(0), NodeId(2), HopBound::Unlimited)
+            .is_empty());
+        assert!(p
+            .profile(NodeId(2), NodeId(0), HopBound::Unlimited)
+            .is_empty());
     }
 }

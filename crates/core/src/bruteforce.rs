@@ -91,11 +91,7 @@ mod tests {
                 for k in 1..=4usize {
                     let brute = delivery_function(&t, NodeId(s), NodeId(d), k);
                     let fast = profs.profile(NodeId(s), NodeId(d), HopBound::AtMost(k));
-                    assert_eq!(
-                        brute.pairs(),
-                        fast.pairs(),
-                        "pair {s}->{d} at k={k}"
-                    );
+                    assert_eq!(brute.pairs(), fast.pairs(), "pair {s}->{d} at k={k}");
                 }
             }
         }

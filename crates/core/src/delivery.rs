@@ -9,10 +9,12 @@
 //! paths. A [`DeliveryFunction`] maintains that frontier: pairs sorted by
 //! strictly increasing `LD` **and** strictly increasing `EA`.
 
+use omnet_temporal::invariant;
 use omnet_temporal::{Dur, Interval, LdEa, Time};
 
 /// The delivery function of one ordered source–destination pair: a compact
-/// Pareto list of `(LD, EA)` summaries of optimal contact sequences.
+/// Pareto list of `(LD, EA)` summaries of optimal contact sequences
+/// (§4.3, condition 4).
 ///
 /// ```
 /// use omnet_core::DeliveryFunction;
@@ -49,8 +51,9 @@ impl DeliveryFunction {
     pub fn from_pairs<I: IntoIterator<Item = LdEa>>(pairs: I) -> DeliveryFunction {
         let mut f = DeliveryFunction::empty();
         let mut cands: Vec<LdEa> = pairs.into_iter().collect();
-        cands.sort_by(|a, b| (a.ld, a.ea).cmp(&(b.ld, b.ea)));
+        cands.sort_by_key(|a| (a.ld, a.ea));
         f.pairs = compact_sorted(cands);
+        invariant::enforce(|| invariant::validate_frontier(&f.pairs));
         f
     }
 
@@ -137,6 +140,7 @@ impl DeliveryFunction {
         for &p in &other.pairs {
             self.insert(p);
         }
+        invariant::enforce(|| invariant::validate_frontier(&self.pairs));
     }
 
     /// Concatenates every represented sequence with one more contact on the
@@ -160,7 +164,9 @@ impl DeliveryFunction {
         }
         // `cands` is sorted by (ld, ea) non-strictly (min/max preserve the
         // original order); compact to a strict frontier.
-        compact_sorted(cands)
+        let out = compact_sorted(cands);
+        invariant::enforce(|| invariant::validate_frontier(&out));
+        out
     }
 
     /// Closed-form success measure: the fraction of start times `t` drawn
@@ -217,7 +223,10 @@ impl DeliveryFunction {
         let m = grid.len();
         if total <= 0.0 {
             let d = self.delay(window.start);
-            return grid.iter().map(|&x| if d <= x { 1.0 } else { 0.0 }).collect();
+            return grid
+                .iter()
+                .map(|&x| if d <= x { 1.0 } else { 0.0 })
+                .collect();
         }
         let mut ramp = vec![0.0f64; m]; // direct contributions
         let mut full_suffix = vec![0.0f64; m + 1]; // suffix-add of full lengths
@@ -351,21 +360,14 @@ mod tests {
         // dominates the (2, 1.5) and (3, 2.5) pairs
         assert!(f.insert(pair(4.0, 1.0)));
         assert!(f.check_invariant());
-        assert_eq!(
-            f.pairs(),
-            &[pair(1.0, 0.5), pair(4.0, 1.0), pair(9.0, 8.0)]
-        );
+        assert_eq!(f.pairs(), &[pair(1.0, 0.5), pair(4.0, 1.0), pair(9.0, 8.0)]);
     }
 
     #[test]
     fn delivery_piecewise_semantics() {
         // Figure-5-style function: three contemporaneous pairs and one
         // store-and-forward pair (LD < EA).
-        let f = DeliveryFunction::from_pairs([
-            pair(10.0, 5.0),
-            pair(20.0, 15.0),
-            pair(30.0, 40.0),
-        ]);
+        let f = DeliveryFunction::from_pairs([pair(10.0, 5.0), pair(20.0, 15.0), pair(30.0, 40.0)]);
         assert_eq!(f.delivery(Time::secs(0.0)), Time::secs(5.0));
         assert_eq!(f.delivery(Time::secs(7.0)), Time::secs(7.0)); // inside first
         assert_eq!(f.delivery(Time::secs(12.0)), Time::secs(15.0));
@@ -417,7 +419,10 @@ mod tests {
             pair(50.0, 25.0), // ea > te: cannot extend
         ]);
         let ext = f.extend_with(Interval::secs(10.0, 20.0));
-        assert_eq!(ext, vec![pair(8.0, 10.0), pair(12.0, 11.0), pair(20.0, 14.0)]);
+        assert_eq!(
+            ext,
+            vec![pair(8.0, 10.0), pair(12.0, 11.0), pair(20.0, 14.0)]
+        );
     }
 
     #[test]
@@ -467,19 +472,10 @@ mod tests {
     fn success_measure_window_clipping() {
         let f = DeliveryFunction::from_pairs([pair(10.0, 5.0)]);
         // window entirely after ld: no success
-        assert_eq!(
-            f.success_measure(Interval::secs(20.0, 30.0), Dur::INF),
-            0.0
-        );
+        assert_eq!(f.success_measure(Interval::secs(20.0, 30.0), Dur::INF), 0.0);
         // degenerate window: pointwise
-        assert_eq!(
-            f.success_measure(Interval::secs(7.0, 7.0), Dur::ZERO),
-            1.0
-        );
-        assert_eq!(
-            f.success_measure(Interval::secs(2.0, 2.0), Dur::ZERO),
-            0.0
-        );
+        assert_eq!(f.success_measure(Interval::secs(7.0, 7.0), Dur::ZERO), 1.0);
+        assert_eq!(f.success_measure(Interval::secs(2.0, 2.0), Dur::ZERO), 0.0);
     }
 
     #[test]

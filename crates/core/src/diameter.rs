@@ -10,9 +10,9 @@
 //! integral over start times, not a sampled estimate.
 
 use crate::algorithm::{Arcs, HopBound, ProfileOptions, SourceProfiles};
-use omnet_temporal::{Dur, Interval, NodeId, Trace};
+use omnet_temporal::{Dur, Interval, NodeId, Time, Trace};
 
-/// What to aggregate and how.
+/// What to aggregate and how when building the §4.1 success curves.
 #[derive(Debug, Clone)]
 pub struct CurveOptions {
     /// Hop classes to evaluate. Must contain `HopBound::Unlimited` for
@@ -48,7 +48,7 @@ impl CurveOptions {
 }
 
 /// Success-probability curves per hop class, averaged over ordered pairs and
-/// uniform start times (the CDFs of Figures 9–11).
+/// uniform start times (§4.1; the CDFs of Figures 9–11).
 #[derive(Debug, Clone)]
 pub struct SuccessCurves {
     bounds: Vec<HopBound>,
@@ -69,7 +69,7 @@ pub fn day_time_windows(trace: &Trace, start_hour: f64, end_hour: f64) -> Vec<In
     let span = trace.span();
     let mut out = Vec::new();
     let mut day_start = (span.start.as_secs() / 86_400.0).floor() * 86_400.0;
-    while day_start < span.end.as_secs() {
+    while Time::secs(day_start) < span.end {
         let lo = (day_start + start_hour * 3600.0).max(span.start.as_secs());
         let hi = (day_start + end_hour * 3600.0).min(span.end.as_secs());
         if hi > lo {
@@ -104,7 +104,10 @@ impl SuccessCurves {
         );
         assert!(!windows.is_empty(), "need at least one start-time window");
         let total_len: f64 = windows.iter().map(|w| w.duration().as_secs()).sum();
-        assert!(total_len > 0.0, "start-time windows must have positive length");
+        assert!(
+            total_len > 0.0,
+            "start-time windows must have positive length"
+        );
         let weights: Vec<f64> = windows
             .iter()
             .map(|w| w.duration().as_secs() / total_len)
@@ -247,7 +250,7 @@ impl SuccessCurves {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use omnet_temporal::{Time, TraceBuilder};
+    use omnet_temporal::TraceBuilder;
 
     /// A star: node 0 meets 1..=3 in overlapping windows, so most pairs need
     /// 2 hops; flooding gains nothing beyond 2.

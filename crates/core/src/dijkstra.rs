@@ -241,8 +241,8 @@ mod tests {
         assert_eq!(levels[2][2], Time::secs(100.0));
         // levels never regress
         for k in 1..levels.len() {
-            for d in 0..3 {
-                assert!(levels[k][d] <= levels[k - 1][d]);
+            for (cur, prev) in levels[k].iter().zip(&levels[k - 1]).take(3) {
+                assert!(cur <= prev);
             }
         }
     }

@@ -33,16 +33,19 @@
 //! * [`dijkstra`] — single-query earliest-arrival baseline and path
 //!   witnesses (refs [1],[7]);
 //! * [`witness`] — concrete path witnesses for optimal frontier pairs;
-//! * [`bruteforce`] — exponential enumeration oracle for tests.
+//! * [`bruteforce`] — exponential enumeration oracle for tests;
+//! * [`invariants`] — runtime invariant checks (condition 4) and the
+//!   differential oracle cross-checking the three path engines.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithm;
 pub mod bruteforce;
 pub mod delivery;
 pub mod diameter;
 pub mod dijkstra;
+pub mod invariants;
 pub mod profile_stats;
 pub mod witness;
 
@@ -50,5 +53,6 @@ pub use algorithm::{AllPairsProfiles, Arcs, HopBound, ProfileOptions, SourceProf
 pub use delivery::DeliveryFunction;
 pub use diameter::{day_time_windows, CurveOptions, SuccessCurves};
 pub use dijkstra::{earliest_arrival, earliest_arrival_bounded, ArrivalTree};
+pub use invariants::{cross_check, CrossCheckOptions, Divergence};
 pub use profile_stats::{reachability_by_hops, ProfileStats};
 pub use witness::{optimal_journeys, route_string, witness_for_pair};

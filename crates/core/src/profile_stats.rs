@@ -38,11 +38,7 @@ impl ProfileStats {
                 if s == d {
                     continue;
                 }
-                let f = profiles.profile(
-                    NodeId(s as u32),
-                    NodeId(d as u32),
-                    HopBound::Unlimited,
-                );
+                let f = profiles.profile(NodeId(s as u32), NodeId(d as u32), HopBound::Unlimited);
                 if !f.is_empty() {
                     reachable += 1;
                     total_paths += f.len();

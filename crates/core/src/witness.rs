@@ -63,8 +63,8 @@ pub fn route_string(seq: &ContactSeq) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use omnet_temporal::Time;
     use crate::algorithm::{AllPairsProfiles, HopBound, ProfileOptions};
+    use omnet_temporal::Time;
     use omnet_temporal::TraceBuilder;
 
     fn toy() -> Trace {

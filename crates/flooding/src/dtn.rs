@@ -25,13 +25,7 @@ pub struct DtnOutcome {
 /// `⌊c/2⌋` to any encountered node without the message; nodes holding one
 /// copy deliver only on meeting the destination (Spyropoulos et al.'s
 /// binary variant). With `copies = 1` this degenerates to direct delivery.
-pub fn spray_and_wait(
-    trace: &Trace,
-    s: NodeId,
-    d: NodeId,
-    t0: Time,
-    copies: u32,
-) -> DtnOutcome {
+pub fn spray_and_wait(trace: &Trace, s: NodeId, d: NodeId, t0: Time, copies: u32) -> DtnOutcome {
     assert!(s != d, "source equals destination");
     assert!(copies >= 1, "need at least one copy");
     let n = trace.num_nodes() as usize;
@@ -152,13 +146,7 @@ impl Predictability {
 /// node's (aged) delivery predictability toward the destination exceeds the
 /// carrier's. Predictabilities accumulate from the trace start, so the
 /// message benefits from warm-up history before `t0` (as FRESH does).
-pub fn prophet(
-    trace: &Trace,
-    s: NodeId,
-    d: NodeId,
-    t0: Time,
-    params: ProphetParams,
-) -> DtnOutcome {
+pub fn prophet(trace: &Trace, s: NodeId, d: NodeId, t0: Time, params: ProphetParams) -> DtnOutcome {
     assert!(s != d, "source equals destination");
     let n = trace.num_nodes() as usize;
     let mut table = Predictability::new(n, params);
@@ -310,7 +298,13 @@ mod tests {
     #[test]
     fn prophet_follows_predictability_gradient() {
         let t = relay();
-        let out = prophet(&t, NodeId(0), NodeId(2), Time::secs(20.0), ProphetParams::default());
+        let out = prophet(
+            &t,
+            NodeId(0),
+            NodeId(2),
+            Time::secs(20.0),
+            ProphetParams::default(),
+        );
         // node 1 met node 2 at t=10: P(1,2) > 0 = P(0,2) at t=50 -> handover,
         // delivery at t=100.
         assert_eq!(out.delivered_at, Time::secs(100.0));
@@ -324,7 +318,13 @@ mod tests {
             .contact_secs(0, 1, 10.0, 12.0)
             .contact_secs(0, 2, 100.0, 110.0)
             .build();
-        let out = prophet(&t, NodeId(0), NodeId(2), Time::ZERO, ProphetParams::default());
+        let out = prophet(
+            &t,
+            NodeId(0),
+            NodeId(2),
+            Time::ZERO,
+            ProphetParams::default(),
+        );
         assert_eq!(out.delivered_at, Time::secs(100.0));
     }
 
@@ -385,8 +385,7 @@ mod tests {
             let fl = crate::flood(&t, NodeId(0), t0, None).delivery(NodeId(2));
             assert!(spray_and_wait(&t, NodeId(0), NodeId(2), t0, 4).delivered_at >= fl);
             assert!(
-                prophet(&t, NodeId(0), NodeId(2), t0, ProphetParams::default()).delivered_at
-                    >= fl
+                prophet(&t, NodeId(0), NodeId(2), t0, ProphetParams::default()).delivered_at >= fl
             );
         }
     }

@@ -221,10 +221,8 @@ mod tests {
             .contact_secs(1, 3, 2.0, 4.0)
             .contact_secs(0, 2, 50.0, 55.0)
             .build();
-        let profiles = omnet_core::AllPairsProfiles::compute(
-            &t,
-            omnet_core::ProfileOptions::default(),
-        );
+        let profiles =
+            omnet_core::AllPairsProfiles::compute(&t, omnet_core::ProfileOptions::default());
         for s in 0..4u32 {
             for start in [0.0, 3.0, 11.0, 26.0, 51.0] {
                 let out = flood(&t, NodeId(s), Time::secs(start), None);
@@ -243,10 +241,8 @@ mod tests {
     #[test]
     fn ttl_matches_hop_bounded_profiles() {
         let t = relay();
-        let profiles = omnet_core::AllPairsProfiles::compute(
-            &t,
-            omnet_core::ProfileOptions::default(),
-        );
+        let profiles =
+            omnet_core::AllPairsProfiles::compute(&t, omnet_core::ProfileOptions::default());
         for ttl in 1..=3u32 {
             for start in [0.0, 50.0, 150.0, 201.0] {
                 let out = flood(&t, NodeId(0), Time::secs(start), Some(ttl));

@@ -83,9 +83,7 @@ where
     let starts: Vec<Time> = (0..samples)
         .map(|i| {
             let frac = (i as f64 + 0.5) / samples as f64;
-            Time::secs(
-                span.start.as_secs() + frac * span.duration().as_secs(),
-            )
+            Time::secs(span.start.as_secs() + frac * span.duration().as_secs())
         })
         .collect();
     let per_source: Vec<(usize, usize, f64)> = omnet_analysis::par_map(n as usize, |si| {
@@ -194,16 +192,12 @@ mod tests {
     #[test]
     fn evaluate_scheme_aggregates() {
         let t = toy();
-        let stats = evaluate_scheme(&t, 4, |tr, s, d, t0| {
-            direct_delivery(tr, s, d, t0)
-        });
+        let stats = evaluate_scheme(&t, 4, direct_delivery);
         assert_eq!(stats.queries, 3 * 2 * 4);
         assert!(stats.success_rate > 0.0 && stats.success_rate < 1.0);
         assert!(stats.mean_delay_secs >= 0.0);
         // flooding can only do better
-        let fstats = evaluate_scheme(&t, 4, |tr, s, d, t0| {
-            flood(tr, s, t0, None).delivery(d)
-        });
+        let fstats = evaluate_scheme(&t, 4, |tr, s, d, t0| flood(tr, s, t0, None).delivery(d));
         assert!(fstats.success_rate >= stats.success_rate);
     }
 }

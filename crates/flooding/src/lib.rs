@@ -10,7 +10,7 @@
 //! informs.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dtn;
 pub mod epidemic;
@@ -19,11 +19,9 @@ pub mod local;
 pub mod sim;
 pub mod zhang;
 
-pub use epidemic::{flood, FloodOutcome};
-pub use forwarding::{
-    direct_delivery, epidemic_ttl, evaluate_scheme, two_hop_relay, SchemeStats,
-};
 pub use dtn::{prophet, prophet_batch, spray_and_wait, DtnOutcome, ProphetParams};
+pub use epidemic::{flood, FloodOutcome};
+pub use forwarding::{direct_delivery, epidemic_ttl, evaluate_scheme, two_hop_relay, SchemeStats};
 pub use local::{evaluate_fresh, fresh_delivery, FreshStats, LocalOutcome};
 pub use sim::{simulate, uniform_workload, Message, Routing, SimConfig, SimReport};
 pub use zhang::ZhangProfile;

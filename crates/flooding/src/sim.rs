@@ -78,7 +78,10 @@ pub struct Message {
 /// uniform internal pairs, created uniformly over the first `fraction` of
 /// the trace window (leaving room to deliver).
 pub fn uniform_workload(trace: &Trace, count: usize, fraction: f64, seed: u64) -> Vec<Message> {
-    assert!(trace.num_internal() >= 2, "need at least two internal devices");
+    assert!(
+        trace.num_internal() >= 2,
+        "need at least two internal devices"
+    );
     assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
     let mut rng = StdRng::seed_from_u64(seed);
     let span = trace.span();
@@ -280,7 +283,12 @@ pub fn simulate(trace: &Trace, workload: &[Message], config: SimConfig) -> SimRe
             }
             for cp in pushes {
                 report.relay_transmissions += 1;
-                push_copy(&mut buffers[to.index()], cp, config.buffer_capacity, &mut report);
+                push_copy(
+                    &mut buffers[to.index()],
+                    cp,
+                    config.buffer_capacity,
+                    &mut report,
+                );
             }
         }
         report.peak_buffer = report
@@ -295,12 +303,7 @@ pub fn simulate(trace: &Trace, workload: &[Message], config: SimConfig) -> SimRe
     report
 }
 
-fn push_copy(
-    buffer: &mut VecDeque<Copy>,
-    cp: Copy,
-    capacity: usize,
-    report: &mut SimReport,
-) {
+fn push_copy(buffer: &mut VecDeque<Copy>, cp: Copy, capacity: usize, report: &mut SimReport) {
     if buffer.len() >= capacity {
         buffer.pop_front(); // drop-oldest
         report.buffer_drops += 1;

@@ -100,7 +100,10 @@ mod tests {
             assert!(d >= g);
             assert!(d <= m.max);
             let slots = d.as_secs() / g.as_secs();
-            assert!((slots - slots.round()).abs() < 1e-9, "not slot-aligned: {d}");
+            assert!(
+                (slots - slots.round()).abs() < 1e-9,
+                "not slot-aligned: {d}"
+            );
         }
     }
 
@@ -110,9 +113,7 @@ mod tests {
         let g = Dur::mins(2.0);
         let mut rng = StdRng::seed_from_u64(17);
         let n = 20_000;
-        let singles = (0..n)
-            .filter(|_| m.sample(g, &mut rng) == g)
-            .count();
+        let singles = (0..n).filter(|_| m.sample(g, &mut rng) == g).count();
         let frac = singles as f64 / n as f64;
         // Pareto samples rounding down to one slot add a little mass on top
         // of the 0.75 mixture weight.

@@ -109,8 +109,7 @@ impl MobilitySpec {
             let size = g.group_size.min(self.internal).max(2);
             let pairs_per_event = (size as f64) * (size as f64 - 1.0) / 2.0;
             let base_rate = g.events_per_day / 86_400.0;
-            let kept_fraction =
-                1.0 - self.miss_probability * self.durations.single_slot_fraction;
+            let kept_fraction = 1.0 - self.miss_probability * self.durations.single_slot_fraction;
             gathering_contacts_expected =
                 base_rate * mean_mult * self.duration.as_secs() * pairs_per_event * kept_fraction;
             self.generate_gatherings(g, size, window, max_mult, &social, &mut builder, &mut rng);
@@ -124,8 +123,7 @@ impl MobilitySpec {
         if self.target_internal_contacts > 0.0 && total_weight > 0.0 {
             for u in 0..self.internal {
                 for v in (u + 1)..self.internal {
-                    let expected =
-                        effective_internal * social.weight(u, v) / total_weight;
+                    let expected = effective_internal * social.weight(u, v) / total_weight;
                     let base_rate = expected / (mean_mult * self.duration.as_secs());
                     self.generate_pair(
                         u,
@@ -150,12 +148,11 @@ impl MobilitySpec {
                 .collect();
             let mut w_total = 0.0;
             for u in 0..self.internal {
-                for (_, es) in ext_soc.iter().enumerate() {
+                for es in ext_soc.iter() {
                     w_total += social.sociability(u) * es;
                 }
             }
-            let miss_loss_e =
-                self.miss_probability * self.external_durations.single_slot_fraction;
+            let miss_loss_e = self.miss_probability * self.external_durations.single_slot_fraction;
             let effective_external = self.target_external_contacts / (1.0 - miss_loss_e);
             for u in 0..self.internal {
                 for (j, es) in ext_soc.iter().enumerate() {
@@ -277,11 +274,7 @@ impl MobilitySpec {
 
 /// Draws `k` distinct indices with probability proportional to `weights`
 /// (sequential weighted sampling; `k` is clamped to the population size).
-fn weighted_sample_without_replacement(
-    weights: &[f64],
-    k: usize,
-    rng: &mut StdRng,
-) -> Vec<u32> {
+fn weighted_sample_without_replacement(weights: &[f64], k: usize, rng: &mut StdRng) -> Vec<u32> {
     let k = k.min(weights.len());
     let mut remaining: Vec<(u32, f64)> = weights
         .iter()
@@ -358,7 +351,10 @@ mod tests {
         let g = 120.0;
         for c in t.contacts() {
             let s = c.start().as_secs();
-            assert!((s / g - (s / g).round()).abs() < 1e-9, "start {s} not on grid");
+            assert!(
+                (s / g - (s / g).round()).abs() < 1e-9,
+                "start {s} not on grid"
+            );
             assert!(c.end() <= t.span().end);
             assert!(c.duration() >= Dur::ZERO);
         }

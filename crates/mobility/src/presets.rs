@@ -188,9 +188,7 @@ mod tests {
         assert!(s.external_contacts > 1_200, "{}", s.external_contacts);
         // conference trace is orders of magnitude denser
         let conf = TraceStats::of(&Dataset::Infocom05.generate(2));
-        assert!(
-            conf.internal_rate_per_node_hour > 20.0 * s.internal_rate_per_node_hour
-        );
+        assert!(conf.internal_rate_per_node_hour > 20.0 * s.internal_rate_per_node_hour);
     }
 
     #[test]

@@ -80,17 +80,17 @@ impl Schedule {
 /// Conference-day profile by hour of day.
 fn conference_hour(h: f64) -> f64 {
     match h {
-        _ if h < 8.0 => 0.04,  // night
-        _ if h < 9.0 => 1.5,   // arrival & registration
-        _ if h < 10.5 => 1.2,  // morning session
-        _ if h < 11.0 => 3.0,  // coffee break
-        _ if h < 12.5 => 1.2,  // late-morning session
-        _ if h < 14.0 => 2.2,  // lunch
-        _ if h < 15.5 => 1.2,  // afternoon session
-        _ if h < 16.0 => 3.0,  // coffee break
-        _ if h < 17.5 => 1.2,  // late session
-        _ if h < 19.5 => 1.8,  // reception / demos
-        _ => 0.25,             // evening
+        _ if h < 8.0 => 0.04, // night
+        _ if h < 9.0 => 1.5,  // arrival & registration
+        _ if h < 10.5 => 1.2, // morning session
+        _ if h < 11.0 => 3.0, // coffee break
+        _ if h < 12.5 => 1.2, // late-morning session
+        _ if h < 14.0 => 2.2, // lunch
+        _ if h < 15.5 => 1.2, // afternoon session
+        _ if h < 16.0 => 3.0, // coffee break
+        _ if h < 17.5 => 1.2, // late session
+        _ if h < 19.5 => 1.8, // reception / demos
+        _ => 0.25,            // evening
     }
 }
 
@@ -111,7 +111,7 @@ fn campus_hour(h: f64, weekday: bool) -> f64 {
 fn city_hour(h: f64) -> f64 {
     match h {
         _ if h < 7.0 => 0.05,
-        _ if h < 9.0 => 1.5,  // morning commute
+        _ if h < 9.0 => 1.5, // morning commute
         _ if h < 17.0 => 0.5,
         _ if h < 19.0 => 1.5, // evening commute
         _ if h < 23.0 => 1.0, // bars & restaurants

@@ -7,13 +7,13 @@ use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = MobilitySpec> {
     (
-        3u32..15,          // internal
-        0u32..10,          // external
-        1u32..4,           // communities
-        0u32..3,           // schedule selector
-        50u32..800,        // target internal contacts
-        0u32..200,         // target external contacts
-        0u32..40,          // miss probability (percent, < 40)
+        3u32..15,                              // internal
+        0u32..10,                              // external
+        1u32..4,                               // communities
+        0u32..3,                               // schedule selector
+        50u32..800,                            // target internal contacts
+        0u32..200,                             // target external contacts
+        0u32..40,                              // miss probability (percent, < 40)
         prop::option::of((5u32..40, 3u32..8)), // gatherings
     )
         .prop_map(

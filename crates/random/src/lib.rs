@@ -22,7 +22,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod model;
 pub mod modulated;
@@ -32,9 +32,9 @@ pub mod theory;
 
 pub use model::{ContinuousModel, DiscreteModel, SlotEdges};
 pub use modulated::ModulatedModel;
-pub use renewal::{InterContactLaw, RenewalModel};
 pub use montecarlo::{
     budgets, constrained_path_probability, delay_optimal_stats, estimate_optimal_path,
     ln_expected_path_count, OptimalPathEstimate,
 };
+pub use renewal::{InterContactLaw, RenewalModel};
 pub use theory::ContactCase;

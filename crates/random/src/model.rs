@@ -89,9 +89,13 @@ impl DiscreteModel {
     /// semantics of the empirical methodology (§4.2).
     pub fn to_trace(&self, slots: &[SlotEdges], slot_secs: f64) -> Trace {
         assert!(slot_secs > 0.0, "slot duration must be positive");
-        let mut b = TraceBuilder::new().num_nodes(self.n as u32).window(
-            omnet_temporal::Interval::secs(0.0, slots.len().max(1) as f64 * slot_secs),
-        );
+        let mut b =
+            TraceBuilder::new()
+                .num_nodes(self.n as u32)
+                .window(omnet_temporal::Interval::secs(
+                    0.0,
+                    slots.len().max(1) as f64 * slot_secs,
+                ));
         for (t, edges) in slots.iter().enumerate() {
             let s = t as f64 * slot_secs;
             for &(u, v) in edges {

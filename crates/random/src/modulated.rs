@@ -62,7 +62,13 @@ impl ModulatedModel {
     /// model of rate `lambda_mean`: the active phase runs at
     /// `lambda_mean · boost`, the quiet phase is scaled so the duty-weighted
     /// mean stays `lambda_mean`.
-    pub fn with_mean(n: usize, lambda_mean: f64, boost: f64, period: usize, duty: f64) -> ModulatedModel {
+    pub fn with_mean(
+        n: usize,
+        lambda_mean: f64,
+        boost: f64,
+        period: usize,
+        duty: f64,
+    ) -> ModulatedModel {
         assert!(boost >= 1.0, "boost must be at least 1");
         let high = lambda_mean * boost;
         let low = (lambda_mean - duty * high) / (1.0 - duty).max(1e-12);
@@ -132,8 +138,10 @@ impl ModulatedModel {
     ) -> crate::OptimalPathEstimate {
         assert!(reps > 0, "need at least one replication");
         let results = omnet_analysis::par_map(reps, |r| {
-            let mut rng =
-                StdRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut rng = StdRng::seed_from_u64(
+                seed.wrapping_add(r as u64)
+                    .wrapping_mul(0xA076_1D64_78BD_642F),
+            );
             self.delay_optimal_stats(case, max_slots, &mut rng)
         });
         let ln_n = (self.n as f64).ln();
@@ -146,8 +154,16 @@ impl ModulatedModel {
             hits += 1;
         }
         crate::OptimalPathEstimate {
-            delay_coefficient: if hits > 0 { d / hits as f64 / ln_n } else { f64::NAN },
-            hop_coefficient: if hits > 0 { h / hits as f64 / ln_n } else { f64::NAN },
+            delay_coefficient: if hits > 0 {
+                d / hits as f64 / ln_n
+            } else {
+                f64::NAN
+            },
+            hop_coefficient: if hits > 0 {
+                h / hits as f64 / ln_n
+            } else {
+                f64::NAN
+            },
             misses: reps - hits,
             hits,
         }
@@ -218,8 +234,12 @@ mod tests {
             30,
             11,
         );
-        let bursty = ModulatedModel::with_mean(n, 0.5, 4.0, 40, 0.25)
-            .estimate_optimal_path(ContactCase::Short, 800, 30, 11);
+        let bursty = ModulatedModel::with_mean(n, 0.5, 4.0, 40, 0.25).estimate_optimal_path(
+            ContactCase::Short,
+            800,
+            30,
+            11,
+        );
         assert_eq!(stationary.misses, 0);
         assert_eq!(bursty.misses, 0);
         assert!(

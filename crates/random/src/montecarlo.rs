@@ -95,7 +95,10 @@ pub fn constrained_path_probability(
 ) -> f64 {
     assert!(reps > 0, "need at least one replication");
     let hits: usize = omnet_analysis::par_map(reps, |r| {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(
+            seed.wrapping_add(r as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let n = model.n;
         let dest = n - 1;
         let mut labels = vec![u32::MAX; n];
@@ -150,7 +153,10 @@ pub fn estimate_optimal_path(
 ) -> OptimalPathEstimate {
     assert!(reps > 0, "need at least one replication");
     let results = omnet_analysis::par_map(reps, |r| {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut rng = StdRng::seed_from_u64(
+            seed.wrapping_add(r as u64)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
         delay_optimal_stats(model, case, max_slots, &mut rng)
     });
     let ln_n = (model.n as f64).ln();
@@ -163,8 +169,16 @@ pub fn estimate_optimal_path(
         hits += 1;
     }
     OptimalPathEstimate {
-        delay_coefficient: if hits > 0 { d_sum / hits as f64 / ln_n } else { f64::NAN },
-        hop_coefficient: if hits > 0 { h_sum / hits as f64 / ln_n } else { f64::NAN },
+        delay_coefficient: if hits > 0 {
+            d_sum / hits as f64 / ln_n
+        } else {
+            f64::NAN
+        },
+        hop_coefficient: if hits > 0 {
+            h_sum / hits as f64 / ln_n
+        } else {
+            f64::NAN
+        },
         misses: reps - hits,
         hits,
     }
@@ -225,14 +239,14 @@ fn ln_choose(a: f64, b: f64) -> f64 {
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma domain is x > 0");
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -319,12 +333,10 @@ mod tests {
         let gs = theory::gamma_star(ContactCase::Short, lambda).unwrap();
         // comfortably supercritical: τ = 3/M
         let (t, k) = budgets(n, 3.0 / m, gs);
-        let p_super =
-            constrained_path_probability(model, ContactCase::Short, t, k, 60, 7);
+        let p_super = constrained_path_probability(model, ContactCase::Short, t, k, 60, 7);
         // comfortably subcritical: τ = 0.4/M (γ budget scaled along)
         let (t2, k2) = budgets(n, 0.4 / m, gs);
-        let p_sub =
-            constrained_path_probability(model, ContactCase::Short, t2, k2, 60, 7);
+        let p_sub = constrained_path_probability(model, ContactCase::Short, t2, k2, 60, 7);
         assert!(
             p_super > 0.8,
             "supercritical probability too low: {p_super}"
@@ -382,8 +394,6 @@ mod tests {
         assert!(ln_expected_path_count(ContactCase::Short, 500, 0.8, 30, 8) > base);
         assert!(ln_expected_path_count(ContactCase::Short, 500, 0.8, 20, 12) > base);
         // long contacts allow more time assignments than short
-        assert!(
-            ln_expected_path_count(ContactCase::Long, 500, 0.8, 20, 8) > base
-        );
+        assert!(ln_expected_path_count(ContactCase::Long, 500, 0.8, 20, 8) > base);
     }
 }

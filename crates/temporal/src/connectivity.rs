@@ -74,7 +74,12 @@ pub fn snapshot_diameter(trace: &Trace, t: Time) -> usize {
                 }
             }
         }
-        let ecc = dist.iter().filter(|d| **d != usize::MAX).max().copied().unwrap_or(0);
+        let ecc = dist
+            .iter()
+            .filter(|d| **d != usize::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0);
         best = best.max(ecc);
     }
     best
@@ -88,8 +93,7 @@ pub fn giant_component_series(trace: &Trace, samples: usize) -> Vec<(Time, f64)>
     (0..samples)
         .map(|i| {
             let t = Time::secs(
-                span.start.as_secs()
-                    + span.duration().as_secs() * i as f64 / (samples - 1) as f64,
+                span.start.as_secs() + span.duration().as_secs() * i as f64 / (samples - 1) as f64,
             );
             (t, giant_component_fraction(trace, t))
         })
@@ -161,10 +165,7 @@ mod tests {
         assert_eq!(series.len(), 9);
         assert!(series.iter().all(|(_, f)| (0.0..=1.0).contains(f)));
         // peak occupancy is mid-trace
-        let peak = series
-            .iter()
-            .map(|(_, f)| *f)
-            .fold(0.0f64, f64::max);
+        let peak = series.iter().map(|(_, f)| *f).fold(0.0f64, f64::max);
         assert_eq!(peak, 0.5);
     }
 }

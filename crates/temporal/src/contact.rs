@@ -20,7 +20,10 @@ pub struct Interval {
 impl Interval {
     /// Creates an interval; panics unless `start <= end` and both finite.
     pub fn new(start: Time, end: Time) -> Interval {
-        assert!(start.is_finite() && end.is_finite(), "interval must be finite");
+        assert!(
+            start.is_finite() && end.is_finite(),
+            "interval must be finite"
+        );
         assert!(start <= end, "interval start must not exceed its end");
         Interval { start, end }
     }
@@ -120,14 +123,30 @@ impl Contact {
         self.a == n || self.b == n
     }
 
-    /// The endpoint that is not `n`; panics if `n` is not an endpoint.
-    pub fn peer_of(&self, n: NodeId) -> NodeId {
+    /// The endpoint that is not `n`, or `None` if `n` is not an endpoint.
+    pub fn checked_peer_of(&self, n: NodeId) -> Option<NodeId> {
         if self.a == n {
-            self.b
+            Some(self.b)
         } else if self.b == n {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// The endpoint that is not `n`.
+    ///
+    /// Calling this with a non-endpoint is a programmer error, caught by
+    /// debug assertions (and the strict-invariants sequence checks); release
+    /// builds return `a` rather than abort mid-computation. Use
+    /// [`Contact::checked_peer_of`] when the membership of `n` is not
+    /// already established.
+    pub fn peer_of(&self, n: NodeId) -> NodeId {
+        debug_assert!(self.touches(n), "{n:?} is not an endpoint of {self:?}");
+        if self.b == n {
             self.a
         } else {
-            panic!("{n:?} is not an endpoint of {self:?}");
+            self.b
         }
     }
 }
@@ -182,9 +201,18 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)] // peer_of misuse is a debug assertion
     #[should_panic(expected = "not an endpoint")]
     fn peer_of_stranger_panics() {
         let c = Contact::secs(0, 1, 0.0, 1.0);
         let _ = c.peer_of(NodeId(5));
+    }
+
+    #[test]
+    fn checked_peer_of_reports_membership() {
+        let c = Contact::secs(0, 1, 0.0, 1.0);
+        assert_eq!(c.checked_peer_of(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(c.checked_peer_of(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(c.checked_peer_of(NodeId(5)), None);
     }
 }

@@ -1,0 +1,320 @@
+//! Mechanically checkable structural invariants (the correctness layer).
+//!
+//! The paper's results rest on three structural guarantees that the rest of
+//! the workspace assumes everywhere but, historically, only stated in doc
+//! comments:
+//!
+//! 1. **Trace canonical form** — contacts sorted by `(start, end, a, b)`,
+//!    endpoints inside the node universe and canonically ordered (`a < b`),
+//!    every interval finite and inside the observation window (§5.1);
+//! 2. **Sequence validity (Eq. 2)** — every contact of a sequence ends no
+//!    earlier than the latest beginning among its predecessors, and
+//!    consecutive hops share a device;
+//! 3. **Frontier strictness (condition 4)** — delivery functions are strict
+//!    Pareto frontiers: `LD` and `EA` both strictly increasing.
+//!
+//! This module gives those guarantees a typed error ([`InvariantViolation`]),
+//! free-standing checkers over raw parts (so *corrupt* inputs can be probed
+//! without first constructing the type whose constructor would fix or reject
+//! them), and an enforcement gate ([`enforce`]) that is compiled out of
+//! plain release builds, active under `debug_assertions`, and **always on**
+//! when the workspace-wide `strict-invariants` feature is enabled.
+
+use crate::contact::{Contact, Interval};
+use crate::sequence::LdEa;
+use crate::time::Time;
+
+/// True when invariant checks run in this build: debug builds and any build
+/// with the `strict-invariants` feature. The checks guard the structural
+/// assumptions of §3 (canonical traces), §4.2 (sequence validity, Eq. 2)
+/// and §4.3 (strict frontiers, condition 4).
+pub const STRICT: bool = cfg!(any(debug_assertions, feature = "strict-invariants"));
+
+/// A broken structural invariant (§3 trace form, §4.2 sequence validity,
+/// §4.3 frontier strictness), with enough context to locate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// Trace contacts are not sorted by `(start, end, a, b)` at `index`.
+    UnsortedContacts {
+        /// Index of the first contact that sorts before its predecessor.
+        index: usize,
+    },
+    /// A contact's interval lies (partly) outside the observation window.
+    ContactOutsideWindow {
+        /// Index of the offending contact.
+        index: usize,
+    },
+    /// A contact endpoint is `>= num_nodes`.
+    EndpointOutsideUniverse {
+        /// Index of the offending contact.
+        index: usize,
+    },
+    /// A contact's endpoints are not in canonical `a < b` order (this also
+    /// covers self-contacts, where `a == b`).
+    NonCanonicalEndpoints {
+        /// Index of the offending contact.
+        index: usize,
+    },
+    /// A contact interval is inverted or non-finite.
+    InvalidInterval {
+        /// Index of the offending contact.
+        index: usize,
+    },
+    /// The internal-device count exceeds the node universe.
+    InternalExceedsUniverse,
+    /// A sequence hop does not touch the device reached so far.
+    DetachedHop {
+        /// Zero-based hop index.
+        hop: usize,
+    },
+    /// A sequence breaks Eq. (2): the contact at `hop` ends before the
+    /// latest beginning among its predecessors.
+    BrokenChronology {
+        /// Zero-based hop index.
+        hop: usize,
+    },
+    /// A sequence's recorded node chain disagrees with its contacts.
+    InconsistentNodeChain {
+        /// Zero-based hop index.
+        hop: usize,
+    },
+    /// A delivery function is not a strict Pareto frontier at `index`:
+    /// `LD` or `EA` fails to strictly increase (condition 4).
+    FrontierOrder {
+        /// Index of the second pair of the offending adjacent pair.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantViolation::UnsortedContacts { index } => {
+                write!(f, "contact {index} sorts before its predecessor")
+            }
+            InvariantViolation::ContactOutsideWindow { index } => {
+                write!(f, "contact {index} lies outside the observation window")
+            }
+            InvariantViolation::EndpointOutsideUniverse { index } => {
+                write!(f, "contact {index} touches a node outside the universe")
+            }
+            InvariantViolation::NonCanonicalEndpoints { index } => {
+                write!(
+                    f,
+                    "contact {index} has non-canonical endpoints (want a < b)"
+                )
+            }
+            InvariantViolation::InvalidInterval { index } => {
+                write!(f, "contact {index} has an inverted or non-finite interval")
+            }
+            InvariantViolation::InternalExceedsUniverse => {
+                write!(f, "internal-device count exceeds the node universe")
+            }
+            InvariantViolation::DetachedHop { hop } => {
+                write!(f, "hop {hop} does not touch the device reached so far")
+            }
+            InvariantViolation::BrokenChronology { hop } => {
+                write!(f, "hop {hop} ends before an earlier hop begins (Eq. 2)")
+            }
+            InvariantViolation::InconsistentNodeChain { hop } => {
+                write!(f, "node chain disagrees with contacts at hop {hop}")
+            }
+            InvariantViolation::FrontierOrder { index } => {
+                write!(
+                    f,
+                    "frontier pair {index} does not strictly dominate order (condition 4)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Checks the canonical-trace invariants (§3) over raw parts.
+///
+/// This is the checker behind `Trace::validate`, exposed over raw slices so
+/// tests and external tools can probe inputs that `TraceBuilder` would
+/// silently canonicalize (e.g. an unsorted contact vector).
+pub fn validate_trace_parts(
+    num_nodes: u32,
+    internal: u32,
+    span: Interval,
+    contacts: &[Contact],
+) -> Result<(), InvariantViolation> {
+    if internal > num_nodes {
+        return Err(InvariantViolation::InternalExceedsUniverse);
+    }
+    let mut prev: Option<&Contact> = None;
+    for (index, c) in contacts.iter().enumerate() {
+        if !(c.start().is_finite() && c.end().is_finite() && c.start() <= c.end()) {
+            return Err(InvariantViolation::InvalidInterval { index });
+        }
+        if c.a >= c.b {
+            return Err(InvariantViolation::NonCanonicalEndpoints { index });
+        }
+        if c.b.0 >= num_nodes {
+            return Err(InvariantViolation::EndpointOutsideUniverse { index });
+        }
+        if c.start() < span.start || span.end < c.end() {
+            return Err(InvariantViolation::ContactOutsideWindow { index });
+        }
+        if let Some(p) = prev {
+            if (p.start(), p.end(), p.a, p.b) > (c.start(), c.end(), c.a, c.b) {
+                return Err(InvariantViolation::UnsortedContacts { index });
+            }
+        }
+        prev = Some(c);
+    }
+    Ok(())
+}
+
+/// Checks the sequence invariants (§4.2, Eq. 2, plus endpoint chaining)
+/// over a raw hop list anchored at `origin`, returning the node chain on
+/// success.
+pub fn validate_sequence_parts(
+    origin: crate::node::NodeId,
+    contacts: &[Contact],
+) -> Result<Vec<crate::node::NodeId>, InvariantViolation> {
+    let mut nodes = vec![origin];
+    let mut here = origin;
+    let mut max_beg = Time::NEG_INF;
+    for (hop, c) in contacts.iter().enumerate() {
+        if !c.touches(here) {
+            return Err(InvariantViolation::DetachedHop { hop });
+        }
+        if c.end() < max_beg {
+            return Err(InvariantViolation::BrokenChronology { hop });
+        }
+        max_beg = max_beg.max(c.start());
+        here = c.peer_of(here);
+        nodes.push(here);
+    }
+    Ok(nodes)
+}
+
+/// Checks the strict-frontier invariant (§4.3, condition 4) over raw pairs.
+pub fn validate_frontier(pairs: &[LdEa]) -> Result<(), InvariantViolation> {
+    for (i, w) in pairs.windows(2).enumerate() {
+        if !(w[0].ld < w[1].ld && w[0].ea < w[1].ea) {
+            return Err(InvariantViolation::FrontierOrder { index: i + 1 });
+        }
+    }
+    Ok(())
+}
+
+/// Runs a §3/§4 structural-invariant check in checking builds (see
+/// [`STRICT`]); compiled to nothing otherwise. Panics with the violation when the check fails —
+/// invariants describe programmer errors, not recoverable conditions.
+#[inline]
+pub fn enforce<F>(check: F)
+where
+    F: FnOnce() -> Result<(), InvariantViolation>,
+{
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    if let Err(violation) = check() {
+        panic!("structural invariant violated: {violation}");
+    }
+    #[cfg(not(any(debug_assertions, feature = "strict-invariants")))]
+    let _ = check;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn c(u: u32, v: u32, s: f64, e: f64) -> Contact {
+        Contact::secs(u, v, s, e)
+    }
+
+    #[test]
+    fn sorted_canonical_contacts_pass() {
+        let contacts = [c(0, 1, 0.0, 10.0), c(1, 2, 5.0, 20.0)];
+        assert_eq!(
+            validate_trace_parts(3, 3, Interval::secs(0.0, 30.0), &contacts),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn unsorted_contacts_are_caught() {
+        let contacts = [c(1, 2, 5.0, 20.0), c(0, 1, 0.0, 10.0)];
+        assert_eq!(
+            validate_trace_parts(3, 3, Interval::secs(0.0, 30.0), &contacts),
+            Err(InvariantViolation::UnsortedContacts { index: 1 })
+        );
+    }
+
+    #[test]
+    fn window_and_universe_violations_are_caught() {
+        let contacts = [c(0, 1, 0.0, 10.0)];
+        assert_eq!(
+            validate_trace_parts(3, 3, Interval::secs(2.0, 30.0), &contacts),
+            Err(InvariantViolation::ContactOutsideWindow { index: 0 })
+        );
+        assert_eq!(
+            validate_trace_parts(1, 1, Interval::secs(0.0, 30.0), &contacts),
+            Err(InvariantViolation::EndpointOutsideUniverse { index: 0 })
+        );
+        assert_eq!(
+            validate_trace_parts(3, 4, Interval::secs(0.0, 30.0), &contacts),
+            Err(InvariantViolation::InternalExceedsUniverse)
+        );
+    }
+
+    #[test]
+    fn sequence_chronology_violation_is_caught() {
+        // Second contact ends (4.0) before the first begins (6.0): Eq. 2 fails.
+        let hops = [c(0, 1, 6.0, 10.0), c(1, 2, 2.0, 4.0)];
+        assert_eq!(
+            validate_sequence_parts(NodeId(0), &hops),
+            Err(InvariantViolation::BrokenChronology { hop: 1 })
+        );
+    }
+
+    #[test]
+    fn sequence_detached_hop_is_caught() {
+        let hops = [c(0, 1, 0.0, 10.0), c(2, 3, 5.0, 20.0)];
+        assert_eq!(
+            validate_sequence_parts(NodeId(0), &hops),
+            Err(InvariantViolation::DetachedHop { hop: 1 })
+        );
+    }
+
+    #[test]
+    fn valid_sequence_returns_node_chain() {
+        let hops = [c(0, 1, 0.0, 10.0), c(1, 2, 5.0, 20.0)];
+        assert_eq!(
+            validate_sequence_parts(NodeId(0), &hops),
+            Ok(vec![NodeId(0), NodeId(1), NodeId(2)])
+        );
+    }
+
+    #[test]
+    fn frontier_strictness_is_caught() {
+        let p = |ld: f64, ea: f64| LdEa {
+            ld: Time::secs(ld),
+            ea: Time::secs(ea),
+        };
+        assert_eq!(validate_frontier(&[p(1.0, 0.5), p(2.0, 1.5)]), Ok(()));
+        // Equal LD: not strictly increasing.
+        assert_eq!(
+            validate_frontier(&[p(1.0, 0.5), p(1.0, 1.5)]),
+            Err(InvariantViolation::FrontierOrder { index: 1 })
+        );
+        // EA decreasing.
+        assert_eq!(
+            validate_frontier(&[p(1.0, 0.5), p(2.0, 0.4)]),
+            Err(InvariantViolation::FrontierOrder { index: 1 })
+        );
+    }
+
+    #[test]
+    fn violations_display_their_location() {
+        let v = InvariantViolation::UnsortedContacts { index: 7 };
+        assert!(v.to_string().contains('7'));
+        let v = InvariantViolation::BrokenChronology { hop: 3 };
+        assert!(v.to_string().contains("Eq. 2"));
+    }
+}

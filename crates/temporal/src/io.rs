@@ -19,13 +19,24 @@ use crate::contact::{Contact, Interval};
 use crate::trace::{Trace, TraceBuilder};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// Errors raised while parsing a trace file.
+/// Unified error type for every trace I/O entry point (§2 dataset import).
+///
+/// Reading, writing and parsing all report through this one enum so callers
+/// handle a single error surface; the file-level operations ([`load`],
+/// [`save`]) attach the offending path.
 #[derive(Debug)]
-pub enum ParseError {
-    /// Underlying I/O failure.
+pub enum IoError {
+    /// Underlying I/O failure on a reader or writer.
     Io(std::io::Error),
+    /// I/O failure on a named file.
+    File {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
     /// A malformed line, with its 1-based line number and explanation.
     Syntax {
         /// 1-based line number.
@@ -35,33 +46,41 @@ pub enum ParseError {
     },
 }
 
-impl std::fmt::Display for ParseError {
+/// Legacy alias for [`IoError`] (§2); the parsing entry points predate the
+/// unified error type.
+pub type ParseError = IoError;
+
+impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseError::Io(e) => write!(f, "i/o error: {e}"),
-            ParseError::Syntax { line, message } => {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::File { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            IoError::Syntax { line, message } => {
                 write!(f, "trace syntax error at line {line}: {message}")
             }
         }
     }
 }
 
-impl std::error::Error for ParseError {
+impl std::error::Error for IoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ParseError::Io(e) => Some(e),
-            ParseError::Syntax { .. } => None,
+            IoError::Io(e) => Some(e),
+            IoError::File { source, .. } => Some(source),
+            IoError::Syntax { .. } => None,
         }
     }
 }
 
-impl From<std::io::Error> for ParseError {
+impl From<std::io::Error> for IoError {
     fn from(e: std::io::Error) -> Self {
-        ParseError::Io(e)
+        IoError::Io(e)
     }
 }
 
-/// Serializes a trace in the plain-text format.
+/// Serializes a trace in the plain-text format (§2 dataset interchange).
 pub fn to_string(trace: &Trace) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# nodes {}", trace.num_nodes());
@@ -85,8 +104,8 @@ pub fn to_string(trace: &Trace) -> String {
     out
 }
 
-/// Parses a trace from a reader.
-pub fn from_reader<R: Read>(reader: R) -> Result<Trace, ParseError> {
+/// Parses a trace from a reader (§2 contact-trace format).
+pub fn from_reader<R: Read>(reader: R) -> Result<Trace, IoError> {
     let reader = BufReader::new(reader);
     let mut builder = TraceBuilder::new();
     let mut window: Option<Interval> = None;
@@ -139,7 +158,6 @@ pub fn from_reader<R: Read>(reader: R) -> Result<Trace, ParseError> {
         }
         builder.push(Contact::secs(a, b, s, e));
     }
-    let mut builder = builder;
     if let Some(n) = nodes {
         builder = builder.num_nodes(n);
     }
@@ -152,22 +170,29 @@ pub fn from_reader<R: Read>(reader: R) -> Result<Trace, ParseError> {
     Ok(builder.build())
 }
 
-/// Parses a trace from a string.
-pub fn from_str(s: &str) -> Result<Trace, ParseError> {
+/// Parses a trace from a string (§2 contact-trace format).
+pub fn from_str(s: &str) -> Result<Trace, IoError> {
     from_reader(s.as_bytes())
 }
 
-/// Writes a trace to a file.
-pub fn save(trace: &Trace, path: &Path) -> std::io::Result<()> {
-    std::fs::write(path, to_string(trace))
+/// Writes a trace to a file (§2 dataset interchange).
+pub fn save(trace: &Trace, path: &Path) -> Result<(), IoError> {
+    std::fs::write(path, to_string(trace)).map_err(|source| IoError::File {
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
-/// Reads a trace from a file.
-pub fn load(path: &Path) -> Result<Trace, ParseError> {
-    from_reader(std::fs::File::open(path)?)
+/// Reads a trace from a file (§2 dataset import).
+pub fn load(path: &Path) -> Result<Trace, IoError> {
+    let file = std::fs::File::open(path).map_err(|source| IoError::File {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    from_reader(file)
 }
 
-/// Lenient import of Haggle/CRAWDAD-style contact listings.
+/// Lenient import of Haggle/CRAWDAD-style contact listings (§2 datasets).
 ///
 /// Real published traces come as whitespace- or semicolon-separated rows
 /// with *arbitrary* (often 1-based or hardware-derived) device identifiers
@@ -176,14 +201,14 @@ pub fn load(path: &Path) -> Result<Trace, ParseError> {
 /// `<id_a> <id_b> <start> <end>`, remaps identifiers densely in order of
 /// first appearance, skips malformed rows (counting them) instead of
 /// failing, and merges duplicate/overlapping same-pair rows.
-pub fn import_lenient<R: Read>(reader: R) -> Result<LenientImport, std::io::Error> {
+pub fn import_lenient<R: Read>(reader: R) -> Result<LenientImport, IoError> {
     let reader = BufReader::new(reader);
     let mut ids: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
     let mut builder = TraceBuilder::new().merge_overlaps(true);
     let mut skipped = 0usize;
     let mut accepted = 0usize;
     for line in reader.lines() {
-        let line = line?;
+        let line = line.map_err(IoError::Io)?;
         let text = line.trim();
         if text.is_empty() || text.starts_with('#') || text.starts_with("//") {
             continue;
@@ -220,7 +245,7 @@ pub fn import_lenient<R: Read>(reader: R) -> Result<LenientImport, std::io::Erro
     })
 }
 
-/// Result of [`import_lenient`].
+/// Result of [`import_lenient`] (§2 dataset import).
 #[derive(Debug, Clone)]
 pub struct LenientImport {
     /// The imported trace (identifiers densely remapped).
@@ -237,15 +262,15 @@ fn parse_field<T: std::str::FromStr>(
     field: Option<&str>,
     line: usize,
     what: &str,
-) -> Result<T, ParseError> {
+) -> Result<T, IoError> {
     field
         .ok_or_else(|| syntax(line, &format!("missing {what}")))?
         .parse()
         .map_err(|_| syntax(line, &format!("invalid {what}")))
 }
 
-fn syntax(line: usize, message: &str) -> ParseError {
-    ParseError::Syntax {
+fn syntax(line: usize, message: &str) -> IoError {
+    IoError::Syntax {
         line,
         message: message.to_string(),
     }
@@ -299,7 +324,7 @@ mod tests {
     fn syntax_errors_carry_line_numbers() {
         let err = from_str("0 1 0 1\nbogus line\n").unwrap_err();
         match err {
-            ParseError::Syntax { line, .. } => assert_eq!(line, 2),
+            IoError::Syntax { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error: {other}"),
         }
         let err = from_str("0 0 0 1\n").unwrap_err();
@@ -351,15 +376,12 @@ bogus row\n\
         let imp = super::super::io::import_lenient(raw.as_bytes()).unwrap();
         assert_eq!(imp.accepted, 3);
         assert_eq!(imp.trace.num_contacts(), 2);
-        assert_eq!(
-            imp.trace.contacts()[0].interval,
-            Interval::secs(0.0, 150.0)
-        );
+        assert_eq!(imp.trace.contacts()[0].interval, Interval::secs(0.0, 150.0));
     }
 
     #[test]
     fn missing_file_is_io_error() {
         let err = load(Path::new("/nonexistent/omnet.trace")).unwrap_err();
-        assert!(matches!(err, ParseError::Io(_)));
+        assert!(matches!(err, IoError::File { .. }));
     }
 }

@@ -11,6 +11,8 @@
 //!   an internal/external device split;
 //! * [`sequence`] — the contact-sequence algebra: validity (Eq. 2),
 //!   last-departure/earliest-arrival summaries and the concatenation rule;
+//! * [`invariant`] — typed structural-invariant checkers behind the
+//!   workspace-wide `strict-invariants` feature;
 //! * [`stats`] — every Table 1 / Figure 6 / Figure 7 metric;
 //! * [`transform`] — the §6 contact-removal methodology;
 //! * [`io`] — plain-text trace (de)serialization and a lenient
@@ -22,10 +24,11 @@
 //! `omnet-core`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod connectivity;
 pub mod contact;
+pub mod invariant;
 pub mod io;
 pub mod node;
 pub mod patterns;
@@ -36,6 +39,8 @@ pub mod trace;
 pub mod transform;
 
 pub use contact::{Contact, ContactId, Interval};
+pub use invariant::InvariantViolation;
+pub use io::IoError;
 pub use node::NodeId;
 pub use sequence::{ContactSeq, LdEa};
 pub use time::{Dur, Time};

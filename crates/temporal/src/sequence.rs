@@ -16,10 +16,11 @@
 //! `omnet-core`.
 
 use crate::contact::Contact;
+use crate::invariant::{self, InvariantViolation};
 use crate::node::NodeId;
 use crate::time::Time;
 
-/// The `(LD, EA)` summary of a valid contact sequence.
+/// The `(LD, EA)` summary of a valid contact sequence (§4.3).
 ///
 /// `LD = +∞, EA = -∞` summarizes the empty sequence (message already at its
 /// destination): it can "leave" at any time and has "arrived" at all times.
@@ -86,7 +87,8 @@ impl LdEa {
     }
 }
 
-/// A materialized sequence of contacts with endpoint bookkeeping.
+/// A materialized sequence of contacts with endpoint bookkeeping
+/// (a path over the trace in the sense of §4.2, Eq. 2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ContactSeq {
     contacts: Vec<Contact>,
@@ -112,7 +114,29 @@ impl ContactSeq {
         for c in contacts {
             seq = seq.extended(c)?;
         }
+        invariant::enforce(|| seq.validate());
         Some(seq)
+    }
+
+    /// Re-checks the sequence invariants from scratch: endpoint chaining,
+    /// the recorded node chain, and Eq. (2) chronology.
+    ///
+    /// Sequences built through [`ContactSeq::extended`] hold these by
+    /// construction; this is the mechanical re-verification run by debug
+    /// and `strict-invariants` builds.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        let nodes = invariant::validate_sequence_parts(self.origin(), &self.contacts)?;
+        if self.nodes.len() != nodes.len() {
+            return Err(InvariantViolation::InconsistentNodeChain { hop: 0 });
+        }
+        for (hop, (got, want)) in self.nodes.iter().zip(&nodes).enumerate() {
+            if got != want {
+                return Err(InvariantViolation::InconsistentNodeChain {
+                    hop: hop.saturating_sub(1),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Appends a contact; `None` when it does not touch the current endpoint
@@ -296,10 +320,7 @@ mod tests {
         assert_eq!(seq.hops(), 3);
         assert_eq!(seq.origin(), NodeId(0));
         assert_eq!(seq.destination(), NodeId(3));
-        assert_eq!(
-            seq.nodes(),
-            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(seq.nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         assert!(seq.is_valid());
     }
 
@@ -311,9 +332,7 @@ mod tests {
     #[test]
     fn seq_rejects_chronology_violation() {
         // Second contact is entirely before the first begins.
-        assert!(
-            ContactSeq::build(NodeId(0), &[c(0, 1, 10.0, 12.0), c(1, 2, 0.0, 5.0)]).is_none()
-        );
+        assert!(ContactSeq::build(NodeId(0), &[c(0, 1, 10.0, 12.0), c(1, 2, 0.0, 5.0)]).is_none());
     }
 
     #[test]

@@ -229,10 +229,7 @@ mod tests {
         assert_eq!(s.external_contacts, 0);
         // 3 contacts × 2 endpoints / 3 nodes / 1 hour = 2 per node-hour.
         assert!((s.internal_rate_per_node_hour - 2.0).abs() < 1e-12);
-        assert_eq!(
-            s.internal_rate_per_node_hour,
-            s.total_rate_per_node_hour
-        );
+        assert_eq!(s.internal_rate_per_node_hour, s.total_rate_per_node_hour);
     }
 
     #[test]
@@ -289,7 +286,10 @@ mod tests {
     fn next_contact_semantics() {
         let t = toy();
         // During a contact the next contact is "now".
-        assert_eq!(next_contact_at(&t, NodeId(0), Time::secs(50.0)), Time::secs(50.0));
+        assert_eq!(
+            next_contact_at(&t, NodeId(0), Time::secs(50.0)),
+            Time::secs(50.0)
+        );
         // Between contacts: the next start.
         assert_eq!(
             next_contact_at(&t, NodeId(0), Time::secs(200.0)),

@@ -11,10 +11,12 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in time, in seconds. Totally ordered; admits `±∞`, rejects NaN.
+/// Underlies the path-time arithmetic of §4.2–§4.3.
 #[derive(Clone, Copy)]
 pub struct Time(f64);
 
 /// A span of time, in seconds. Totally ordered; admits `+∞`, rejects NaN.
+/// The delay unit of the §4.1 diameter metrics.
 #[derive(Clone, Copy)]
 pub struct Dur(f64);
 
@@ -368,7 +370,7 @@ mod tests {
         assert_eq!(Time::secs(-0.0), Time::ZERO);
         assert_eq!(Time::secs(0.0) - Dur::secs(0.0), Time::ZERO);
         assert_eq!(Dur::secs(-0.0), Dur::ZERO);
-        assert!(!(Time::secs(-0.0) < Time::ZERO));
+        assert!((Time::secs(-0.0) >= Time::ZERO));
     }
 
     #[test]

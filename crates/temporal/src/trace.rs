@@ -7,10 +7,11 @@
 //! strangers whose mutual contacts were never recorded.
 
 use crate::contact::{Contact, ContactId, Interval};
+use crate::invariant::{self, InvariantViolation};
 use crate::node::NodeId;
 use crate::time::Time;
 
-/// An immutable contact trace.
+/// An immutable contact trace: the §2–§3 contact process as data.
 #[derive(Debug, Clone)]
 pub struct Trace {
     num_nodes: u32,
@@ -25,10 +26,13 @@ pub struct Trace {
 
 impl Trace {
     /// Builds a trace from parts. Most callers use [`TraceBuilder`].
-    fn from_parts(num_nodes: u32, mut contacts: Vec<Contact>, span: Interval, internal: u32) -> Trace {
-        contacts.sort_by(|x, y| {
-            (x.start(), x.end(), x.a, x.b).cmp(&(y.start(), y.end(), y.a, y.b))
-        });
+    fn from_parts(
+        num_nodes: u32,
+        mut contacts: Vec<Contact>,
+        span: Interval,
+        internal: u32,
+    ) -> Trace {
+        contacts.sort_by_key(|x| (x.start(), x.end(), x.a, x.b));
         for c in &contacts {
             assert!(c.b.0 < num_nodes, "contact endpoint outside node universe");
             assert!(
@@ -37,12 +41,24 @@ impl Trace {
             );
         }
         assert!(internal <= num_nodes);
-        Trace {
+        let trace = Trace {
             num_nodes,
             contacts,
             span,
             internal,
-        }
+        };
+        invariant::enforce(|| trace.validate());
+        trace
+    }
+
+    /// Re-checks every structural invariant of the canonical form: sorted,
+    /// canonically ordered, in-window, in-universe contacts (§5.1).
+    ///
+    /// Traces built through [`TraceBuilder`] hold these by construction;
+    /// this is the mechanical re-verification run by debug and
+    /// `strict-invariants` builds, and by `omnet check` on imported data.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        invariant::validate_trace_parts(self.num_nodes, self.internal, self.span, &self.contacts)
     }
 
     /// Number of devices (internal + external).
@@ -139,7 +155,8 @@ impl Trace {
     }
 }
 
-/// Per-node incidence lists over a trace.
+/// Per-node incidence lists over a trace (the access pattern of the
+/// §4.4 induction and the Dijkstra baseline).
 #[derive(Debug, Clone)]
 pub struct Adjacency {
     per_node: Vec<Vec<ContactId>>,
@@ -152,7 +169,8 @@ impl Adjacency {
     }
 }
 
-/// Incremental construction of a [`Trace`].
+/// Incremental construction of a [`Trace`], canonicalizing contacts into
+/// the sorted form the §3 trace model assumes.
 ///
 /// ```
 /// use omnet_temporal::TraceBuilder;
@@ -278,7 +296,7 @@ impl TraceBuilder {
 
 /// Merges overlapping or touching contacts of the same pair.
 fn merge_same_pair_overlaps(mut contacts: Vec<Contact>) -> Vec<Contact> {
-    contacts.sort_by(|x, y| (x.a, x.b, x.start(), x.end()).cmp(&(y.a, y.b, y.start(), y.end())));
+    contacts.sort_by_key(|x| (x.a, x.b, x.start(), x.end()));
     let mut out: Vec<Contact> = Vec::with_capacity(contacts.len());
     for c in contacts {
         match out.last_mut() {

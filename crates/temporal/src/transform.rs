@@ -134,10 +134,7 @@ pub fn rebase(trace: &Trace) -> Trace {
             )
         })
         .collect();
-    let window = Interval::new(
-        trace.span().start - offset,
-        trace.span().end - offset,
-    );
+    let window = Interval::new(trace.span().start - offset, trace.span().end - offset);
     crate::trace::TraceBuilder::new()
         .num_nodes(trace.num_nodes())
         .internal(trace.num_internal())

@@ -1,0 +1,214 @@
+//! The ratcheting allowlist.
+//!
+//! `xtask-lint.allow` (workspace root) grandfathers pre-existing violations
+//! as `(rule, file, count)` entries. The lint fails when a file *exceeds*
+//! its grandfathered count (a regression) **and** when it drops below it (a
+//! burn-down that must be banked by shrinking the allowlist) — so the
+//! committed counts can only ever go down.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Grandfathered counts keyed by `(rule, file)`.
+pub type Allowlist = BTreeMap<(String, String), usize>;
+
+/// Parse the allowlist format: `rule<ws>path<ws>count`, `#` comments.
+pub fn parse(text: &str) -> Result<Allowlist, String> {
+    let mut map = Allowlist::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "allowlist line {}: expected `rule path count`, got `{line}`",
+                lineno + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count `{count}`", lineno + 1))?;
+        if map
+            .insert((rule.to_string(), path.to_string()), count)
+            .is_some()
+        {
+            return Err(format!(
+                "allowlist line {}: duplicate entry for ({rule}, {path})",
+                lineno + 1
+            ));
+        }
+    }
+    Ok(map)
+}
+
+/// Load the allowlist file; a missing file is an empty allowlist.
+pub fn load(path: &Path) -> Result<Allowlist, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::new()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+/// Render an allowlist in the committed format (for `--update-allowlist`).
+pub fn render(list: &Allowlist) -> String {
+    let mut out = String::from(
+        "# Grandfathered lint violations (`cargo xtask lint`).\n\
+         # Format: rule path count — counts may only go DOWN. When you fix a\n\
+         # violation, shrink or delete the entry (or run\n\
+         # `cargo xtask lint --update-allowlist`). Never add new entries for\n\
+         # new code; fix the code instead.\n",
+    );
+    for ((rule, file), count) in list {
+        let _ = writeln!(out, "{rule} {file} {count}");
+    }
+    out
+}
+
+/// Group violations into `(rule, file) -> count`.
+pub fn tally(violations: &[Violation]) -> Allowlist {
+    let mut map = Allowlist::new();
+    for v in violations {
+        *map.entry((v.rule.to_string(), v.file.clone())).or_insert(0) += 1;
+    }
+    map
+}
+
+/// One ratchet failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RatchetError {
+    /// More violations than grandfathered: a regression.
+    Regression {
+        /// Rule identifier.
+        rule: String,
+        /// Offending file.
+        file: String,
+        /// Grandfathered count.
+        allowed: usize,
+        /// Observed count.
+        actual: usize,
+    },
+    /// Fewer violations than grandfathered: bank the progress.
+    Stale {
+        /// Rule identifier.
+        rule: String,
+        /// File whose entry is now too generous.
+        file: String,
+        /// Grandfathered count.
+        allowed: usize,
+        /// Observed count.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for RatchetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RatchetError::Regression {
+                rule,
+                file,
+                allowed,
+                actual,
+            } => write!(
+                f,
+                "{file}: [{rule}] {actual} violation(s), allowlist grandfathers {allowed} — \
+                 fix the new code"
+            ),
+            RatchetError::Stale {
+                rule,
+                file,
+                allowed,
+                actual,
+            } => write!(
+                f,
+                "{file}: [{rule}] {actual} violation(s) but allowlist grandfathers {allowed} — \
+                 ratchet down the entry (cargo xtask lint --update-allowlist)"
+            ),
+        }
+    }
+}
+
+/// Compare observed violations against the allowlist.
+pub fn check(actual: &Allowlist, allowed: &Allowlist) -> Vec<RatchetError> {
+    let mut errors = Vec::new();
+    for (key, &n) in actual {
+        let cap = allowed.get(key).copied().unwrap_or(0);
+        if n > cap {
+            errors.push(RatchetError::Regression {
+                rule: key.0.clone(),
+                file: key.1.clone(),
+                allowed: cap,
+                actual: n,
+            });
+        } else if n < cap {
+            errors.push(RatchetError::Stale {
+                rule: key.0.clone(),
+                file: key.1.clone(),
+                allowed: cap,
+                actual: n,
+            });
+        }
+    }
+    for (key, &cap) in allowed {
+        if !actual.contains_key(key) && cap > 0 {
+            errors.push(RatchetError::Stale {
+                rule: key.0.clone(),
+                file: key.1.clone(),
+                allowed: cap,
+                actual: 0,
+            });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(rule: &str, file: &str) -> (String, String) {
+        (rule.to_string(), file.to_string())
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# comment\nno-panic crates/core/src/a.rs 3\ntime-cmp crates/core/src/b.rs 1\n";
+        let list = parse(text).expect("parses");
+        assert_eq!(list.get(&key("no-panic", "crates/core/src/a.rs")), Some(&3));
+        let rendered = render(&list);
+        assert_eq!(parse(&rendered).expect("round-trips"), list);
+    }
+
+    #[test]
+    fn duplicate_entries_rejected() {
+        let text = "no-panic a.rs 1\nno-panic a.rs 2\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn regression_and_stale_detected() {
+        let mut actual = Allowlist::new();
+        actual.insert(key("no-panic", "a.rs"), 3);
+        actual.insert(key("no-panic", "b.rs"), 1);
+        let mut allowed = Allowlist::new();
+        allowed.insert(key("no-panic", "a.rs"), 2); // regression: 3 > 2
+        allowed.insert(key("no-panic", "b.rs"), 4); // stale: 1 < 4
+        allowed.insert(key("no-panic", "c.rs"), 1); // stale: file now clean
+        let errors = check(&actual, &allowed);
+        assert_eq!(errors.len(), 3);
+        assert!(matches!(errors[0], RatchetError::Regression { .. }));
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let mut actual = Allowlist::new();
+        actual.insert(key("no-panic", "a.rs"), 2);
+        let allowed = actual.clone();
+        assert!(check(&actual, &allowed).is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! A small Rust source "lexer" for the lint pass.
+//!
+//! The container has no registry access, so `syn` is unavailable; the lint
+//! rules instead run over a *masked* view of each source file in which
+//! comments, string literals and char literals are blanked out (replaced by
+//! spaces, newlines preserved). Token-level substring checks on the masked
+//! view cannot be fooled by `"panic!"` appearing inside a string or a
+//! comment, which is all the precision the rules below need.
+//!
+//! The module also computes, per line, whether the line belongs to a
+//! `#[cfg(test)]` module so test-only code can be exempted.
+
+/// Masked view of one source file plus per-line test-code classification.
+pub struct MaskedSource {
+    /// Source with comments/strings/chars blanked to spaces.
+    pub masked: String,
+    /// `in_test[i]` is true when line `i` (0-based) is inside a
+    /// `#[cfg(test)]` module.
+    pub in_test: Vec<bool>,
+}
+
+/// Blank out comments and literals, preserving byte offsets and newlines.
+pub fn mask(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![0u8; b.len()];
+    out.copy_from_slice(b);
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment (doc comments included: rules that need doc
+                // text read the raw source, not the mask).
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // Ordinary (or byte) string; the opening quote may have been
+                // preceded by `b`, which is harmless to leave in place.
+                out[i] = b' ';
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out[i] = b' ';
+                        if b[i + 1] != b'\n' {
+                            out[i + 1] = b' ';
+                        }
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out[i] = b' ';
+                        i += 1;
+                        break;
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // Raw string r"...", r#"..."#, br#"..."# — no escapes; the
+                // terminator is `"` followed by the same number of `#`.
+                let mut j = i;
+                out[j] = b' ';
+                j += 1;
+                if b[j] == b'r' {
+                    out[j] = b' ';
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    out[j] = b' ';
+                    hashes += 1;
+                    j += 1;
+                }
+                // Opening quote.
+                out[j] = b' ';
+                j += 1;
+                'scan: while j < b.len() {
+                    if b[j] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for slot in out.iter_mut().skip(j).take(hashes + 1) {
+                                *slot = b' ';
+                            }
+                            j += hashes + 1;
+                            break 'scan;
+                        }
+                    }
+                    if b[j] != b'\n' {
+                        out[j] = b' ';
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            b'\'' => {
+                // Char literal vs. lifetime. `'x'` and `'\n'` are literals;
+                // `'a` followed by a non-quote is a lifetime (leave as-is).
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    out[i] = b' ';
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        out[i] = b' ';
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        out[i] = b' ';
+                        i += 1;
+                    }
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    out[i + 2] = b' ';
+                    i += 3;
+                } else {
+                    i += 1; // lifetime
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // The mask only writes ASCII spaces over existing bytes, and multi-byte
+    // UTF-8 sequences only occur inside comments/strings (ASCII source
+    // otherwise), where every byte is overwritten — so this is valid UTF-8.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // `r"`, `r#`, `br"`, `br#` — and the `r`/`b` must not be the tail of an
+    // identifier (e.g. `attr#` is not valid Rust anyway, but `var` ending in
+    // `r` followed by `"` cannot happen outside macros).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let rest = &b[i..];
+    matches!(
+        rest,
+        [b'r', b'"', ..] | [b'r', b'#', ..] | [b'b', b'r', b'"', ..] | [b'b', b'r', b'#', ..]
+    )
+}
+
+/// Mark every line inside a `#[cfg(test)] mod … { … }` span as test code.
+pub fn test_lines(masked: &str) -> Vec<bool> {
+    let num_lines = masked.lines().count();
+    let mut in_test = vec![false; num_lines];
+    // Byte offset of each line start, for offset→line translation.
+    let mut line_starts = vec![0usize];
+    for (i, c) in masked.char_indices() {
+        if c == '\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |off: usize| match line_starts.binary_search(&off) {
+        Ok(l) => l,
+        Err(l) => l - 1,
+    };
+
+    let bytes = masked.as_bytes();
+    let mut search = 0usize;
+    while let Some(pos) = masked[search..].find("#[cfg(test)]") {
+        let attr_at = search + pos;
+        // Find the first `{` after the attribute (the body of the annotated
+        // module or function) and brace-match to its close.
+        let Some(open_rel) = masked[attr_at..].find('{') else {
+            break;
+        };
+        let open = attr_at + open_rel;
+        let mut depth = 0usize;
+        let mut close = masked.len();
+        for (j, &c) in bytes.iter().enumerate().skip(open) {
+            if c == b'{' {
+                depth += 1;
+            } else if c == b'}' {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+        }
+        let (first, last) = (line_of(attr_at), line_of(close.min(masked.len() - 1)));
+        for flag in in_test.iter_mut().take(last + 1).skip(first) {
+            *flag = true;
+        }
+        search = close.min(masked.len());
+    }
+    in_test
+}
+
+/// Mask a file and classify its lines.
+pub fn analyze(src: &str) -> MaskedSource {
+    let masked = mask(src);
+    let in_test = test_lines(&masked);
+    MaskedSource { masked, in_test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"panic!\"; // panic!\nlet y = 1; /* .unwrap() */\n";
+        let m = mask(src);
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains("unwrap"));
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.matches('\n').count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"has .unwrap() inside\"#; s.len();\n";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("s.len()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '\"' }\n";
+        let m = mask(src);
+        assert!(m.contains("'a str"), "lifetime must survive: {m}");
+        assert!(!m.contains('"'), "quote char literal must be blanked");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let k = 3;\n";
+        let m = mask(src);
+        assert!(!m.contains("outer"));
+        assert!(!m.contains("inner"));
+        assert!(m.contains("let k = 3;"));
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_marked() {
+        let src = "pub fn good() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n\npub fn after() {}\n";
+        let a = analyze(src);
+        assert!(!a.in_test[0], "line 0 is lib code");
+        assert!(a.in_test[2], "attribute line is test code");
+        assert!(a.in_test[5], "unwrap line is test code");
+        assert!(!a.in_test[8], "code after the module is lib code");
+    }
+}

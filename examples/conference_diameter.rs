@@ -35,7 +35,10 @@ fn main() {
     // Delay CDF from 2 minutes to the trace length, hop classes 1..6 and
     // flooding — the shape of Figure 9(a).
     let horizon = s.duration.as_secs();
-    let grid: Vec<Dur> = log_grid(120.0, horizon, 20).into_iter().map(Dur::secs).collect();
+    let grid: Vec<Dur> = log_grid(120.0, horizon, 20)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
     let curves = SuccessCurves::compute(&internal, &CurveOptions::standard(6, grid.clone()));
 
     let mut series = Series::new(

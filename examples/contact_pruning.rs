@@ -29,7 +29,10 @@ fn main() {
         day2.num_internal()
     );
 
-    let grid: Vec<Dur> = log_grid(120.0, 86_400.0, 10).into_iter().map(Dur::secs).collect();
+    let grid: Vec<Dur> = log_grid(120.0, 86_400.0, 10)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
     let labels: Vec<String> = grid.iter().map(|d| format!("{d}")).collect();
 
     let mut table = Table::new(

@@ -34,13 +34,11 @@ fn main() {
         )
     };
 
-    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| direct_delivery(t, a, b, t0));
+    let s = evaluate_scheme(&trace, samples, direct_delivery);
     let (succ, delay) = fmt(s);
     table.row(["direct delivery (1 hop)".to_string(), succ, delay]);
 
-    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| {
-        two_hop_relay(t, a, b, t0, 4)
-    });
+    let s = evaluate_scheme(&trace, samples, |t, a, b, t0| two_hop_relay(t, a, b, t0, 4));
     let (succ, delay) = fmt(s);
     table.row(["two-hop relay (4 copies)".to_string(), succ, delay]);
 

@@ -8,9 +8,7 @@
 
 use opportunistic_diameter::prelude::*;
 use opportunistic_diameter::random::montecarlo::budgets;
-use opportunistic_diameter::random::{
-    constrained_path_probability, estimate_optimal_path, theory,
-};
+use opportunistic_diameter::random::{constrained_path_probability, estimate_optimal_path, theory};
 
 fn main() {
     // Figure 1/2 style: the phase function for three contact rates.
@@ -37,7 +35,10 @@ fn main() {
     let case = ContactCase::Short;
     let m = theory::phase_maximum(case, lambda).unwrap();
     let gs = theory::gamma_star(case, lambda).unwrap();
-    println!("short contacts, lambda = {lambda}: critical tau = 1/M = {:.3}", 1.0 / m);
+    println!(
+        "short contacts, lambda = {lambda}: critical tau = 1/M = {:.3}",
+        1.0 / m
+    );
     for (label, tau) in [("subcritical", 0.5 / m), ("supercritical", 2.5 / m)] {
         let (t, k) = budgets(n, tau, gs);
         let p = constrained_path_probability(model, case, t, k, 200, 11);

@@ -46,10 +46,17 @@ fn main() {
     let names = ["alice", "bob", "carol", "dave", "erin"];
     let route: Vec<&str> = path.nodes().iter().map(|n| names[n.index()]).collect();
     println!("\nearliest-arrival route 0 -> 4: {}", route.join(" -> "));
-    println!("  {} hops, arriving {}", path.hops(), tree.arrival(NodeId(4)));
+    println!(
+        "  {} hops, arriving {}",
+        path.hops(),
+        tree.arrival(NodeId(4))
+    );
 
     // The network diameter at 99% of flooding.
-    let grid: Vec<Dur> = log_grid(60.0, 6_000.0, 16).into_iter().map(Dur::secs).collect();
+    let grid: Vec<Dur> = log_grid(60.0, 6_000.0, 16)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
     let curves = SuccessCurves::compute(&trace, &CurveOptions::standard(4, grid));
     match curves.diameter(0.01) {
         Some(d) => println!("\n99%-diameter of this network: {d} hops"),

@@ -58,7 +58,5 @@ pub mod prelude {
     pub use omnet_flooding::{flood, ZhangProfile};
     pub use omnet_mobility::{Dataset, MobilitySpec, Schedule};
     pub use omnet_random::{ContactCase, ContinuousModel, DiscreteModel};
-    pub use omnet_temporal::{
-        Contact, Dur, Interval, LdEa, NodeId, Time, Trace, TraceBuilder,
-    };
+    pub use omnet_temporal::{Contact, Dur, Interval, LdEa, NodeId, Time, Trace, TraceBuilder};
 }

@@ -1,0 +1,172 @@
+//! Differential harness: the three path engines cross-checked on
+//! randomized traces with invariant checking live.
+//!
+//! The production §4.4 induction (`omnet_core::algorithm`), the
+//! exponential enumeration oracle (`omnet_core::bruteforce`) and the
+//! time-dependent Dijkstra (`omnet_core::dijkstra`) implement the same
+//! mathematical object three independent ways. This harness generates
+//! randomized small traces and demands bit-exact agreement through
+//! [`omnet_core::cross_check`], with structural invariants
+//! (`Trace::validate`, `ContactSeq::validate`, `DeliveryFunction::validate`)
+//! re-verified along the way. Run with `--features strict-invariants` the
+//! same checks stay active in release builds — that is the CI
+//! `strict-invariants` job.
+
+use omnet_core::{cross_check, CrossCheckOptions};
+use omnet_temporal::invariant::{self, InvariantViolation};
+use omnet_temporal::{Contact, ContactSeq, NodeId, Time, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random small trace: up to `max_nodes` devices, `max_contacts`
+/// contacts with start times in `[0, horizon)`.
+fn random_trace(
+    rng: &mut StdRng,
+    max_nodes: u32,
+    max_contacts: usize,
+    horizon: f64,
+) -> omnet_temporal::Trace {
+    let n = rng.gen_range(3..=max_nodes);
+    let m = rng.gen_range(1..=max_contacts);
+    let mut b = TraceBuilder::new().num_nodes(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let start = rng.gen_range(0.0..horizon);
+        let dur = rng.gen_range(0.0..horizon / 4.0);
+        b.push(Contact::secs(u, v, start, start + dur));
+    }
+    b.build()
+}
+
+#[test]
+fn engines_agree_on_randomized_traces() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_D1FF);
+    for round in 0..40 {
+        let trace = random_trace(&mut rng, 6, 9, 400.0);
+        trace.validate().expect("builder output must validate");
+        let starts = (0..4)
+            .map(|_| Time::secs(rng.gen_range(0.0..500.0)))
+            .collect();
+        let opts = CrossCheckOptions {
+            hop_classes: vec![1, 2, 3, 4],
+            starts,
+            max_divergences: 4,
+        };
+        let divergences = cross_check(&trace, &opts);
+        assert!(
+            divergences.is_empty(),
+            "round {round}: engines diverged on {trace:?}:\n{}",
+            divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn larger_sparse_traces_agree_with_dijkstra_only() {
+    // Brute force is exponential, so bigger rounds check only the
+    // profile-vs-Dijkstra axis (plus frontier validity).
+    let mut rng = StdRng::seed_from_u64(0xD1FF_5EED);
+    for round in 0..10 {
+        let trace = random_trace(&mut rng, 15, 40, 2_000.0);
+        trace.validate().expect("builder output must validate");
+        let starts = (0..3)
+            .map(|_| Time::secs(rng.gen_range(0.0..2_500.0)))
+            .collect();
+        let opts = CrossCheckOptions {
+            hop_classes: Vec::new(),
+            starts,
+            max_divergences: 4,
+        };
+        let divergences = cross_check(&trace, &opts);
+        assert!(
+            divergences.is_empty(),
+            "round {round}: engines diverged:\n{}",
+            divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn planted_unsorted_trace_is_caught() {
+    // `TraceBuilder` always sorts, so an unsorted contact vector can only
+    // be probed through the raw-parts checker — exactly what `Trace::
+    // validate` runs internally. Plant the violation and demand a typed
+    // report.
+    let contacts = [
+        Contact::secs(1, 2, 50.0, 60.0),
+        Contact::secs(0, 1, 0.0, 10.0), // starts before its predecessor
+    ];
+    let got = invariant::validate_trace_parts(
+        3,
+        3,
+        omnet_temporal::Interval::secs(0.0, 100.0),
+        &contacts,
+    );
+    assert_eq!(got, Err(InvariantViolation::UnsortedContacts { index: 1 }));
+
+    // And the frontier checker catches a planted condition-(4) violation.
+    let bad = [
+        omnet_temporal::LdEa {
+            ld: Time::secs(10.0),
+            ea: Time::secs(5.0),
+        },
+        omnet_temporal::LdEa {
+            ld: Time::secs(20.0),
+            ea: Time::secs(4.0), // EA must strictly increase
+        },
+    ];
+    assert_eq!(
+        invariant::validate_frontier(&bad),
+        Err(InvariantViolation::FrontierOrder { index: 1 })
+    );
+}
+
+#[test]
+fn sequence_validation_matches_is_valid_on_random_chains() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut validated = 0u32;
+    for _ in 0..200 {
+        let trace = random_trace(&mut rng, 5, 6, 200.0);
+        // Random walks over the contact list, valid or not.
+        let origin = NodeId(rng.gen_range(0..trace.num_nodes()));
+        let take = rng.gen_range(0..=trace.num_contacts());
+        let hops: Vec<Contact> = trace.contacts()[..take].to_vec();
+        match ContactSeq::build(origin, &hops) {
+            Some(seq) => {
+                seq.validate().expect("constructed sequence must validate");
+                assert!(seq.is_valid());
+                validated += 1;
+            }
+            None => {
+                // The raw-parts checker must agree that something is wrong.
+                assert!(
+                    invariant::validate_sequence_parts(origin, &hops).is_err(),
+                    "build refused a chain the checker accepts: {hops:?}"
+                );
+            }
+        }
+    }
+    assert!(validated > 0, "no valid chains sampled at all");
+}
+
+// In dev-profile tests enforcement is always on via debug_assertions; with
+// `--features strict-invariants` it also holds in release builds. In a plain
+// release test build there is nothing to observe, so the test is gated out.
+#[test]
+#[cfg(any(debug_assertions, feature = "strict-invariants"))]
+#[should_panic(expected = "structural invariant violated")]
+fn enforce_aborts_on_planted_violation() {
+    invariant::enforce(|| Err(InvariantViolation::InternalExceedsUniverse));
+}

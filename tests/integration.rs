@@ -16,7 +16,10 @@ fn conference_slice() -> Trace {
 fn dataset_to_diameter_pipeline() {
     let trace = conference_slice();
     assert!(trace.num_contacts() > 300, "slice unexpectedly sparse");
-    let grid: Vec<Dur> = log_grid(120.0, 21_600.0, 8).into_iter().map(Dur::secs).collect();
+    let grid: Vec<Dur> = log_grid(120.0, 21_600.0, 8)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
     let curves = SuccessCurves::compute(&trace, &CurveOptions::standard(12, grid));
     let d = curves.diameter(0.01);
     assert!(d.is_some(), "conference slice must have a finite diameter");
@@ -62,19 +65,24 @@ fn continuous_model_instantaneous_contacts_forward() {
             }
             let one = profiles.profile(NodeId(s), NodeId(d), HopBound::AtMost(1));
             let all = profiles.profile(NodeId(s), NodeId(d), HopBound::Unlimited);
-            if all.delivery(Time::ZERO) < Time::INF && one.delivery(Time::ZERO) == Time::INF
-            {
+            if all.delivery(Time::ZERO) < Time::INF && one.delivery(Time::ZERO) == Time::INF {
                 multi_hop_pairs += 1;
             }
         }
     }
-    assert!(multi_hop_pairs > 50, "only {multi_hop_pairs} multi-hop pairs");
+    assert!(
+        multi_hop_pairs > 50,
+        "only {multi_hop_pairs} multi-hop pairs"
+    );
 }
 
 #[test]
 fn hop_ttl_saturates_at_the_diameter() {
     let trace = conference_slice();
-    let grid: Vec<Dur> = log_grid(120.0, 21_600.0, 6).into_iter().map(Dur::secs).collect();
+    let grid: Vec<Dur> = log_grid(120.0, 21_600.0, 6)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
     let curves = SuccessCurves::compute(&trace, &CurveOptions::standard(10, grid));
     let diam = curves.diameter(0.01).expect("finite diameter");
     let flood = curves.curve(HopBound::Unlimited).unwrap();
@@ -98,7 +106,10 @@ fn contact_removal_experiment_end_to_end() {
     let trace = conference_slice();
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let removed = transform::remove_random(&trace, 0.9, &mut rng);
-    let grid: Vec<Dur> = log_grid(120.0, 21_600.0, 6).into_iter().map(Dur::secs).collect();
+    let grid: Vec<Dur> = log_grid(120.0, 21_600.0, 6)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
     let full = SuccessCurves::compute(&trace, &CurveOptions::standard(6, grid.clone()));
     let thin = SuccessCurves::compute(&removed, &CurveOptions::standard(6, grid));
     let f_full = full.curve(HopBound::Unlimited).unwrap();

@@ -4,7 +4,9 @@
 
 use opportunistic_diameter::prelude::*;
 use opportunistic_diameter::random::theory;
-use opportunistic_diameter::random::{budgets, constrained_path_probability, estimate_optimal_path};
+use opportunistic_diameter::random::{
+    budgets, constrained_path_probability, estimate_optimal_path,
+};
 use opportunistic_diameter::temporal::transform;
 
 fn slice() -> Trace {
@@ -13,7 +15,10 @@ fn slice() -> Trace {
 
 fn slice_curves(trace: &Trace, max_hops: usize) -> SuccessCurves {
     let horizon = trace.span().duration().as_secs();
-    let grid: Vec<Dur> = log_grid(120.0, horizon, 8).into_iter().map(Dur::secs).collect();
+    let grid: Vec<Dur> = log_grid(120.0, horizon, 8)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
     SuccessCurves::compute(trace, &CurveOptions::standard(max_hops, grid))
 }
 
@@ -73,16 +78,19 @@ fn claim_diameter_robust_to_removal() {
 fn claim_short_contacts_keep_diameter_small() {
     let trace = transform::internal_only(&Dataset::Infocom06.generate_days(0.5, 5));
     let horizon = trace.span().duration().as_secs();
-    let grid: Vec<Dur> = log_grid(120.0, horizon, 6).into_iter().map(Dur::secs).collect();
+    let grid: Vec<Dur> = log_grid(120.0, horizon, 6)
+        .into_iter()
+        .map(Dur::secs)
+        .collect();
     let base = SuccessCurves::compute(&trace, &CurveOptions::standard(12, grid.clone()))
         .diameter(0.01)
         .expect("baseline diameter");
     let long_only = transform::min_duration(&trace, Dur::mins(10.0));
-    let filtered = SuccessCurves::compute(&long_only, &CurveOptions::standard(12, grid))
-        .diameter(0.01);
-    match filtered {
-        Some(f) => assert!(f >= base, "filtering shrank the diameter: {base} -> {f}"),
-        None => {} // beyond 12 hops: grew, claim holds a fortiori
+    let filtered =
+        SuccessCurves::compute(&long_only, &CurveOptions::standard(12, grid)).diameter(0.01);
+    // `None` means beyond 12 hops: grew, so the claim holds a fortiori.
+    if let Some(f) = filtered {
+        assert!(f >= base, "filtering shrank the diameter: {base} -> {f}");
     }
 }
 

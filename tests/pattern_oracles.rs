@@ -23,7 +23,9 @@ fn relay_line_delivery_function_is_exact() {
         assert_eq!(f.pairs()[0].ea, Time::secs((d as f64 - 1.0) * 100.0));
     }
     // the reverse direction is impossible beyond each shared contact
-    assert!(p.profile(NodeId(4), NodeId(0), HopBound::Unlimited).is_empty());
+    assert!(p
+        .profile(NodeId(4), NodeId(0), HopBound::Unlimited)
+        .is_empty());
 }
 
 #[test]
@@ -33,11 +35,13 @@ fn relay_line_hop_classes_match_distance() {
     for d in 1..6u32 {
         let need = d as usize; // 0 -> d needs exactly d hops
         assert!(
-            p.profile(NodeId(0), NodeId(d), HopBound::AtMost(need - 1)).is_empty(),
+            p.profile(NodeId(0), NodeId(d), HopBound::AtMost(need - 1))
+                .is_empty(),
             "0->{d} reachable too early"
         );
         assert!(
-            !p.profile(NodeId(0), NodeId(d), HopBound::AtMost(need)).is_empty(),
+            !p.profile(NodeId(0), NodeId(d), HopBound::AtMost(need))
+                .is_empty(),
             "0->{d} not reachable at its distance"
         );
     }
@@ -58,10 +62,16 @@ fn sequential_star_spokes_route_through_hub() {
             assert_eq!(f.pairs()[0].ld, Time::secs(i as f64 * 100.0 + 10.0));
             assert_eq!(f.pairs()[0].ea, Time::secs(j as f64 * 100.0));
             // exactly two hops, never one
-            assert!(p.profile(NodeId(i), NodeId(j), HopBound::AtMost(1)).is_empty());
-            assert!(!p.profile(NodeId(i), NodeId(j), HopBound::AtMost(2)).is_empty());
+            assert!(p
+                .profile(NodeId(i), NodeId(j), HopBound::AtMost(1))
+                .is_empty());
+            assert!(!p
+                .profile(NodeId(i), NodeId(j), HopBound::AtMost(2))
+                .is_empty());
             // and never backwards in visit order
-            assert!(p.profile(NodeId(j), NodeId(i), HopBound::Unlimited).is_empty());
+            assert!(p
+                .profile(NodeId(j), NodeId(i), HopBound::Unlimited)
+                .is_empty());
         }
     }
 }

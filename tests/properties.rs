@@ -102,19 +102,65 @@ proptest! {
     }
 }
 
+/// Naive O(n²) Pareto filter: keep exactly the summaries not strictly
+/// dominated by another (`other` departs no earlier AND arrives no later).
+fn naive_pareto(pairs: &[LdEa]) -> Vec<LdEa> {
+    let mut uniq: Vec<LdEa> = Vec::new();
+    for p in pairs {
+        if !uniq.contains(p) {
+            uniq.push(*p);
+        }
+    }
+    let mut kept: Vec<LdEa> = uniq
+        .iter()
+        .filter(|p| !uniq.iter().any(|q| q != *p && q.ld >= p.ld && q.ea <= p.ea))
+        .copied()
+        .collect();
+    kept.sort_by_key(|x| x.ld);
+    kept
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn from_pairs_equals_naive_pareto_filter(pairs in prop::collection::vec(ldea_strategy(), 0..40)) {
+        let f = DeliveryFunction::from_pairs(pairs.clone());
+        let expected = naive_pareto(&pairs);
+        prop_assert_eq!(
+            f.pairs(),
+            expected.as_slice(),
+            "frontier of {:?} differs from the naive Pareto filter",
+            pairs
+        );
+    }
+
+    #[test]
+    fn delivery_is_monotone_non_decreasing(
+        pairs in prop::collection::vec(ldea_strategy(), 0..40),
+        t1 in 0u32..250,
+        t2 in 0u32..250,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let f = DeliveryFunction::from_pairs(pairs);
+        let (d_lo, d_hi) = (f.delivery(Time::secs(lo as f64)), f.delivery(Time::secs(hi as f64)));
+        prop_assert!(
+            d_lo <= d_hi,
+            "delivery({lo}) = {d_lo:?} > delivery({hi}) = {d_hi:?}"
+        );
+    }
+}
+
 /// Strategy: a random tiny trace (3-6 nodes, up to 8 contacts).
 fn trace_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32, u32)>> {
     prop::collection::vec(
-        (0u32..6, 0u32..6, 0u32..100, 0u32..40).prop_filter_map(
-            "self contact",
-            |(u, v, s, d)| {
-                if u == v {
-                    None
-                } else {
-                    Some((u, v, s, s + d))
-                }
-            },
-        ),
+        (0u32..6, 0u32..6, 0u32..100, 0u32..40).prop_filter_map("self contact", |(u, v, s, d)| {
+            if u == v {
+                None
+            } else {
+                Some((u, v, s, s + d))
+            }
+        }),
         1..8,
     )
 }

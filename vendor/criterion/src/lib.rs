@@ -1,0 +1,251 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple calibrated wall-clock mean (warm-up, then enough iterations to
+//! fill a fixed measurement window) printed as plain text — adequate for
+//! relative comparisons, with none of upstream's statistics machinery.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility; the vendored runner sizes iteration
+    /// counts from the measurement window instead of a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Criterion {
+        self
+    }
+
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Criterion {
+        let label = id.to_string();
+        self.run_one(&label, &mut f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, f: &mut F) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some((iters, per_iter)) => {
+                println!("{label:<60} {:>14}/iter  ({iters} iters)", fmt_ns(per_iter));
+            }
+            None => println!("{label:<60} (no measurement)"),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a `Criterion` configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; see [`Criterion::sample_size`].
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the vendored runner).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Times the closure handed to it by a benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    report: Option<(u64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up to calibrate a per-batch iteration
+    /// count, then repeated batches until the measurement window is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measurement {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        self.report = Some((iters, ns));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(20));
+        let mut g = c.benchmark_group("demo");
+        g.measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        g.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

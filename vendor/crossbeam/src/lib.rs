@@ -1,0 +1,106 @@
+//! Offline drop-in subset of the `crossbeam` 0.8 API.
+//!
+//! The workspace only uses crossbeam for scoped fork/join
+//! (`crossbeam::thread::scope` + `Scope::spawn`), which std has provided
+//! natively since Rust 1.63. This vendored crate keeps the crossbeam call
+//! shape — a `Result` distinguishing clean completion from worker panics,
+//! and spawn closures receiving the scope — while delegating the actual
+//! thread management to [`std::thread::scope`].
+//!
+//! One deliberate deviation: the scope handle is a `Copy` value passed by
+//! value (rather than by reference) so it can be rebuilt inside worker
+//! closures without fighting `std`'s scope lifetime. Call sites that bind
+//! the handle with a closure parameter — the only pattern this workspace
+//! uses — compile unchanged.
+
+#![deny(missing_docs)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A panic payload from one of the scoped workers.
+    pub type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A handle for spawning threads inside a [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope (so
+        /// workers may spawn more workers), matching crossbeam's shape.
+        pub fn spawn<F, T>(self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(self))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing worker threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// Returns `Err(payload)` when any worker (or `f` itself) panicked,
+    /// like crossbeam — instead of std's resume-unwind behaviour.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn workers_can_borrow_locals() {
+            let counter = AtomicUsize::new(0);
+            let out = super::scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                "done"
+            })
+            .unwrap();
+            assert_eq!(out, "done");
+            assert_eq!(counter.load(Ordering::Relaxed), 8);
+        }
+
+        #[test]
+        fn worker_panic_becomes_err() {
+            let r = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|scope| {
+                scope.spawn(|inner| {
+                    inner.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 1);
+        }
+    }
+}

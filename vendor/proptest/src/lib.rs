@@ -1,0 +1,515 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest it uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_filter_map` combinators, range and
+//! tuple strategies, `prop::collection::vec` and `prop::option::of`, the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream: cases are drawn from a deterministic
+//! per-test seed (derived from the test path) with **no shrinking** — a
+//! failure reports the case number so the exact draw can be replayed, but
+//! is not minimized. `PROPTEST_CASES` in the environment overrides the
+//! per-test case count, exactly like upstream.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// The RNG handed to strategies: the workspace's deterministic generator.
+pub type TestRng = rand::rngs::StdRng;
+
+/// How many consecutive rejections (`prop_filter` / `prop_filter_map`)
+/// abort a test with a clear diagnostic instead of spinning forever.
+const MAX_REJECTS: u32 = 10_000;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::TestRng;
+    use rand::{Rng, SampleRange};
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Unlike upstream proptest there is no value tree: a strategy is
+    /// sampled directly and failures are not shrunk.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards values for which `f` is false, resampling.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        /// Maps values through `f`, resampling when it returns `None`.
+        fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+            self,
+            reason: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..super::MAX_REJECTS {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("strategy rejected too many values: {}", self.reason);
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            for _ in 0..super::MAX_REJECTS {
+                if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                    return v;
+                }
+            }
+            panic!("strategy rejected too many values: {}", self.reason);
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategies!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+    }
+
+    /// Ranges accepted as collection sizes.
+    pub trait SizeRange: SampleRange<usize> + Clone {}
+
+    impl<R: SampleRange<usize> + Clone> SizeRange for R {}
+}
+
+pub mod prop {
+    //! The `prop::` namespace of strategy constructors.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::{SizeRange, Strategy};
+        use crate::TestRng;
+        use rand::Rng;
+
+        /// A strategy for `Vec`s whose length is drawn from `size` and
+        /// whose elements come from `element`.
+        pub fn vec<S: Strategy>(
+            element: S,
+            size: impl SizeRange,
+        ) -> VecStrategy<S, impl SizeRange> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.size.clone());
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+        use rand::Rng;
+
+        /// A strategy yielding `None` about a quarter of the time and
+        /// `Some(inner)` otherwise (upstream's default weighting).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.gen_bool(0.25) {
+                    None
+                } else {
+                    Some(self.inner.sample(rng))
+                }
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case execution: configuration, failure type, and the case loop.
+
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (only the fields the workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed case: the message produced by a `prop_assert*` macro.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// FNV-1a over the test path: a stable per-test base seed.
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `body` for every case, panicking on the first failure with
+    /// enough context to replay it (test path + case index).
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        let base = fnv1a(name);
+        for case in 0..cases {
+            let seed = base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::seed_from_u64(seed);
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "proptest {name} failed at case {case}/{cases} (seed {seed:#018x}):\n{}",
+                    e.message
+                );
+            }
+        }
+    }
+}
+
+/// Declares property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(pattern in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(
+                &$cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    let __proptest_out: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    __proptest_out
+                },
+            );
+        }
+    )*};
+}
+
+/// Fails the enclosing property case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing property case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the enclosing property case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+pub mod prelude {
+    //! The glob-imported surface, mirroring `proptest::prelude`.
+
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Point {
+        x: u32,
+        y: u32,
+    }
+
+    fn point_strategy() -> impl Strategy<Value = Point> {
+        (0u32..100, 0u32..100).prop_map(|(x, y)| Point { x, y })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn map_and_ranges(p in point_strategy(), k in 1u32..10) {
+            prop_assert!(p.x < 100 && p.y < 100);
+            prop_assert!((1..10).contains(&k));
+        }
+
+        #[test]
+        fn filter_map_respects_predicate(
+            v in prop::collection::vec(
+                (0u32..6, 0u32..6).prop_filter_map("distinct", |(a, b)| {
+                    if a == b { None } else { Some((a, b)) }
+                }),
+                1..8,
+            ),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for (a, b) in v {
+                prop_assert_ne!(a, b);
+            }
+        }
+
+        #[test]
+        fn option_of_yields_both_variants(opts in prop::collection::vec(prop::option::of(0u32..5), 40..60)) {
+            // With ~48 draws at P(None) = 1/4, both variants all but surely appear.
+            prop_assert!(opts.iter().any(|o| o.is_none()));
+            prop_assert!(opts.iter().any(|o| o.is_some()));
+        }
+
+        #[test]
+        fn early_return_is_allowed(n in 0u32..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = (0u32..1000, 0u32..1000);
+        let mut r1 = crate::TestRng::seed_from_u64(99);
+        let mut r2 = crate::TestRng::seed_from_u64(99);
+        use rand::SeedableRng;
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_and_seed() {
+        crate::test_runner::run(
+            &crate::test_runner::ProptestConfig::with_cases(4),
+            "demo::always_fails",
+            |_rng| Err(crate::test_runner::TestCaseError::fail("nope")),
+        );
+    }
+}

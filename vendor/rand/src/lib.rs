@@ -1,0 +1,367 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the narrow slice of `rand` it actually uses: the [`Rng`] and
+//! [`SeedableRng`] traits, uniform range sampling over the primitive
+//! numeric types, and a deterministic [`rngs::StdRng`] built on
+//! xoshiro256++ (Blackman & Vigna) seeded through SplitMix64.
+//!
+//! Semantics intentionally match rand 0.8 where the workspace depends on
+//! them (half-open ranges, `gen::<f64>()` uniform in `[0, 1)`), but the
+//! exact streams differ from upstream — seeds reproduce runs of *this*
+//! repository, not of crates.io rand.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Types that can be drawn uniformly from their full domain (the vendored
+/// analogue of sampling from rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits → uniform in [0, 1), the rand 0.8 convention.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Standard for u16 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u16 {
+        rng.next_u64() as u16
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> i32 {
+        rng.next_u64() as i32
+    }
+}
+
+impl Standard for i64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start + uniform_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128 - lo as u128 + 1) as u64;
+                if span == 0 {
+                    // Full-domain u64 range.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo + uniform_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                ((self.start as i128) + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::draw(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f32::draw(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Unbiased uniform draw from `0..span` (`span > 0`) via Lemire-style
+/// rejection; `span == 0` means the full `u64` domain.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Rejection zone keeps the multiply-shift reduction unbiased.
+    let zone = span.wrapping_neg() % span;
+    loop {
+        let x = rng.next_u64();
+        let (hi, lo) = {
+            let wide = (x as u128) * (span as u128);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        if lo >= zone {
+            return hi;
+        }
+    }
+}
+
+/// The raw generator interface: a source of `u64` words.
+pub trait RngCore {
+    /// The next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next raw 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// The user-facing sampling interface, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of any [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from a range (`low..high` or `low..=high`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs from a `u64` convenience seed (SplitMix64-expanded).
+    fn from_u64_seed(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// rand-compatible spelling of [`SeedableRng::from_u64_seed`].
+    fn seed_from_u64(state: u64) -> Self {
+        Self::from_u64_seed(state)
+    }
+}
+
+/// SplitMix64: seed expander and minimal standalone generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A new stream starting from `state`.
+    pub fn new(state: u64) -> SplitMix64 {
+        SplitMix64 { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state would be a fixed point; nudge it.
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Commonly imported names, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let k = rng.gen_range(0u32..10);
+            assert!(k < 10);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-5.0..5.0f64);
+            assert!((-5.0..5.0).contains(&x));
+        }
+        for _ in 0..100 {
+            let k = rng.gen_range(3usize..=3);
+            assert_eq!(k, 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn rng_by_mut_reference() {
+        fn takes_generic<R: Rng>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = &mut rng;
+        assert!(takes_generic(r).is_finite());
+    }
+}
