@@ -22,6 +22,6 @@ pub use ecdf::{Ccdf, Ecdf};
 pub use fit::{fit_tail, linear_regression, TailFit};
 pub use grid::{linear_grid, log_grid};
 pub use histogram::LogHistogram;
-pub use parallel::par_map;
+pub use parallel::{par_map, par_map_with};
 pub use summary::Summary;
 pub use table::{Series, Table};

@@ -1,9 +1,12 @@
-//! Minimal scoped-thread fork/join helper.
+//! Minimal scoped-thread fork/join helpers.
 //!
 //! The profile algorithm and Monte-Carlo sweeps are embarrassingly parallel
-//! across sources / replications; this helper spreads an indexed map across
+//! across sources / replications; these helpers spread an indexed map across
 //! the machine's cores with crossbeam scoped threads. The closure receives
-//! the item index so replications can derive independent RNG seeds.
+//! the item index so replications can derive independent RNG seeds, and the
+//! `_with` variant additionally threads a per-worker scratch state through
+//! every item a worker processes — the hook the profile engine uses to reuse
+//! its candidate buffers across sources instead of reallocating per source.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -21,15 +24,35 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_with(n, || (), |(), i| f(i))
+}
+
+/// Like [`par_map`], but each worker thread first builds a private scratch
+/// state with `init` and hands `f` a mutable reference to it for every item
+/// the worker processes.
+///
+/// The scratch never crosses threads, so `f` can freely mutate it; it is
+/// dropped when the worker finishes. Use this to pool allocations (buffers,
+/// arenas) across work items: with `k` threads only `k` scratch states ever
+/// exist, no matter how large `n` is. The sequential fallback builds exactly
+/// one scratch state.
+pub fn par_map_with<T, S, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if n <= 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
     }
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n);
     if threads == 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -40,15 +63,19 @@ where
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             let next = &next;
+            let init = &init;
             let f = &f;
             let out = &out;
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move |_| {
+                let mut scratch = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(&mut scratch, i);
+                    out.lock().expect("result mutex poisoned")[i] = Some(value);
                 }
-                let value = f(i);
-                out.lock().expect("result mutex poisoned")[i] = Some(value);
             });
         }
     })
@@ -96,5 +123,36 @@ mod tests {
     fn non_copy_results() {
         let v = par_map(10, |i| vec![i; i]);
         assert_eq!(v[3], vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn scratch_reused_within_worker() {
+        // Each worker's scratch counts the items it processed; the counts
+        // across all distinct scratches must partition the index range.
+        let v = par_map_with(
+            64,
+            || 0usize,
+            |seen, i| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        assert!(v.iter().enumerate().all(|(i, (j, _))| i == *j));
+        // every per-item observation is at least 1 (the scratch was handed in)
+        assert!(v.iter().all(|(_, seen)| *seen >= 1));
+    }
+
+    #[test]
+    fn scratch_buffer_pooling_keeps_capacity() {
+        // A Vec scratch grown by an early item stays grown for later items
+        // on the same worker — the whole point of the pooling hook.
+        let v = par_map_with(16, Vec::<u64>::new, |buf, i| {
+            buf.clear();
+            buf.extend(0..(i as u64 % 5) * 100);
+            buf.len()
+        });
+        assert_eq!(v[3], 300);
+        assert_eq!(v[4], 400);
+        assert_eq!(v[5], 0);
     }
 }

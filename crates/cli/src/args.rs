@@ -1,6 +1,11 @@
 //! Hand-rolled argument parsing (the tool has no dependency budget for a
 //! full CLI framework, and the grammar is tiny).
+//!
+//! Shape errors (wrong positional count, missing flag values, unknown
+//! subcommands) surface as [`CliError::Usage`]; malformed values surface as
+//! [`CliError::Parse`] — so the two get distinct exit codes in `main`.
 
+use crate::error::CliError;
 use std::path::PathBuf;
 
 /// A parsed invocation.
@@ -187,7 +192,7 @@ pub enum ParsedArgs {
 }
 
 /// Parses an argv slice (without the program name).
-pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
+pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
     let mut it = argv.iter().map(String::as_str);
     let Some(sub) = it.next() else {
         return Ok(ParsedArgs::Help);
@@ -238,7 +243,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
                     .split(',')
                     .map(|h| h.trim().parse::<usize>())
                     .collect::<Result<Vec<_>, _>>()
-                    .map_err(|_| "invalid --hops list".to_string())?,
+                    .map_err(|_| CliError::parse("invalid --hops list"))?,
                 None => vec![1, 2, 4],
             };
             Command::Cdf(CdfArgs {
@@ -253,11 +258,11 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
                 positional::<4>(&rest, "path <trace> <src> <dst> <start-secs>")?;
             Command::Path(PathArgs {
                 trace: trace.into(),
-                src: src.parse().map_err(|_| "invalid src id".to_string())?,
-                dst: dst.parse().map_err(|_| "invalid dst id".to_string())?,
+                src: src.parse().map_err(|_| CliError::parse("invalid src id"))?,
+                dst: dst.parse().map_err(|_| CliError::parse("invalid dst id"))?,
                 start: start
                     .parse()
-                    .map_err(|_| "invalid start time".to_string())?,
+                    .map_err(|_| CliError::parse("invalid start time"))?,
             })
         }
         "prune" => {
@@ -266,7 +271,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
             let keep: Option<f64> = flag_value(&flags, "--keep")?;
             let min_duration: Option<f64> = flag_value(&flags, "--min-duration")?;
             if keep.is_some() == min_duration.is_some() {
-                return Err("prune needs exactly one of --keep or --min-duration".into());
+                return Err(CliError::usage(
+                    "prune needs exactly one of --keep or --min-duration",
+                ));
             }
             Command::Prune(PruneArgs {
                 trace: trace.into(),
@@ -281,10 +288,10 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
             let [trace, src, start] = positional::<3>(&pos, "flood <trace> <src> <start-secs>")?;
             Command::Flood(FloodArgs {
                 trace: trace.into(),
-                src: src.parse().map_err(|_| "invalid src id".to_string())?,
+                src: src.parse().map_err(|_| CliError::parse("invalid src id"))?,
                 start: start
                     .parse()
-                    .map_err(|_| "invalid start time".to_string())?,
+                    .map_err(|_| CliError::parse("invalid start time"))?,
                 ttl: flag_value(&flags, "--ttl")?,
             })
         }
@@ -292,8 +299,8 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
             let [trace, src, dst] = positional::<3>(&rest, "journeys <trace> <src> <dst>")?;
             Command::Journeys(JourneysArgs {
                 trace: trace.into(),
-                src: src.parse().map_err(|_| "invalid src id".to_string())?,
-                dst: dst.parse().map_err(|_| "invalid dst id".to_string())?,
+                src: src.parse().map_err(|_| CliError::parse("invalid src id"))?,
+                dst: dst.parse().map_err(|_| CliError::parse("invalid dst id"))?,
             })
         }
         "simulate" => {
@@ -325,10 +332,10 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
                 trace: trace.into(),
                 at: at
                     .parse()
-                    .map_err(|_| "invalid snapshot time".to_string())?,
+                    .map_err(|_| CliError::parse("invalid snapshot time"))?,
             })
         }
-        other => return Err(format!("unknown subcommand '{other}'")),
+        other => return Err(CliError::usage(format!("unknown subcommand '{other}'"))),
     };
     Ok(ParsedArgs::Run(cmd))
 }
@@ -337,7 +344,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
 type ParsedFlags<'a> = Vec<(&'a str, Option<&'a str>)>;
 
 /// Splits `rest` into positional arguments and `--flag [value]` pairs.
-fn split_flags<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, ParsedFlags<'a>), String> {
+fn split_flags<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, ParsedFlags<'a>), CliError> {
     let mut pos = Vec::new();
     let mut flags = Vec::new();
     let mut i = 0;
@@ -349,7 +356,7 @@ fn split_flags<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, ParsedFlags<'a>), 
                 let v = rest
                     .get(i + 1)
                     .copied()
-                    .ok_or_else(|| format!("flag {a} needs a value"))?;
+                    .ok_or_else(|| CliError::usage(format!("flag {a} needs a value")))?;
                 flags.push((a, Some(v)));
                 i += 2;
             } else {
@@ -364,9 +371,9 @@ fn split_flags<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, ParsedFlags<'a>), 
     Ok((pos, flags))
 }
 
-fn positional<const N: usize>(args: &[&str], usage: &str) -> Result<[String; N], String> {
+fn positional<const N: usize>(args: &[&str], usage: &str) -> Result<[String; N], CliError> {
     if args.len() != N {
-        return Err(format!("expected: omnet {usage}"));
+        return Err(CliError::usage(format!("expected: omnet {usage}")));
     }
     Ok(std::array::from_fn(|i| args[i].to_string()))
 }
@@ -378,13 +385,13 @@ fn flag_str<'a>(flags: &[(&str, Option<&'a str>)], name: &str) -> Option<&'a str
 fn flag_value<T: std::str::FromStr>(
     flags: &[(&str, Option<&str>)],
     name: &str,
-) -> Result<Option<T>, String> {
+) -> Result<Option<T>, CliError> {
     match flag_str(flags, name) {
         None => Ok(None),
         Some(v) => v
             .parse()
             .map(Some)
-            .map_err(|_| format!("invalid value for {name}: '{v}'")),
+            .map_err(|_| CliError::parse(format!("invalid value for {name}: '{v}'"))),
     }
 }
 
@@ -505,13 +512,53 @@ mod tests {
     fn errors_are_descriptive() {
         assert!(parse(&argv("bogus"))
             .unwrap_err()
+            .to_string()
             .contains("unknown subcommand"));
-        assert!(parse(&argv("stats")).unwrap_err().contains("stats <trace>"));
+        assert!(parse(&argv("stats"))
+            .unwrap_err()
+            .to_string()
+            .contains("stats <trace>"));
         assert!(parse(&argv("cdf t --hops a,b"))
             .unwrap_err()
+            .to_string()
             .contains("--hops"));
         assert!(parse(&argv("diameter t --eps"))
             .unwrap_err()
+            .to_string()
             .contains("needs a value"));
+    }
+
+    #[test]
+    fn errors_are_classified() {
+        // shape problems are usage errors …
+        assert!(matches!(
+            parse(&argv("bogus")).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse(&argv("stats")).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse(&argv("diameter t --eps")).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse(&argv("prune a b")).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        // … while malformed values are parse errors.
+        assert!(matches!(
+            parse(&argv("cdf t --hops a,b")).unwrap_err(),
+            CliError::Parse(_)
+        ));
+        assert!(matches!(
+            parse(&argv("path t x 1 0")).unwrap_err(),
+            CliError::Parse(_)
+        ));
+        assert!(matches!(
+            parse(&argv("diameter t --eps nope")).unwrap_err(),
+            CliError::Parse(_)
+        ));
     }
 }

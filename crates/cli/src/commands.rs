@@ -1,7 +1,13 @@
 //! Subcommand implementations: pure functions from arguments to rendered
 //! output (writing trace files where the command's contract says so).
+//!
+//! Failures are typed: trace file problems surface as [`CliError::Io`],
+//! rejected inputs and failed invariant checks as [`CliError::Domain`],
+//! malformed embedded values (routing specs, raw listings) as
+//! [`CliError::Parse`].
 
 use crate::args::*;
+use crate::error::CliError;
 use omnet_core::{
     earliest_arrival, optimal_journeys, route_string, AllPairsProfiles, CurveOptions, HopBound,
     ProfileOptions, SuccessCurves,
@@ -13,16 +19,16 @@ use omnet_temporal::{io, transform, Dur, NodeId, Time, Trace};
 use std::fmt::Write as _;
 use std::path::Path;
 
-fn load(path: &Path) -> Result<Trace, String> {
-    io::load(path).map_err(|e| format!("cannot read trace: {e}"))
+fn load(path: &Path) -> Result<Trace, CliError> {
+    io::load(path).map_err(|e| CliError::io("cannot read trace", path, e))
 }
 
-fn save(trace: &Trace, path: &Path) -> Result<(), String> {
-    io::save(trace, path).map_err(|e| format!("cannot write trace: {e}"))
+fn save(trace: &Trace, path: &Path) -> Result<(), CliError> {
+    io::save(trace, path).map_err(|e| CliError::io("cannot write trace", path, e))
 }
 
 /// `omnet stats`.
-pub fn stats(a: &StatsArgs) -> Result<String, String> {
+pub fn stats(a: &StatsArgs) -> Result<String, CliError> {
     let trace = load(&a.trace)?;
     let s = TraceStats::of(&trace);
     let durations = omnet_temporal::stats::contact_durations(&trace);
@@ -75,10 +81,11 @@ pub fn stats(a: &StatsArgs) -> Result<String, String> {
 }
 
 /// `omnet convert`.
-pub fn convert(a: &ConvertArgs) -> Result<String, String> {
+pub fn convert(a: &ConvertArgs) -> Result<String, CliError> {
     let file = std::fs::File::open(&a.input)
-        .map_err(|e| format!("cannot read {}: {e}", a.input.display()))?;
-    let imp = io::import_lenient(file).map_err(|e| format!("import failed: {e}"))?;
+        .map_err(|e| CliError::io("cannot read listing", &a.input, io::IoError::Io(e)))?;
+    let imp =
+        io::import_lenient(file).map_err(|e| CliError::parse(format!("import failed: {e}")))?;
     save(&imp.trace, &a.output)?;
     Ok(format!(
         "imported {} rows ({} skipped) from {} distinct device ids\n\
@@ -93,16 +100,16 @@ pub fn convert(a: &ConvertArgs) -> Result<String, String> {
 }
 
 /// `omnet generate`.
-pub fn generate(a: &GenerateArgs) -> Result<String, String> {
+pub fn generate(a: &GenerateArgs) -> Result<String, CliError> {
     let dataset = match a.dataset.to_ascii_lowercase().as_str() {
         "infocom05" => Dataset::Infocom05,
         "infocom06" => Dataset::Infocom06,
         "hongkong" | "hong-kong" => Dataset::HongKong,
         "realitymining" | "reality-mining" => Dataset::RealityMining,
         other => {
-            return Err(format!(
+            return Err(CliError::domain(format!(
                 "unknown data set '{other}' (infocom05|infocom06|hongkong|realitymining)"
-            ))
+            )))
         }
     };
     let trace = match a.days {
@@ -121,12 +128,12 @@ pub fn generate(a: &GenerateArgs) -> Result<String, String> {
 }
 
 /// `omnet diameter`.
-pub fn diameter(a: &DiameterArgs) -> Result<String, String> {
+pub fn diameter(a: &DiameterArgs) -> Result<String, CliError> {
     if !(0.0..1.0).contains(&a.eps) {
-        return Err("--eps must lie in [0, 1)".into());
+        return Err(CliError::domain("--eps must lie in [0, 1)"));
     }
     if a.max_hops == 0 {
-        return Err("--max-hops must be positive".into());
+        return Err(CliError::domain("--max-hops must be positive"));
     }
     let trace = load(&a.trace)?;
     let trace = if a.internal_only {
@@ -177,9 +184,9 @@ pub fn diameter(a: &DiameterArgs) -> Result<String, String> {
 }
 
 /// `omnet cdf`.
-pub fn cdf(a: &CdfArgs) -> Result<String, String> {
+pub fn cdf(a: &CdfArgs) -> Result<String, CliError> {
     if a.points < 2 {
-        return Err("--points must be at least 2".into());
+        return Err(CliError::domain("--points must be at least 2"));
     }
     let trace = load(&a.trace)?;
     let trace = if a.internal_only {
@@ -216,14 +223,14 @@ pub fn cdf(a: &CdfArgs) -> Result<String, String> {
 }
 
 /// `omnet path`.
-pub fn path(a: &PathArgs) -> Result<String, String> {
+pub fn path(a: &PathArgs) -> Result<String, CliError> {
     let trace = load(&a.trace)?;
     let n = trace.num_nodes();
     if a.src >= n || a.dst >= n {
-        return Err(format!("node ids must be below {n}"));
+        return Err(CliError::domain(format!("node ids must be below {n}")));
     }
     if a.src == a.dst {
-        return Err("source equals destination".into());
+        return Err(CliError::domain("source equals destination"));
     }
     let t0 = Time::secs(a.start);
     let tree = earliest_arrival(&trace, NodeId(a.src), t0);
@@ -264,13 +271,13 @@ pub fn path(a: &PathArgs) -> Result<String, String> {
 }
 
 /// `omnet prune`.
-pub fn prune(a: &PruneArgs) -> Result<String, String> {
+pub fn prune(a: &PruneArgs) -> Result<String, CliError> {
     let trace = load(&a.trace)?;
     let before = trace.num_contacts();
     let pruned = match (a.keep, a.min_duration) {
         (Some(keep), None) => {
             if !(0.0..=1.0).contains(&keep) {
-                return Err("--keep must lie in [0, 1]".into());
+                return Err(CliError::domain("--keep must lie in [0, 1]"));
             }
             use rand::SeedableRng;
             let mut rng = rand::rngs::StdRng::seed_from_u64(a.seed);
@@ -278,7 +285,7 @@ pub fn prune(a: &PruneArgs) -> Result<String, String> {
         }
         (None, Some(secs)) => {
             if secs < 0.0 {
-                return Err("--min-duration must be non-negative".into());
+                return Err(CliError::domain("--min-duration must be non-negative"));
             }
             transform::min_duration(&trace, Dur::secs(secs))
         }
@@ -295,10 +302,13 @@ pub fn prune(a: &PruneArgs) -> Result<String, String> {
 }
 
 /// `omnet flood`.
-pub fn flood_cmd(a: &FloodArgs) -> Result<String, String> {
+pub fn flood_cmd(a: &FloodArgs) -> Result<String, CliError> {
     let trace = load(&a.trace)?;
     if a.src >= trace.num_nodes() {
-        return Err(format!("node ids must be below {}", trace.num_nodes()));
+        return Err(CliError::domain(format!(
+            "node ids must be below {}",
+            trace.num_nodes()
+        )));
     }
     let t0 = Time::secs(a.start);
     let out = flood(&trace, NodeId(a.src), t0, a.ttl);
@@ -335,14 +345,14 @@ pub fn flood_cmd(a: &FloodArgs) -> Result<String, String> {
 }
 
 /// `omnet journeys`.
-pub fn journeys(a: &JourneysArgs) -> Result<String, String> {
+pub fn journeys(a: &JourneysArgs) -> Result<String, CliError> {
     let trace = load(&a.trace)?;
     let n = trace.num_nodes();
     if a.src >= n || a.dst >= n {
-        return Err(format!("node ids must be below {n}"));
+        return Err(CliError::domain(format!("node ids must be below {n}")));
     }
     if a.src == a.dst {
-        return Err("source equals destination".into());
+        return Err(CliError::domain("source equals destination"));
     }
     let profiles = AllPairsProfiles::compute(&trace, ProfileOptions::default());
     let f = profiles.profile(NodeId(a.src), NodeId(a.dst), HopBound::Unlimited);
@@ -360,7 +370,7 @@ pub fn journeys(a: &JourneysArgs) -> Result<String, String> {
         a.src,
         a.dst
     );
-    for (pair, path) in optimal_journeys(&trace, NodeId(a.src), NodeId(a.dst), f) {
+    for (pair, path) in optimal_journeys(&trace, NodeId(a.src), NodeId(a.dst), &f) {
         let _ = writeln!(
             text,
             "  leave by {:>10}  arrive {:>10}  {} hops: {}",
@@ -374,27 +384,28 @@ pub fn journeys(a: &JourneysArgs) -> Result<String, String> {
 }
 
 /// `omnet simulate`.
-pub fn simulate_cmd(a: &SimulateArgs) -> Result<String, String> {
+pub fn simulate_cmd(a: &SimulateArgs) -> Result<String, CliError> {
     let trace = load(&a.trace)?;
     if trace.num_internal() < 2 {
-        return Err("simulation needs at least two internal devices".into());
+        return Err(CliError::domain(
+            "simulation needs at least two internal devices",
+        ));
     }
-    let routing = match a.routing.as_str() {
-        "epidemic" => Routing::Epidemic,
-        "direct" => Routing::Direct,
-        other => match other.strip_prefix("spray:") {
-            Some(copies) => Routing::SprayAndWait(
-                copies
-                    .parse()
-                    .map_err(|_| format!("invalid spray copy count '{copies}'"))?,
-            ),
-            None => {
-                return Err(format!(
-                    "unknown routing '{other}' (epidemic|direct|spray:<copies>)"
-                ))
-            }
-        },
-    };
+    let routing =
+        match a.routing.as_str() {
+            "epidemic" => Routing::Epidemic,
+            "direct" => Routing::Direct,
+            other => match other.strip_prefix("spray:") {
+                Some(copies) => Routing::SprayAndWait(copies.parse().map_err(|_| {
+                    CliError::parse(format!("invalid spray copy count '{copies}'"))
+                })?),
+                None => {
+                    return Err(CliError::parse(format!(
+                        "unknown routing '{other}' (epidemic|direct|spray:<copies>)"
+                    )))
+                }
+            },
+        };
     let config = SimConfig {
         routing,
         buffer_capacity: if a.buffer == 0 { usize::MAX } else { a.buffer },
@@ -431,7 +442,7 @@ pub fn simulate_cmd(a: &SimulateArgs) -> Result<String, String> {
 }
 
 /// `omnet components`.
-pub fn components(a: &ComponentsArgs) -> Result<String, String> {
+pub fn components(a: &ComponentsArgs) -> Result<String, CliError> {
     use omnet_temporal::connectivity;
     let trace = load(&a.trace)?;
     let t = Time::secs(a.at);
@@ -462,13 +473,13 @@ pub fn components(a: &ComponentsArgs) -> Result<String, String> {
 }
 
 /// `omnet check`.
-pub fn check(a: &CheckArgs) -> Result<String, String> {
+pub fn check(a: &CheckArgs) -> Result<String, CliError> {
     use omnet_core::{cross_check, CrossCheckOptions};
     let trace = load(&a.trace)?;
     let mut text = String::new();
     trace
         .validate()
-        .map_err(|v| format!("trace structure: FAILED — {v}"))?;
+        .map_err(|v| CliError::domain(format!("trace structure: FAILED — {v}")))?;
     let _ = writeln!(
         text,
         "trace structure: OK ({} nodes, {} contacts, span {})",
@@ -479,11 +490,11 @@ pub fn check(a: &CheckArgs) -> Result<String, String> {
 
     let hop_classes = if a.oracle {
         if trace.num_contacts() > 64 {
-            return Err(format!(
+            return Err(CliError::domain(format!(
                 "--oracle enumerates every contact sequence (exponential) and this \
                  trace has {} contacts; prune it below 64 first",
                 trace.num_contacts()
-            ));
+            )));
         }
         vec![1, 2, 3, 4]
     } else {
@@ -522,7 +533,7 @@ pub fn check(a: &CheckArgs) -> Result<String, String> {
         for d in &divergences {
             let _ = writeln!(text, "DIVERGENCE: {d}");
         }
-        Err(text)
+        Err(CliError::domain(text))
     }
 }
 
@@ -581,7 +592,8 @@ mod tests {
             starts: 1,
         })
         .unwrap_err();
-        assert!(err.contains("prune"), "{err}");
+        assert!(matches!(err, CliError::Domain(_)), "{err}");
+        assert!(err.to_string().contains("prune"), "{err}");
     }
 
     #[test]
@@ -638,7 +650,19 @@ mod tests {
             seed: 0,
         })
         .unwrap_err();
-        assert!(err.contains("unknown data set"));
+        assert!(matches!(err, CliError::Domain(_)), "{err}");
+        assert!(err.to_string().contains("unknown data set"));
+    }
+
+    #[test]
+    fn missing_trace_is_an_io_error() {
+        let err = stats(&StatsArgs {
+            trace: "/definitely/not/a/real/file.trace".into(),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }), "{err}");
+        assert_eq!(err.exit_code(), 5);
+        assert!(err.to_string().contains("file.trace"));
     }
 
     #[test]

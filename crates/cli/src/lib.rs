@@ -24,11 +24,13 @@
 
 pub mod args;
 pub mod commands;
+pub mod error;
 
 pub use args::{parse, Command, ParsedArgs};
+pub use error::CliError;
 
 /// Executes a parsed command, returning the text to print.
-pub fn run(cmd: Command) -> Result<String, String> {
+pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Stats(a) => commands::stats(&a),
         Command::Convert(a) => commands::convert(&a),

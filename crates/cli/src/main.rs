@@ -1,4 +1,8 @@
 //! The `omnet` binary: thin argv shim over [`omnet_cli`].
+//!
+//! Exit codes: 0 success, 2 usage, 3 value parse, 4 domain, 5 trace I/O
+//! (see [`omnet_cli::CliError::exit_code`]); an empty invocation prints the
+//! usage and exits 2.
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -11,13 +15,16 @@ fn main() {
             Ok(output) => print!("{output}"),
             Err(e) => {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(e.exit_code());
             }
         },
         Err(e) => {
-            eprintln!("error: {e}\n");
-            eprint!("{}", omnet_cli::USAGE);
-            std::process::exit(2);
+            eprintln!("error: {e}");
+            if e.print_usage() {
+                eprintln!();
+                eprint!("{}", omnet_cli::USAGE);
+            }
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -17,11 +17,28 @@
 //! (flooding-optimal) delivery functions; the intermediate levels are
 //! exactly the hop-bounded classes that the diameter definition (§4.1)
 //! needs.
+//!
+//! # Engine hot path
+//!
+//! Three engine-level optimizations keep the induction allocation-free and
+//! pruned (all behind [`ProfileOptions`] knobs, differentially tested
+//! against [`SourceProfiles::compute_naive`]):
+//!
+//! * **time-indexed arc pruning** — [`Arcs`] keeps each node's out-arcs
+//!   sorted by interval end, so one `partition_point` on a delta's earliest
+//!   arrival skips every contact that ended before the summary could board;
+//! * **pooled scratch buffers** — per-destination candidate and delta
+//!   buffers live in a [`ProfileScratch`] reused across levels and (via the
+//!   per-worker state of `omnet_analysis::par_map_with`) across sources;
+//! * **delta level storage** — stored hop-class snapshots keep only the
+//!   per-level frontier additions and reconstruct `AtMost(k)` queries on
+//!   demand, cutting snapshot memory by roughly the convergence depth.
 
-use crate::delivery::DeliveryFunction;
+use crate::delivery::{self, DeliveryFunction};
 use omnet_temporal::{Interval, LdEa, NodeId, Trace};
+use std::borrow::Cow;
 
-/// A maximum-hop constraint for path queries.
+/// A maximum-hop constraint for path queries (the hop classes of §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HopBound {
     /// Paths of at most this many contacts.
@@ -30,8 +47,50 @@ pub enum HopBound {
     Unlimited,
 }
 
-/// Options for the profile computation.
-#[derive(Debug, Clone, Copy)]
+/// How the §4.4 induction visits the arcs leaving a node when extending a
+/// level's delta summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ArcPruning {
+    /// Visit every out-arc of every delta node (the pre-redesign loop).
+    Exhaustive,
+    /// Binary-search the end-sorted out-arc list to the first arc still
+    /// boardable by the delta's earliest arrival and skip all dead contacts
+    /// (exact: a summary with `EA > end` can never extend, fact (iv) of
+    /// §4.3).
+    #[default]
+    TimeIndexed,
+}
+
+/// How the per-hop-class frontier snapshots of the §4.4 induction are kept
+/// for later [`HopBound::AtMost`] queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum LevelStorage {
+    /// A full clone of all `N` frontiers per stored level: cheapest queries,
+    /// memory `O(levels × Σ frontier)`.
+    FullClones,
+    /// Only the pairs *added* at each level; an `AtMost(k)` query
+    /// reconstructs the frontier as the Pareto union of the deltas up to
+    /// `k`. Memory `O(Σ frontier)` — smaller by roughly the convergence
+    /// depth — at the price of an owned reconstruction per query.
+    #[default]
+    Deltas,
+}
+
+/// Options for the §4.4 profile computation.
+///
+/// The struct is `#[non_exhaustive]`: construct it through
+/// [`ProfileOptions::builder`] (or take [`ProfileOptions::default`]) so
+/// future knobs stay non-breaking.
+///
+/// ```
+/// use omnet_core::ProfileOptions;
+/// let opts = ProfileOptions::builder().store_levels(10).max_levels(64).build();
+/// assert_eq!(opts, ProfileOptions::default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ProfileOptions {
     /// Keep the per-hop frontier snapshot for every level `k <=
     /// store_levels`. Queries with `HopBound::AtMost(k)` beyond this fall
@@ -41,6 +100,21 @@ pub struct ProfileOptions {
     /// Hard cap on induction levels, as a safety net; the fixpoint in real
     /// traces arrives after about diameter-many levels.
     pub max_levels: usize,
+    /// Arc-visiting strategy of the induction's extension step.
+    pub arc_pruning: ArcPruning,
+    /// Representation of the stored hop-class snapshots.
+    pub level_storage: LevelStorage,
+}
+
+impl ProfileOptions {
+    /// Starts a [`ProfileOptionsBuilder`] seeded with the defaults of the
+    /// §4.4 induction (store 10 levels, cap at 64, pruning and delta
+    /// storage on).
+    pub fn builder() -> ProfileOptionsBuilder {
+        ProfileOptionsBuilder {
+            opts: ProfileOptions::default(),
+        }
+    }
 }
 
 impl Default for ProfileOptions {
@@ -48,12 +122,59 @@ impl Default for ProfileOptions {
         ProfileOptions {
             store_levels: 10,
             max_levels: 64,
+            arc_pruning: ArcPruning::default(),
+            level_storage: LevelStorage::default(),
         }
     }
 }
 
-/// Directed arc view of a trace's contacts, grouped by tail node, reused
-/// across per-source computations.
+/// Builder for [`ProfileOptions`] — the only way to construct non-default
+/// options for the §4.4 induction now that the struct is
+/// `#[non_exhaustive]`.
+#[derive(Debug, Clone)]
+#[must_use = "call `.build()` to obtain the ProfileOptions"]
+pub struct ProfileOptionsBuilder {
+    opts: ProfileOptions,
+}
+
+impl ProfileOptionsBuilder {
+    /// Keep frontier snapshots for hop classes `0..=n`.
+    pub fn store_levels(mut self, n: usize) -> Self {
+        self.opts.store_levels = n;
+        self
+    }
+
+    /// Cap the induction at `n` levels.
+    pub fn max_levels(mut self, n: usize) -> Self {
+        self.opts.max_levels = n;
+        self
+    }
+
+    /// Choose the arc-visiting strategy.
+    pub fn arc_pruning(mut self, p: ArcPruning) -> Self {
+        self.opts.arc_pruning = p;
+        self
+    }
+
+    /// Choose the snapshot representation.
+    pub fn level_storage(mut self, s: LevelStorage) -> Self {
+        self.opts.level_storage = s;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ProfileOptions {
+        self.opts
+    }
+}
+
+/// Directed arc view of a trace's contacts (the "edges" the §4.4 induction
+/// concatenates on the right), grouped by tail node and sorted by interval
+/// end, reused across per-source computations.
+///
+/// The end-sorted order is what makes [`ArcPruning::TimeIndexed`] a binary
+/// search: arcs whose interval ended before a summary's earliest arrival
+/// form a prefix.
 #[derive(Debug, Clone)]
 pub struct Arcs {
     from: Vec<Vec<(u32, Interval)>>,
@@ -68,12 +189,23 @@ impl Arcs {
             from[c.a.index()].push((c.b.0, c.interval));
             from[c.b.index()].push((c.a.0, c.interval));
         }
+        for list in &mut from {
+            list.sort_unstable_by_key(|a| (a.1.end, a.1.start, a.0));
+        }
         Arcs { from }
     }
 
-    /// Arcs leaving `node` as `(head, interval)` pairs.
+    /// Arcs leaving `node` as `(head, interval)` pairs, ascending by
+    /// interval end.
     pub fn leaving(&self, node: NodeId) -> &[(u32, Interval)] {
         &self.from[node.index()]
+    }
+
+    /// The suffix of [`Arcs::leaving`] that a summary arriving at `ea` can
+    /// still board: arcs with `interval.end >= ea` (§4.3, fact (iv)).
+    pub fn boardable(&self, node: NodeId, ea: omnet_temporal::Time) -> &[(u32, Interval)] {
+        let all = &self.from[node.index()];
+        &all[all.partition_point(|&(_, iv)| iv.end < ea)..]
     }
 
     /// Number of nodes.
@@ -82,13 +214,65 @@ impl Arcs {
     }
 }
 
-/// Delivery functions from one source to every destination, per hop class.
+/// Reusable working memory of the §4.4 induction: per-destination candidate
+/// and delta buffers that survive across levels and, when threaded through
+/// `omnet_analysis::par_map_with`, across sources — so the steady-state hot
+/// path allocates nothing per (pair, arc) visit.
+#[derive(Debug, Default)]
+pub struct ProfileScratch {
+    /// Candidate summaries produced by the extension step, per destination.
+    cands: Vec<Vec<LdEa>>,
+    /// Frontier pairs newly added at the current level, per destination
+    /// (each a valid compacted frontier).
+    delta: Vec<Vec<LdEa>>,
+}
+
+impl ProfileScratch {
+    /// Fresh (empty) scratch; buffers grow on first use.
+    pub fn new() -> ProfileScratch {
+        ProfileScratch::default()
+    }
+
+    /// Clears all buffers and ensures capacity for `n` destinations.
+    fn reset(&mut self, n: usize) {
+        self.cands.resize_with(n.max(self.cands.len()), Vec::new);
+        self.delta.resize_with(n.max(self.delta.len()), Vec::new);
+        for b in &mut self.cands {
+            b.clear();
+        }
+        for b in &mut self.delta {
+            b.clear();
+        }
+    }
+}
+
+/// Stored hop-class snapshots, in one of the [`LevelStorage`] shapes.
+#[derive(Debug, Clone)]
+enum LevelStore {
+    /// `levels[k][dest]`: full frontier over paths of at most `k` hops.
+    Full(Vec<Vec<DeliveryFunction>>),
+    /// `per_level[k-1]`: the `(dest, added pairs)` of level `k`, ascending
+    /// by dest. Level 0 is implicit (identity at the source).
+    Delta(Vec<Vec<(u32, Box<[LdEa]>)>>),
+}
+
+impl LevelStore {
+    /// Largest hop class stored exactly.
+    fn stored_levels(&self) -> usize {
+        match self {
+            LevelStore::Full(v) => v.len().saturating_sub(1),
+            LevelStore::Delta(v) => v.len(),
+        }
+    }
+}
+
+/// Delivery functions from one source to every destination, per hop class
+/// (§4.4).
 #[derive(Debug, Clone)]
 pub struct SourceProfiles {
     source: NodeId,
-    /// `levels[k][dest]`: frontier over paths of at most `k` hops, for
-    /// `k <= min(store_levels, converged_at)`.
-    levels: Vec<Vec<DeliveryFunction>>,
+    /// Hop-class snapshots for `k <= min(store_levels, converged_at)`.
+    levels: LevelStore,
     /// The fixpoint: unbounded hop count.
     unlimited: Vec<DeliveryFunction>,
     /// First level at which no frontier changed (the fixpoint level).
@@ -98,12 +282,34 @@ pub struct SourceProfiles {
 }
 
 impl SourceProfiles {
-    /// Runs the §4.4 induction for one source.
+    /// Runs the §4.4 induction for one source with a private scratch.
+    ///
+    /// Batch callers (all sources, many traces) should prefer
+    /// [`SourceProfiles::compute_with`] and reuse one [`ProfileScratch`]
+    /// per thread.
     pub fn compute(
         trace: &Trace,
         arcs: &Arcs,
         source: NodeId,
         opts: ProfileOptions,
+    ) -> SourceProfiles {
+        let mut scratch = ProfileScratch::default();
+        SourceProfiles::compute_with(trace, arcs, source, opts, &mut scratch)
+    }
+
+    /// Runs the §4.4 induction for one source, reusing `scratch`'s buffers.
+    ///
+    /// The hot path is allocation-free in the steady state: candidate
+    /// summaries are appended to pooled per-destination buffers
+    /// ([`DeliveryFunction::extend_into`]), deltas are compacted in place,
+    /// and — under [`LevelStorage::Deltas`] — no per-level frontier clones
+    /// are taken.
+    pub fn compute_with(
+        trace: &Trace,
+        arcs: &Arcs,
+        source: NodeId,
+        opts: ProfileOptions,
+        scratch: &mut ProfileScratch,
     ) -> SourceProfiles {
         let n = trace.num_nodes() as usize;
         assert_eq!(arcs.num_nodes(), n, "arcs built for a different trace");
@@ -111,37 +317,64 @@ impl SourceProfiles {
 
         let mut cur: Vec<DeliveryFunction> = vec![DeliveryFunction::empty(); n];
         cur[source.index()] = DeliveryFunction::identity();
-        let mut delta: Vec<DeliveryFunction> = vec![DeliveryFunction::empty(); n];
-        delta[source.index()] = DeliveryFunction::identity();
+        scratch.reset(n);
+        scratch.delta[source.index()].push(LdEa::EMPTY);
 
-        let mut levels: Vec<Vec<DeliveryFunction>> = vec![cur.clone()];
+        let mut full_levels: Vec<Vec<DeliveryFunction>> = Vec::new();
+        let mut delta_levels: Vec<Vec<(u32, Box<[LdEa]>)>> = Vec::new();
+        if opts.level_storage == LevelStorage::FullClones {
+            full_levels.push(cur.clone());
+        }
         let mut converged_at = opts.max_levels;
         let mut converged = false;
 
-        let mut cands: Vec<Vec<LdEa>> = vec![Vec::new(); n];
+        let ProfileScratch { cands, delta } = scratch;
         for k in 1..=opts.max_levels {
+            // Extension: concatenate every level-(k-1) delta with every arc
+            // its summaries can still board.
             for (m, d) in delta.iter().enumerate() {
                 if d.is_empty() {
                     continue;
                 }
-                for &(to, iv) in arcs.leaving(NodeId(m as u32)) {
-                    cands[to as usize].extend(d.extend_with(iv));
+                let node = NodeId(m as u32);
+                // `d` is a compacted frontier, so its first pair carries the
+                // minimum EA — the boardability threshold for the whole
+                // delta.
+                match opts.arc_pruning {
+                    ArcPruning::Exhaustive => {
+                        for &(to, iv) in arcs.leaving(node) {
+                            delivery::extend_frontier_into(d, iv, &mut cands[to as usize]);
+                        }
+                    }
+                    ArcPruning::TimeIndexed => {
+                        for &(to, iv) in arcs.boardable(node, d[0].ea) {
+                            // Every candidate this arc can produce has
+                            // `ld <= iv.end` and `ea >= iv.start`; if the
+                            // destination frontier already covers that
+                            // rectangle, the whole arc is dead (exact skip).
+                            if cur[to as usize].covers(iv) {
+                                continue;
+                            }
+                            delivery::extend_frontier_into(d, iv, &mut cands[to as usize]);
+                        }
+                    }
                 }
             }
+            // Absorption: fold candidates into the frontiers, recording what
+            // genuinely extended them as the next delta.
             let mut changed = false;
-            for d in 0..n {
-                if cands[d].is_empty() {
-                    delta[d] = DeliveryFunction::empty();
+            for d_idx in 0..n {
+                if cands[d_idx].is_empty() {
+                    delta[d_idx].clear();
                     continue;
                 }
-                let added = cur[d].absorb(&cands[d]);
-                cands[d].clear();
-                if added.is_empty() {
-                    delta[d] = DeliveryFunction::empty();
-                } else {
-                    delta[d] = DeliveryFunction::from_pairs(added);
-                    changed = true;
+                cur[d_idx].absorb_into(&cands[d_idx], &mut delta[d_idx]);
+                cands[d_idx].clear();
+                if delta[d_idx].is_empty() {
+                    continue;
                 }
+                delivery::compact_frontier_in_place(&mut delta[d_idx]);
+                changed = true;
             }
             if !changed {
                 converged_at = k - 1;
@@ -149,10 +382,24 @@ impl SourceProfiles {
                 break;
             }
             if k <= opts.store_levels {
-                levels.push(cur.clone());
+                match opts.level_storage {
+                    LevelStorage::FullClones => full_levels.push(cur.clone()),
+                    LevelStorage::Deltas => delta_levels.push(
+                        delta
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, d)| !d.is_empty())
+                            .map(|(d_idx, d)| (d_idx as u32, d.clone().into_boxed_slice()))
+                            .collect(),
+                    ),
+                }
             }
         }
 
+        let levels = match opts.level_storage {
+            LevelStorage::FullClones => LevelStore::Full(full_levels),
+            LevelStorage::Deltas => LevelStore::Delta(delta_levels),
+        };
         SourceProfiles {
             source,
             levels,
@@ -164,12 +411,14 @@ impl SourceProfiles {
 
     /// Reference implementation of the same induction **without** delta
     /// propagation: every level re-extends the *full* current frontier of
-    /// every node through every contact.
+    /// every node through every contact (§4.4, taken literally).
     ///
     /// Output is identical to [`SourceProfiles::compute`] (asserted by tests
     /// and used as an executable specification); the cost per level is the
     /// whole frontier instead of the just-added pairs, which is the
-    /// difference the `ablation` criterion bench quantifies.
+    /// difference the `ablation` criterion bench quantifies. The
+    /// `arc_pruning` and `level_storage` knobs are ignored: the spec always
+    /// scans every arc and stores full snapshots.
     pub fn compute_naive(
         trace: &Trace,
         arcs: &Arcs,
@@ -213,7 +462,7 @@ impl SourceProfiles {
 
         SourceProfiles {
             source,
-            levels,
+            levels: LevelStore::Full(levels),
             unlimited: cur,
             converged_at,
             converged,
@@ -229,15 +478,31 @@ impl SourceProfiles {
     ///
     /// `AtMost(k)` beyond the stored levels returns the unbounded frontier,
     /// which is exact whenever `k >= converged_at` and an upper bound
-    /// otherwise.
-    pub fn profile(&self, dest: NodeId, bound: HopBound) -> &DeliveryFunction {
+    /// otherwise. Under [`LevelStorage::FullClones`] the result always
+    /// borrows; under [`LevelStorage::Deltas`] a stored `AtMost(k)` query
+    /// reconstructs the frontier as the Pareto union of the level deltas
+    /// `0..=k` and returns it owned.
+    pub fn profile(&self, dest: NodeId, bound: HopBound) -> Cow<'_, DeliveryFunction> {
         match bound {
-            HopBound::Unlimited => &self.unlimited[dest.index()],
+            HopBound::Unlimited => Cow::Borrowed(&self.unlimited[dest.index()]),
             HopBound::AtMost(k) => {
-                if k < self.levels.len() {
-                    &self.levels[k][dest.index()]
-                } else {
-                    &self.unlimited[dest.index()]
+                if k > self.levels.stored_levels() {
+                    return Cow::Borrowed(&self.unlimited[dest.index()]);
+                }
+                match &self.levels {
+                    LevelStore::Full(v) => Cow::Borrowed(&v[k][dest.index()]),
+                    LevelStore::Delta(per_level) => {
+                        let mut pairs: Vec<LdEa> = Vec::new();
+                        if dest == self.source {
+                            pairs.push(LdEa::EMPTY);
+                        }
+                        for level in &per_level[..k] {
+                            if let Ok(i) = level.binary_search_by_key(&dest.0, |(d, _)| *d) {
+                                pairs.extend_from_slice(&level[i].1);
+                            }
+                        }
+                        Cow::Owned(DeliveryFunction::from_pairs(pairs))
+                    }
                 }
             }
         }
@@ -267,24 +532,25 @@ impl SourceProfiles {
 
     /// Largest `k` for which `AtMost(k)` snapshots are stored exactly.
     pub fn stored_levels(&self) -> usize {
-        self.levels.len() - 1
+        self.levels.stored_levels()
     }
 }
 
 /// All-pairs profiles: one [`SourceProfiles`] per node, computed in
-/// parallel.
+/// parallel (the "exhaustive algorithm" run of §4.4/§5).
 #[derive(Debug, Clone)]
 pub struct AllPairsProfiles {
     rows: Vec<SourceProfiles>,
 }
 
 impl AllPairsProfiles {
-    /// Computes every source's profiles (parallel across sources).
+    /// Computes every source's profiles (parallel across sources, one
+    /// pooled [`ProfileScratch`] per worker thread).
     pub fn compute(trace: &Trace, opts: ProfileOptions) -> AllPairsProfiles {
         let arcs = Arcs::of(trace);
         let n = trace.num_nodes() as usize;
-        let rows = omnet_analysis::par_map(n, |s| {
-            SourceProfiles::compute(trace, &arcs, NodeId(s as u32), opts)
+        let rows = omnet_analysis::par_map_with(n, ProfileScratch::default, |scratch, s| {
+            SourceProfiles::compute_with(trace, &arcs, NodeId(s as u32), opts, scratch)
         });
         AllPairsProfiles { rows }
     }
@@ -295,7 +561,7 @@ impl AllPairsProfiles {
     }
 
     /// The delivery function of the ordered pair `(s, d)` under `bound`.
-    pub fn profile(&self, s: NodeId, d: NodeId, bound: HopBound) -> &DeliveryFunction {
+    pub fn profile(&self, s: NodeId, d: NodeId, bound: HopBound) -> Cow<'_, DeliveryFunction> {
         self.rows[s.index()].profile(d, bound)
     }
 
@@ -329,6 +595,61 @@ mod tests {
             .build()
     }
 
+    /// Every knob combination, for exhaustive option-space tests.
+    fn knob_combos() -> Vec<ProfileOptions> {
+        let mut out = Vec::new();
+        for pruning in [ArcPruning::Exhaustive, ArcPruning::TimeIndexed] {
+            for storage in [LevelStorage::FullClones, LevelStorage::Deltas] {
+                out.push(
+                    ProfileOptions::builder()
+                        .arc_pruning(pruning)
+                        .level_storage(storage)
+                        .build(),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn builder_roundtrip_and_defaults() {
+        let opts = ProfileOptions::builder()
+            .store_levels(10)
+            .max_levels(64)
+            .build();
+        assert_eq!(opts, ProfileOptions::default());
+        let custom = ProfileOptions::builder()
+            .store_levels(3)
+            .max_levels(7)
+            .arc_pruning(ArcPruning::Exhaustive)
+            .level_storage(LevelStorage::FullClones)
+            .build();
+        assert_eq!(custom.store_levels, 3);
+        assert_eq!(custom.max_levels, 7);
+        assert_eq!(custom.arc_pruning, ArcPruning::Exhaustive);
+        assert_eq!(custom.level_storage, LevelStorage::FullClones);
+    }
+
+    #[test]
+    fn arcs_sorted_by_end_and_boardable() {
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 50.0, 60.0)
+            .contact_secs(0, 2, 0.0, 10.0)
+            .contact_secs(0, 3, 20.0, 30.0)
+            .build();
+        let arcs = Arcs::of(&t);
+        let ends: Vec<f64> = arcs
+            .leaving(NodeId(0))
+            .iter()
+            .map(|(_, iv)| iv.end.as_secs())
+            .collect();
+        assert_eq!(ends, vec![10.0, 30.0, 60.0]);
+        assert_eq!(arcs.boardable(NodeId(0), Time::NEG_INF).len(), 3);
+        assert_eq!(arcs.boardable(NodeId(0), Time::secs(15.0)).len(), 2);
+        assert_eq!(arcs.boardable(NodeId(0), Time::secs(30.0)).len(), 2);
+        assert_eq!(arcs.boardable(NodeId(0), Time::secs(61.0)).len(), 0);
+    }
+
     #[test]
     fn identity_profile_at_source() {
         let t = line_trace();
@@ -340,21 +661,23 @@ mod tests {
     #[test]
     fn line_trace_multihop() {
         let t = line_trace();
-        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
-        // 0 -> 3 requires all three contacts: LD = 10 (leave before first
-        // contact ends), EA = 40 (arrive when last begins).
-        let f = p.profile(NodeId(0), NodeId(3), HopBound::Unlimited);
-        assert_eq!(f.pairs().len(), 1);
-        assert_eq!(f.delivery(Time::ZERO), Time::secs(40.0));
-        assert_eq!(f.delivery(Time::secs(10.0)), Time::secs(40.0));
-        assert_eq!(f.delivery(Time::secs(10.1)), Time::INF);
-        // Hop classes: unreachable below 3 hops.
-        assert!(p
-            .profile(NodeId(0), NodeId(3), HopBound::AtMost(2))
-            .is_empty());
-        assert!(!p
-            .profile(NodeId(0), NodeId(3), HopBound::AtMost(3))
-            .is_empty());
+        for opts in knob_combos() {
+            let p = AllPairsProfiles::compute(&t, opts);
+            // 0 -> 3 requires all three contacts: LD = 10 (leave before first
+            // contact ends), EA = 40 (arrive when last begins).
+            let f = p.profile(NodeId(0), NodeId(3), HopBound::Unlimited);
+            assert_eq!(f.pairs().len(), 1);
+            assert_eq!(f.delivery(Time::ZERO), Time::secs(40.0));
+            assert_eq!(f.delivery(Time::secs(10.0)), Time::secs(40.0));
+            assert_eq!(f.delivery(Time::secs(10.1)), Time::INF);
+            // Hop classes: unreachable below 3 hops.
+            assert!(p
+                .profile(NodeId(0), NodeId(3), HopBound::AtMost(2))
+                .is_empty());
+            assert!(!p
+                .profile(NodeId(0), NodeId(3), HopBound::AtMost(3))
+                .is_empty());
+        }
     }
 
     #[test]
@@ -409,19 +732,21 @@ mod tests {
             .contact_secs(0, 2, 12.0, 20.0)
             .contact_secs(2, 3, 14.0, 40.0)
             .build();
-        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
         let grid: Vec<Time> = (0..80).map(|i| Time::secs(i as f64 * 0.5)).collect();
-        for s in 0..4u32 {
-            for d in 0..4u32 {
-                for k in 1..4usize {
-                    let fk = p.profile(NodeId(s), NodeId(d), HopBound::AtMost(k));
-                    let fk1 = p.profile(NodeId(s), NodeId(d), HopBound::AtMost(k + 1));
-                    for &t0 in &grid {
-                        assert!(
-                            fk1.delivery(t0) <= fk.delivery(t0),
-                            "hop bound {k}->{} regressed for {s}->{d} at {t0}",
-                            k + 1
-                        );
+        for opts in knob_combos() {
+            let p = AllPairsProfiles::compute(&t, opts);
+            for s in 0..4u32 {
+                for d in 0..4u32 {
+                    for k in 1..4usize {
+                        let fk = p.profile(NodeId(s), NodeId(d), HopBound::AtMost(k));
+                        let fk1 = p.profile(NodeId(s), NodeId(d), HopBound::AtMost(k + 1));
+                        for &t0 in &grid {
+                            assert!(
+                                fk1.delivery(t0) <= fk.delivery(t0),
+                                "hop bound {k}->{} regressed for {s}->{d} at {t0}",
+                                k + 1
+                            );
+                        }
                     }
                 }
             }
@@ -469,25 +794,92 @@ mod tests {
             .contact_secs(0, 3, 30.0, 35.0)
             .build();
         let arcs = Arcs::of(&t);
-        let opts = ProfileOptions::default();
-        for s in 0..4u32 {
-            let fast = SourceProfiles::compute(&t, &arcs, NodeId(s), opts);
-            let naive = SourceProfiles::compute_naive(&t, &arcs, NodeId(s), opts);
-            assert_eq!(fast.converged_at(), naive.converged_at());
-            for d in 0..4u32 {
-                for k in 0..=4usize {
+        for opts in knob_combos() {
+            for s in 0..4u32 {
+                let fast = SourceProfiles::compute(&t, &arcs, NodeId(s), opts);
+                let naive = SourceProfiles::compute_naive(&t, &arcs, NodeId(s), opts);
+                assert_eq!(fast.converged_at(), naive.converged_at());
+                for d in 0..4u32 {
+                    for k in 0..=4usize {
+                        assert_eq!(
+                            fast.profile(NodeId(d), HopBound::AtMost(k)).pairs(),
+                            naive.profile(NodeId(d), HopBound::AtMost(k)).pairs(),
+                            "{s}->{d} at k={k} with {opts:?}"
+                        );
+                    }
                     assert_eq!(
-                        fast.profile(NodeId(d), HopBound::AtMost(k)).pairs(),
-                        naive.profile(NodeId(d), HopBound::AtMost(k)).pairs(),
+                        fast.profile(NodeId(d), HopBound::Unlimited).pairs(),
+                        naive.profile(NodeId(d), HopBound::Unlimited).pairs()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_levels_match_full_clone_levels() {
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 5.0, 15.0)
+            .contact_secs(0, 2, 12.0, 20.0)
+            .contact_secs(2, 3, 14.0, 40.0)
+            .contact_secs(0, 1, 100.0, 110.0)
+            .contact_secs(1, 3, 105.0, 130.0)
+            .build();
+        let arcs = Arcs::of(&t);
+        let full = ProfileOptions::builder()
+            .level_storage(LevelStorage::FullClones)
+            .build();
+        let delta = ProfileOptions::builder()
+            .level_storage(LevelStorage::Deltas)
+            .build();
+        for s in 0..4u32 {
+            let a = SourceProfiles::compute(&t, &arcs, NodeId(s), full);
+            let b = SourceProfiles::compute(&t, &arcs, NodeId(s), delta);
+            assert_eq!(a.stored_levels(), b.stored_levels());
+            for d in 0..4u32 {
+                for k in 0..=a.stored_levels() + 2 {
+                    assert_eq!(
+                        a.profile(NodeId(d), HopBound::AtMost(k)).pairs(),
+                        b.profile(NodeId(d), HopBound::AtMost(k)).pairs(),
                         "{s}->{d} at k={k}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_sources_is_clean() {
+        // Reusing one scratch across different sources and traces must not
+        // leak state between computations.
+        let t1 = line_trace();
+        let t2 = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(0, 1, 100.0, 110.0)
+            .build();
+        let arcs1 = Arcs::of(&t1);
+        let arcs2 = Arcs::of(&t2);
+        let mut scratch = ProfileScratch::new();
+        let opts = ProfileOptions::default();
+        for s in 0..4u32 {
+            let pooled = SourceProfiles::compute_with(&t1, &arcs1, NodeId(s), opts, &mut scratch);
+            let fresh = SourceProfiles::compute(&t1, &arcs1, NodeId(s), opts);
+            for d in 0..4u32 {
                 assert_eq!(
-                    fast.profile(NodeId(d), HopBound::Unlimited).pairs(),
-                    naive.profile(NodeId(d), HopBound::Unlimited).pairs()
+                    pooled.profile(NodeId(d), HopBound::Unlimited).pairs(),
+                    fresh.profile(NodeId(d), HopBound::Unlimited).pairs()
                 );
             }
         }
+        // Smaller trace after a larger one: stale buffers beyond n must not
+        // contribute.
+        let pooled = SourceProfiles::compute_with(&t2, &arcs2, NodeId(0), opts, &mut scratch);
+        let fresh = SourceProfiles::compute(&t2, &arcs2, NodeId(0), opts);
+        assert_eq!(
+            pooled.profile(NodeId(1), HopBound::Unlimited).pairs(),
+            fresh.profile(NodeId(1), HopBound::Unlimited).pairs()
+        );
     }
 
     #[test]

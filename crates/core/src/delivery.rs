@@ -127,12 +127,31 @@ impl DeliveryFunction {
     /// induction).
     pub fn absorb(&mut self, candidates: &[LdEa]) -> Vec<LdEa> {
         let mut added = Vec::new();
+        self.absorb_into(candidates, &mut added);
+        added
+    }
+
+    /// Allocation-free variant of [`DeliveryFunction::absorb`] (§4.4): clears
+    /// `added` and refills it with the candidates that genuinely extended the
+    /// frontier, so the induction can reuse one buffer across levels.
+    pub fn absorb_into(&mut self, candidates: &[LdEa], added: &mut Vec<LdEa>) {
+        added.clear();
         for &p in candidates {
             if self.insert(p) {
                 added.push(p);
             }
         }
-        added
+    }
+
+    /// True when this frontier dominates every summary a contact on `iv`
+    /// could contribute (§4.3, fact (iv)): any such candidate has
+    /// `ld <= iv.end` and `ea >= iv.start`, so one pair with
+    /// `ld >= iv.end` and `ea <= iv.start` covers them all. The pairs with
+    /// `ld >= iv.end` form a suffix whose minimum EA is its first element,
+    /// so the test is a single binary search.
+    pub fn covers(&self, iv: Interval) -> bool {
+        let i = self.pairs.partition_point(|q| q.ld < iv.end);
+        i < self.pairs.len() && self.pairs[i].ea <= iv.start
     }
 
     /// Merges another delivery function into this one (Pareto union).
@@ -151,22 +170,21 @@ impl DeliveryFunction {
     /// `(min(LD, iv.end), max(EA, iv.start))`, and the collapsed groups are
     /// re-compacted. The output is itself a valid frontier.
     pub fn extend_with(&self, iv: Interval) -> Vec<LdEa> {
-        let te = iv.end;
-        let tb = iv.start;
-        // Pairs with ea <= te form a prefix (ea increasing).
-        let prefix_len = self.pairs.partition_point(|p| p.ea <= te);
-        let mut cands: Vec<LdEa> = Vec::with_capacity(prefix_len.min(8));
-        for p in &self.pairs[..prefix_len] {
-            cands.push(LdEa {
-                ld: p.ld.min(te),
-                ea: p.ea.max(tb),
-            });
-        }
-        // `cands` is sorted by (ld, ea) non-strictly (min/max preserve the
-        // original order); compact to a strict frontier.
-        let out = compact_sorted(cands);
+        let mut out = Vec::new();
+        extend_frontier_into(&self.pairs, iv, &mut out);
         invariant::enforce(|| invariant::validate_frontier(&out));
         out
+    }
+
+    /// Allocation-free variant of [`DeliveryFunction::extend_with`] (§4.4):
+    /// appends the compacted candidate summaries to a caller-owned scratch
+    /// buffer instead of returning a fresh `Vec`, so the induction hot path
+    /// performs zero allocations per (pair, arc) visit.
+    ///
+    /// The appended run `out[before..]` is itself a valid frontier; `out` as
+    /// a whole is an arbitrary concatenation of such runs.
+    pub fn extend_into(&self, iv: Interval, out: &mut Vec<LdEa>) {
+        extend_frontier_into(&self.pairs, iv, out);
     }
 
     /// Closed-form success measure: the fraction of start times `t` drawn
@@ -271,6 +289,72 @@ impl DeliveryFunction {
             .windows(2)
             .all(|w| w[0].ld < w[1].ld && w[0].ea < w[1].ea)
     }
+}
+
+/// Concatenates every summary of the frontier slice `pairs` with one more
+/// contact on the right (§4.4, "concatenation with edges on the right"),
+/// appending the compacted candidates to `out`.
+///
+/// `pairs` must satisfy the frontier invariant (both coordinates strictly
+/// increasing). Only pairs with `EA ≤ iv.end` extend (fact (iv)); each maps
+/// to `(min(LD, iv.end), max(EA, iv.start))`. Because `min`/`max` with a
+/// constant preserve the sort order, the mapped run is non-decreasing in
+/// both coordinates, so dominance only arises between neighbours and the
+/// run compacts in one forward pass with no scratch allocation: an equal-EA
+/// neighbour is superseded by the later (larger-LD) pair, an equal-LD
+/// neighbour dominates the later (larger-EA) pair.
+pub(crate) fn extend_frontier_into(pairs: &[LdEa], iv: Interval, out: &mut Vec<LdEa>) {
+    let te = iv.end;
+    let tb = iv.start;
+    // Pairs with ea <= te form a prefix (ea increasing).
+    let prefix_len = pairs.partition_point(|p| p.ea <= te);
+    let start = out.len();
+    for p in &pairs[..prefix_len] {
+        let c = LdEa {
+            ld: p.ld.min(te),
+            ea: p.ea.max(tb),
+        };
+        match out.last() {
+            Some(last) if out.len() > start && last.ea == c.ea => {
+                // c.ld >= last.ld: c (weakly) dominates the kept pair.
+                let i = out.len() - 1;
+                out[i] = c;
+            }
+            Some(last) if out.len() > start && last.ld == c.ld => {
+                // c.ea > last.ea: c is dominated; skip it.
+            }
+            _ => out.push(c),
+        }
+    }
+    invariant::enforce(|| invariant::validate_frontier(&out[start..]));
+}
+
+/// Sorts an arbitrary candidate list and compacts it, in place, to the
+/// Pareto frontier of §4.3 condition (4) — the buffer-reusing counterpart
+/// of [`DeliveryFunction::from_pairs`] used by the induction's per-level
+/// delta buffers.
+pub(crate) fn compact_frontier_in_place(cands: &mut Vec<LdEa>) {
+    cands.sort_unstable_by_key(|a| (a.ld, a.ea));
+    // Reverse scan by decreasing LD (mirrors `compact_sorted`), filling the
+    // kept pairs from the tail of the same buffer: the write cursor `w`
+    // always stays strictly above the read cursor, so nothing unread is
+    // clobbered.
+    let mut w = cands.len();
+    let mut best_ea = Time::INF;
+    for r in (0..cands.len()).rev() {
+        let p = cands[r];
+        if p.ea < best_ea {
+            best_ea = p.ea;
+            if w < cands.len() && cands[w].ld == p.ld {
+                cands[w] = p; // equal-LD group: the smaller EA wins the slot
+            } else {
+                w -= 1;
+                cands[w] = p;
+            }
+        }
+    }
+    cands.drain(..w);
+    invariant::enforce(|| invariant::validate_frontier(cands));
 }
 
 /// Compacts a `(ld, ea)`-sorted candidate list to the Pareto frontier,

@@ -39,10 +39,7 @@ impl CurveOptions {
             grid,
             window: None,
             internal_pairs_only: true,
-            profiles: ProfileOptions {
-                store_levels: max_hops,
-                ..ProfileOptions::default()
-            },
+            profiles: ProfileOptions::builder().store_levels(max_hops).build(),
         }
     }
 }

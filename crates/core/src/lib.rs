@@ -49,10 +49,42 @@ pub mod invariants;
 pub mod profile_stats;
 pub mod witness;
 
-pub use algorithm::{AllPairsProfiles, Arcs, HopBound, ProfileOptions, SourceProfiles};
+pub use algorithm::{
+    AllPairsProfiles, ArcPruning, Arcs, HopBound, LevelStorage, ProfileOptions,
+    ProfileOptionsBuilder, ProfileScratch, SourceProfiles,
+};
 pub use delivery::DeliveryFunction;
 pub use diameter::{day_time_windows, CurveOptions, SuccessCurves};
 pub use dijkstra::{earliest_arrival, earliest_arrival_bounded, ArrivalTree};
 pub use invariants::{cross_check, CrossCheckOptions, Divergence};
 pub use profile_stats::{reachability_by_hops, ProfileStats};
 pub use witness::{optimal_journeys, route_string, witness_for_pair};
+
+/// One-stop imports for driving the §4 machinery: the profile engine and
+/// diameter types of this crate plus the `omnet-temporal` vocabulary
+/// (traces, node ids, times) every call site needs anyway.
+///
+/// ```
+/// use omnet_core::prelude::*;
+///
+/// let trace = TraceBuilder::new().contact_secs(0, 1, 0.0, 60.0).build();
+/// let profiles = AllPairsProfiles::compute(&trace, ProfileOptions::default());
+/// assert_eq!(
+///     profiles
+///         .profile(NodeId(0), NodeId(1), HopBound::Unlimited)
+///         .delivery(Time::ZERO),
+///     Time::ZERO
+/// );
+/// ```
+pub mod prelude {
+    pub use crate::algorithm::{
+        AllPairsProfiles, ArcPruning, Arcs, HopBound, LevelStorage, ProfileOptions,
+        ProfileOptionsBuilder, ProfileScratch, SourceProfiles,
+    };
+    pub use crate::delivery::DeliveryFunction;
+    pub use crate::diameter::{day_time_windows, CurveOptions, SuccessCurves};
+    pub use crate::dijkstra::{earliest_arrival, earliest_arrival_bounded, ArrivalTree};
+    pub use crate::profile_stats::{reachability_by_hops, ProfileStats};
+    pub use crate::witness::{optimal_journeys, route_string, witness_for_pair};
+    pub use omnet_temporal::{Contact, Dur, Interval, LdEa, NodeId, Time, Trace, TraceBuilder};
+}

@@ -88,7 +88,7 @@ mod tests {
                     continue;
                 }
                 let f = profiles.profile(NodeId(s), NodeId(d), HopBound::Unlimited);
-                let journeys = optimal_journeys(&t, NodeId(s), NodeId(d), f);
+                let journeys = optimal_journeys(&t, NodeId(s), NodeId(d), &f);
                 assert_eq!(journeys.len(), f.len());
                 for (pair, path) in journeys {
                     assert_eq!(path.origin(), NodeId(s));
@@ -139,7 +139,7 @@ mod tests {
         // unlimited profile may hold more pairs than the 2-hop class
         let finf = profiles.profile(NodeId(0), NodeId(3), HopBound::Unlimited);
         assert!(finf.len() >= f2.len());
-        let journeys = optimal_journeys(&t, NodeId(0), NodeId(3), finf);
+        let journeys = optimal_journeys(&t, NodeId(0), NodeId(3), &finf);
         assert!(journeys.iter().all(|(_, p)| p.hops() <= 3));
     }
 }

@@ -6,7 +6,6 @@
 //! cargo run --release --example optimal_journeys
 //! ```
 
-use opportunistic_diameter::core::{optimal_journeys, route_string};
 use opportunistic_diameter::prelude::*;
 use opportunistic_diameter::temporal::connectivity;
 use opportunistic_diameter::temporal::transform;
@@ -39,7 +38,7 @@ fn main() {
     }
     let f = profiles.profile(s, d, HopBound::Unlimited);
     println!("pair {s} -> {d} has {} optimal journeys:", f.len());
-    for (pair, path) in optimal_journeys(&trace, s, d, f).iter().take(10) {
+    for (pair, path) in optimal_journeys(&trace, s, d, &f).iter().take(10) {
         println!(
             "  leave by {:>9}  arrive {:>9}  {} hops: {}",
             pair.ld,

@@ -49,14 +49,14 @@ pub use omnet_random as random;
 pub use omnet_temporal as temporal;
 
 /// The most commonly used items, for glob import.
+///
+/// Builds on [`omnet_core::prelude`] (profile engine, diameter, temporal
+/// vocabulary) and adds the workspace's model, mobility, flooding, and
+/// analysis entry points.
 pub mod prelude {
     pub use omnet_analysis::{linear_grid, log_grid, Ccdf, Ecdf, Series, Summary, Table};
-    pub use omnet_core::{
-        earliest_arrival, AllPairsProfiles, CurveOptions, DeliveryFunction, HopBound,
-        ProfileOptions, SourceProfiles, SuccessCurves,
-    };
+    pub use omnet_core::prelude::*;
     pub use omnet_flooding::{flood, ZhangProfile};
     pub use omnet_mobility::{Dataset, MobilitySpec, Schedule};
     pub use omnet_random::{ContactCase, ContinuousModel, DiscreteModel};
-    pub use omnet_temporal::{Contact, Dur, Interval, LdEa, NodeId, Time, Trace, TraceBuilder};
 }

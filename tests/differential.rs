@@ -12,9 +12,13 @@
 //! same checks stay active in release builds — that is the CI
 //! `strict-invariants` job.
 
-use omnet_core::{cross_check, CrossCheckOptions};
+use omnet_core::{
+    cross_check, ArcPruning, Arcs, CrossCheckOptions, HopBound, LevelStorage, ProfileOptions,
+    SourceProfiles,
+};
 use omnet_temporal::invariant::{self, InvariantViolation};
-use omnet_temporal::{Contact, ContactSeq, NodeId, Time, TraceBuilder};
+use omnet_temporal::{Contact, ContactSeq, NodeId, Time, Trace, TraceBuilder};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -169,4 +173,135 @@ fn sequence_validation_matches_is_valid_on_random_chains() {
 #[should_panic(expected = "structural invariant violated")]
 fn enforce_aborts_on_planted_violation() {
     invariant::enforce(|| Err(InvariantViolation::InternalExceedsUniverse));
+}
+
+/// Strategy: a random small trace for engine-vs-specification runs.
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    (
+        3u32..7,
+        prop::collection::vec((0u32..7, 0u32..7, 0u32..400, 1u32..100), 1..12),
+    )
+        .prop_map(|(n, rows)| {
+            let mut b = TraceBuilder::new().num_nodes(n);
+            for (u, v, start, dur) in rows {
+                let (u, v) = (u % n, v % n);
+                if u == v {
+                    continue;
+                }
+                b.push(Contact::secs(u, v, start as f64, (start + dur) as f64));
+            }
+            b.build()
+        })
+}
+
+/// Every `ProfileOptions` knob combination, plus a truncated-storage variant
+/// that exercises the beyond-stored-levels fallback.
+fn knob_combos() -> Vec<ProfileOptions> {
+    let mut combos = Vec::new();
+    for pruning in [ArcPruning::Exhaustive, ArcPruning::TimeIndexed] {
+        for storage in [LevelStorage::FullClones, LevelStorage::Deltas] {
+            combos.push(
+                ProfileOptions::builder()
+                    .arc_pruning(pruning)
+                    .level_storage(storage)
+                    .build(),
+            );
+            combos.push(
+                ProfileOptions::builder()
+                    .store_levels(2)
+                    .arc_pruning(pruning)
+                    .level_storage(storage)
+                    .build(),
+            );
+        }
+    }
+    combos
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The optimized induction (delta propagation + arc pruning + pooled
+    /// buffers + either level-storage shape) is pair-for-pair identical to
+    /// the naive full-re-extension specification, for every knob
+    /// combination, every source, and every hop bound.
+    #[test]
+    fn optimized_engine_matches_naive_spec_on_all_knobs(trace in trace_strategy()) {
+        let arcs = Arcs::of(&trace);
+        for opts in knob_combos() {
+            for s in trace.nodes() {
+                let fast = SourceProfiles::compute(&trace, &arcs, s, opts);
+                let naive = SourceProfiles::compute_naive(&trace, &arcs, s, opts);
+                prop_assert_eq!(
+                    fast.converged_at(),
+                    naive.converged_at(),
+                    "convergence level diverged for source {} with {:?}",
+                    s,
+                    opts
+                );
+                for d in trace.nodes() {
+                    for k in 0..=6usize {
+                        let f = fast.profile(d, HopBound::AtMost(k));
+                        let g = naive.profile(d, HopBound::AtMost(k));
+                        prop_assert_eq!(
+                            f.pairs(),
+                            g.pairs(),
+                            "{}->{} diverged at k={} with {:?}",
+                            s,
+                            d,
+                            k,
+                            opts
+                        );
+                    }
+                    let f = fast.profile(d, HopBound::Unlimited);
+                    let g = naive.profile(d, HopBound::Unlimited);
+                    prop_assert_eq!(
+                        f.pairs(),
+                        g.pairs(),
+                        "{}->{} diverged unbounded with {:?}",
+                        s,
+                        d,
+                        opts
+                    );
+                }
+            }
+        }
+    }
+
+    /// Delta-reconstructed level queries equal the old full-clone snapshots
+    /// on every stored (and every fallback) hop class.
+    #[test]
+    fn delta_reconstruction_matches_full_clone_snapshots(trace in trace_strategy()) {
+        let arcs = Arcs::of(&trace);
+        for pruning in [ArcPruning::Exhaustive, ArcPruning::TimeIndexed] {
+            let full_opts = ProfileOptions::builder()
+                .arc_pruning(pruning)
+                .level_storage(LevelStorage::FullClones)
+                .build();
+            let delta_opts = ProfileOptions::builder()
+                .arc_pruning(pruning)
+                .level_storage(LevelStorage::Deltas)
+                .build();
+            for s in trace.nodes() {
+                let full = SourceProfiles::compute(&trace, &arcs, s, full_opts);
+                let delta = SourceProfiles::compute(&trace, &arcs, s, delta_opts);
+                prop_assert_eq!(full.stored_levels(), delta.stored_levels());
+                for d in trace.nodes() {
+                    for k in 0..=full.stored_levels() + 2 {
+                        let f = full.profile(d, HopBound::AtMost(k));
+                        let g = delta.profile(d, HopBound::AtMost(k));
+                        prop_assert_eq!(
+                            f.pairs(),
+                            g.pairs(),
+                            "{}->{} diverged at k={} ({:?})",
+                            s,
+                            d,
+                            k,
+                            pruning
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
