@@ -1,0 +1,671 @@
+//! Persistent, lazily-initialized work-stealing executor.
+//!
+//! This is the runtime behind [`crate::par_map`] / [`crate::par_map_with`].
+//! The previous implementation forked a fresh set of crossbeam scoped
+//! threads on every call, which (a) paid thread spawn/join latency per
+//! call and (b) oversubscribed the machine whenever parallel maps nested
+//! (experiments × sources × replications each spawned their own crew).
+//! This module replaces it with one process-wide crew of workers:
+//!
+//! * **per-worker deques + a global injector** — owners push batch handles
+//!   to their own deque (workers) or the injector (external threads);
+//!   idle workers pop their own deque LIFO and steal FIFO from the
+//!   injector and from their siblings, so coarse work spreads while warm
+//!   work stays local;
+//! * **cooperative nested joins** — a thread blocked on an inner map does
+//!   not park: it claims pending work (its own batch's items first, then
+//!   any other queued batch) until its batch completes, so nesting
+//!   composes without spawning or idling threads;
+//! * **index-claimed batches** — a batch is published as one cheap handle;
+//!   every participant (owner, worker, helper) claims item indices from a
+//!   shared atomic cursor, so results land in input order regardless of
+//!   scheduling and stale handles in a queue are harmless;
+//! * **panic propagation** — a panicking item cancels the rest of its
+//!   batch and the original payload is re-raised on the owner, nesting
+//!   included;
+//! * **`OMNET_THREADS` override** — sizes the global crew (`1` forces the
+//!   fully serial fallback; unset/invalid means one participant per
+//!   available core). The crew is only spawned on first use.
+//!
+//! Safety: worker threads are `'static` while mapped closures borrow the
+//! caller's stack, so the borrowed state (closure, scratch constructor,
+//! result slots) is published as raw pointers inside a `'static` handle.
+//! The lifetime argument is the classic fork/join one — see the SAFETY
+//! comments on the two dereference sites. All other code is safe; the
+//! module-level `allow` below is the only place the workspace-wide
+//! `deny(unsafe_code)` is lifted.
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// A panic payload carried from a failed batch item back to its owner.
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// Per-batch instrumentation counter; see [`with_task_counter`].
+pub type TaskCounter = Arc<AtomicU64>;
+
+/// Monomorphized participation entry point stored in a batch handle.
+type RunFn = unsafe fn(&BatchHandle, *const (), usize);
+
+/// Items executed through the executor (all batches, process-wide).
+static ITEMS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+/// Batches (i.e. `par_map`-level calls) executed, process-wide.
+static BATCHES_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// `(Arc::as_ptr of the owning pool, worker index)` for crew threads.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+    /// The instrumentation counter batches created on this thread attach to.
+    static CURRENT_TAG: RefCell<Option<TaskCounter>> = const { RefCell::new(None) };
+}
+
+/// Locks a mutex, ignoring poisoning (a panicking participant already
+/// re-raises its payload through the batch handle; the guarded data —
+/// queues, flags — stays structurally valid).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One published batch. `'static` and reference-counted so copies may sit
+/// in queues after the batch completes; the claim protocol guarantees the
+/// borrowed `body` behind the raw pointer is never dereferenced late.
+struct BatchHandle {
+    /// Number of items.
+    n: usize,
+    /// Claim cursor: `fetch_add` hands out item indices; `>= n` means the
+    /// batch is exhausted (or cancelled by a panic).
+    next: AtomicUsize,
+    /// Items accounted for (executed or cancelled). The batch is complete
+    /// when this reaches `n`.
+    done: AtomicUsize,
+    /// Type-erased pointer to the owner's stack-held [`BatchBody`].
+    body: AtomicPtr<()>,
+    /// Monomorphized participation loop for the body's concrete types.
+    run: RunFn,
+    /// First panic payload raised by an item, re-raised by the owner.
+    panic: Mutex<Option<Payload>>,
+    /// Completion flag + condvar the owner blocks on as a last resort.
+    complete: Mutex<bool>,
+    done_cv: Condvar,
+    /// Instrumentation counter inherited from the owner's thread.
+    tag: Option<TaskCounter>,
+}
+
+/// The borrowed half of a batch, alive on the owner's stack for the whole
+/// call: result slots, scratch constructor and item closure.
+struct BatchBody<T, S, I, F> {
+    slots: *mut Option<T>,
+    init: *const I,
+    f: *const F,
+    _scratch: PhantomData<S>,
+}
+
+/// Claims the next unexecuted item index, if any.
+fn claim(handle: &BatchHandle) -> Option<usize> {
+    let i = handle.next.fetch_add(1, Ordering::AcqRel);
+    (i < handle.n).then_some(i)
+}
+
+/// Accounts for `k` finished (or cancelled) items; returns `true` — and
+/// wakes the owner — when the batch just completed.
+fn finish_items(handle: &BatchHandle, k: usize) -> bool {
+    let prev = handle.done.fetch_add(k, Ordering::AcqRel);
+    if prev + k >= handle.n {
+        *lock(&handle.complete) = true;
+        handle.done_cv.notify_all();
+        true
+    } else {
+        false
+    }
+}
+
+/// Stores the first panic payload of a batch.
+fn record_panic(handle: &BatchHandle, payload: Payload) {
+    let mut slot = lock(&handle.panic);
+    if slot.is_none() {
+        *slot = Some(payload);
+    }
+}
+
+/// The monomorphized participation loop: builds one scratch state, then
+/// executes claimed indices until the batch is exhausted, complete, or an
+/// item panics (which cancels every still-unclaimed index).
+///
+/// # Safety
+/// `body` must point at a live `BatchBody<T, S, I, F>` belonging to
+/// `handle`, and the caller must hold an executed-item claim (see
+/// [`participate`]) so the owner cannot return concurrently.
+unsafe fn run_batch<T, S, I, F>(handle: &BatchHandle, body: *const (), first: usize)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let body = &*body.cast::<BatchBody<T, S, I, F>>();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut scratch = (*body.init)();
+        let mut index = first;
+        loop {
+            let value = (*body.f)(&mut scratch, index);
+            // SAFETY: `index` was claimed exactly once, so this slot is
+            // written by no other participant; the owner only reads slots
+            // after `done` reaches `n`, which waits for this write.
+            *body.slots.add(index) = Some(value);
+            if finish_items(handle, 1) {
+                return;
+            }
+            match claim(handle) {
+                Some(i) => index = i,
+                None => return,
+            }
+        }
+    }));
+    if let Err(payload) = outcome {
+        record_panic(handle, payload);
+        // Cancel: forbid further claims, then account for the item we
+        // claimed plus every index that was never handed out, so `done`
+        // still reaches `n` and the owner wakes.
+        let prev = handle.next.swap(handle.n, Ordering::AcqRel);
+        let skipped = handle.n.saturating_sub(prev);
+        finish_items(handle, 1 + skipped);
+    }
+}
+
+/// Runs a popped (or owned) batch handle on the current thread.
+fn participate(task: &BatchHandle) {
+    let first = task.next.fetch_add(1, Ordering::AcqRel);
+    if first >= task.n {
+        return; // exhausted or cancelled — a stale queue copy, drop it
+    }
+    let _tag = TagGuard::set(task.tag.clone());
+    let body = task.body.load(Ordering::Acquire);
+    // SAFETY: we hold the claim on item `first`, which has not been
+    // accounted in `done`; the owner blocks until `done == n`, so the
+    // stack frame holding the body (closure, scratch ctor, slots) is
+    // still alive for the whole `run_batch` call. `body` was stored
+    // before the handle was published to any queue.
+    unsafe { (task.run)(task, body.cast_const(), first) }
+}
+
+/// RAII save/restore of [`CURRENT_TAG`], so helpers executing a stolen
+/// batch attribute nested work to that batch's owner, not their own.
+struct TagGuard {
+    saved: Option<TaskCounter>,
+}
+
+impl TagGuard {
+    fn set(tag: Option<TaskCounter>) -> TagGuard {
+        let saved = CURRENT_TAG.with(|t| t.replace(tag));
+        TagGuard { saved }
+    }
+}
+
+impl Drop for TagGuard {
+    fn drop(&mut self) {
+        let saved = self.saved.take();
+        CURRENT_TAG.with(|t| *t.borrow_mut() = saved);
+    }
+}
+
+/// Shared state of one executor instance.
+struct Shared {
+    /// FIFO overflow queue fed by non-worker threads.
+    injector: Mutex<VecDeque<Arc<BatchHandle>>>,
+    /// One deque per worker; the owner pops LIFO, everyone else FIFO.
+    queues: Vec<Mutex<VecDeque<Arc<BatchHandle>>>>,
+    /// Sleep epoch: bumped (under the lock) on every push, so a worker
+    /// that saw an empty system only parks if nothing arrived since.
+    sleep: Mutex<u64>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Pops the next task visible to this thread: own deque (LIFO), then the
+/// injector, then steal from siblings (FIFO), round-robin from `me + 1`.
+fn find_task(shared: &Shared, me: Option<usize>) -> Option<Arc<BatchHandle>> {
+    if let Some(id) = me {
+        if let Some(t) = lock(&shared.queues[id]).pop_back() {
+            return Some(t);
+        }
+    }
+    if let Some(t) = lock(&shared.injector).pop_front() {
+        return Some(t);
+    }
+    let k = shared.queues.len();
+    let start = me.map_or(0, |i| i + 1);
+    for off in 0..k {
+        let q = (start + off) % k;
+        if Some(q) == me {
+            continue;
+        }
+        if let Some(t) = lock(&shared.queues[q]).pop_front() {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Publishes `copies` references to a batch and wakes sleeping workers.
+fn push_tasks(shared: &Shared, handle: &Arc<BatchHandle>, copies: usize, me: Option<usize>) {
+    if copies == 0 {
+        return;
+    }
+    match me {
+        Some(id) => {
+            let mut q = lock(&shared.queues[id]);
+            for _ in 0..copies {
+                q.push_back(Arc::clone(handle));
+            }
+        }
+        None => {
+            let mut q = lock(&shared.injector);
+            for _ in 0..copies {
+                q.push_back(Arc::clone(handle));
+            }
+        }
+    }
+    let mut epoch = lock(&shared.sleep);
+    *epoch = epoch.wrapping_add(1);
+    shared.wakeup.notify_all();
+}
+
+/// Crew thread body: run every task in sight, park when the system drains.
+fn worker_loop(shared: Arc<Shared>, id: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, id))));
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let epoch = *lock(&shared.sleep);
+        if let Some(task) = find_task(&shared, Some(id)) {
+            participate(&task);
+            continue;
+        }
+        let guard = lock(&shared.sleep);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if *guard == epoch {
+            // Nothing arrived between the scan and now; park until a push
+            // bumps the epoch (the timeout is a belt-and-braces re-poll).
+            drop(
+                shared
+                    .wakeup
+                    .wait_timeout(guard, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+        }
+    }
+}
+
+/// A persistent work-stealing thread pool.
+///
+/// `threads` counts *participants*: the calling thread itself joins every
+/// batch it submits, so an executor of `threads = t` spawns `t - 1` crew
+/// threads and `threads = 1` spawns none (fully serial, allocation-free
+/// dispatch). The process-wide instance behind [`crate::par_map`] is
+/// created on first use by [`global`]; independent instances (used by the
+/// tests) are available through [`Executor::new`].
+pub struct Executor {
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor with `threads` participants (min 1), spawning
+    /// `threads - 1` crew threads immediately.
+    pub fn new(threads: usize) -> Executor {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(0),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        for id in 0..workers {
+            let s = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("omnet-worker-{id}"))
+                .spawn(move || worker_loop(s, id));
+            if spawned.is_err() {
+                // Out of threads: the pool still works — unreachable
+                // queues are drained by steals from the live workers and
+                // the owners themselves.
+                break;
+            }
+        }
+        Executor { shared, threads }
+    }
+
+    /// Number of participants (crew threads + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The worker index of the current thread *in this executor*, if any.
+    fn worker_id(&self) -> Option<usize> {
+        let key = Arc::as_ptr(&self.shared) as usize;
+        WORKER
+            .with(|w| w.get())
+            .and_then(|(pool, id)| (pool == key).then_some(id))
+    }
+
+    /// Parallel indexed map with per-participant scratch state; results in
+    /// input order. See [`crate::par_map_with`] for the full contract.
+    pub fn map_with<T, S, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let tag = CURRENT_TAG.with(|t| t.borrow().clone());
+        if n <= 1 || self.threads == 1 {
+            let mut scratch = init();
+            let out: Vec<T> = (0..n).map(|i| f(&mut scratch, i)).collect();
+            account(tag.as_ref(), n);
+            return out;
+        }
+
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let handle = Arc::new(BatchHandle {
+            n,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            body: AtomicPtr::new(std::ptr::null_mut()),
+            run: run_batch::<T, S, I, F>,
+            panic: Mutex::new(None),
+            complete: Mutex::new(false),
+            done_cv: Condvar::new(),
+            tag: tag.clone(),
+        });
+        let body = BatchBody::<T, S, I, F> {
+            slots: slots.as_mut_ptr(),
+            init: &init,
+            f: &f,
+            _scratch: PhantomData,
+        };
+        handle.body.store(
+            (&body as *const BatchBody<T, S, I, F>).cast_mut().cast(),
+            Ordering::Release,
+        );
+
+        let me = self.worker_id();
+        let copies = self.shared.queues.len().min(n - 1);
+        push_tasks(&self.shared, &handle, copies, me);
+
+        // The owner is a participant too: claim and execute items.
+        participate(&handle);
+
+        // Cooperative join: until the batch completes, execute any other
+        // pending batch (typically subtasks of our own items) instead of
+        // parking. The condvar is only a fallback for the final stretch
+        // where every remaining item is already being executed elsewhere.
+        loop {
+            if *lock(&handle.complete) {
+                break;
+            }
+            if let Some(task) = find_task(&self.shared, me) {
+                participate(&task);
+                continue;
+            }
+            let guard = lock(&handle.complete);
+            if *guard {
+                break;
+            }
+            drop(
+                handle
+                    .done_cv
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+        }
+
+        // All participants are done: `done == n` happened-before the
+        // completion flag we just observed, so `body` and `slots` are no
+        // longer touched by anyone and every panic is recorded.
+        let payload = lock(&handle.panic).take();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+        account(tag.as_ref(), n);
+        slots
+            .into_iter()
+            .map(|s| match s {
+                Some(v) => v,
+                None => unreachable!("executor completed a batch with an unfilled slot"),
+            })
+            .collect()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let mut epoch = lock(&self.shared.sleep);
+        *epoch = epoch.wrapping_add(1);
+        self.shared.wakeup.notify_all();
+    }
+}
+
+/// Bumps the process-wide and per-batch instrumentation counters.
+fn account(tag: Option<&TaskCounter>, n: usize) {
+    ITEMS_EXECUTED.fetch_add(n as u64, Ordering::Relaxed);
+    BATCHES_EXECUTED.fetch_add(1, Ordering::Relaxed);
+    if let Some(t) = tag {
+        t.fetch_add(n as u64, Ordering::Relaxed);
+    }
+}
+
+/// Resolves the participant count from an `OMNET_THREADS`-style override
+/// and the machine's available parallelism. `Some("k")` with `k >= 1`
+/// wins; `0`, garbage or absence fall back to `available` (min 1).
+pub fn resolve_threads(env: Option<&str>, available: usize) -> usize {
+    match env.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(k) if k >= 1 => k,
+        _ => available.max(1),
+    }
+}
+
+/// The process-wide executor, created on first use with
+/// [`resolve_threads`]\(`OMNET_THREADS`, available cores).
+pub fn global() -> &'static Executor {
+    static GLOBAL: OnceLock<Executor> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let env = std::env::var("OMNET_THREADS").ok();
+        Executor::new(resolve_threads(env.as_deref(), available))
+    })
+}
+
+/// Cumulative executor instrumentation (process-wide, all instances).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// `par_map`-level batches dispatched.
+    pub batches: u64,
+    /// Work items executed (serial fallbacks included).
+    pub items: u64,
+}
+
+/// Reads the cumulative instrumentation counters.
+pub fn stats() -> ExecutorStats {
+    ExecutorStats {
+        batches: BATCHES_EXECUTED.load(Ordering::Relaxed),
+        items: ITEMS_EXECUTED.load(Ordering::Relaxed),
+    }
+}
+
+/// Attributes every batch created while `f` runs (on this thread, and on
+/// any participant executing those batches' items — nesting included) to
+/// `counter`, which accumulates the number of work items executed. The
+/// experiment harness uses this for its per-experiment footer.
+pub fn with_task_counter<R>(counter: TaskCounter, f: impl FnOnce() -> R) -> R {
+    let _guard = TagGuard::set(Some(counter));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool4() -> &'static Executor {
+        static POOL: OnceLock<Executor> = OnceLock::new();
+        POOL.get_or_init(|| Executor::new(4))
+    }
+
+    #[test]
+    fn results_in_input_order_parallel() {
+        let v = pool4().map_with(257, || (), |(), i| i * 3);
+        assert_eq!(v.len(), 257);
+        assert!(v.iter().enumerate().all(|(i, x)| *x == i * 3));
+    }
+
+    #[test]
+    fn serial_executor_runs_on_caller_thread() {
+        let one = Executor::new(1);
+        let me = std::thread::current().id();
+        let v = one.map_with(16, || (), |(), i| (i, std::thread::current().id()));
+        assert!(v.iter().all(|(_, id)| *id == me));
+        assert_eq!(one.threads(), 1);
+    }
+
+    #[test]
+    fn nested_maps_complete_cooperatively() {
+        let v = pool4().map_with(
+            8,
+            || (),
+            |(), i| {
+                pool4()
+                    .map_with(8, || (), move |(), j| i * 8 + j)
+                    .into_iter()
+                    .sum::<usize>()
+            },
+        );
+        let want: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn panic_payload_propagates_to_owner() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool4().map_with(
+                64,
+                || (),
+                |(), i| {
+                    if i == 13 {
+                        std::panic::panic_any("boom-13");
+                    }
+                    i
+                },
+            )
+        }));
+        let payload = r.expect_err("batch must panic");
+        assert_eq!(
+            *payload.downcast_ref::<&str>().expect("payload kept"),
+            "boom-13"
+        );
+    }
+
+    #[test]
+    fn panic_propagates_across_nested_joins() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool4().map_with(
+                4,
+                || (),
+                |(), i| {
+                    pool4().map_with(
+                        4,
+                        || (),
+                        move |(), j| {
+                            if i == 2 && j == 3 {
+                                std::panic::panic_any("inner-boom");
+                            }
+                            j
+                        },
+                    )
+                },
+            )
+        }));
+        let payload = r.expect_err("outer map must re-raise the inner panic");
+        assert_eq!(
+            *payload.downcast_ref::<&str>().expect("payload kept"),
+            "inner-boom"
+        );
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            pool4().map_with(16, || (), |(), _| std::panic::panic_any("sacrifice"))
+        }));
+        let v = pool4().map_with(64, || (), |(), i| i + 1);
+        assert_eq!(v[63], 64);
+    }
+
+    #[test]
+    fn resolve_threads_precedence() {
+        assert_eq!(resolve_threads(Some("3"), 8), 3);
+        assert_eq!(resolve_threads(Some(" 1 "), 8), 1);
+        assert_eq!(resolve_threads(Some("0"), 8), 8);
+        assert_eq!(resolve_threads(Some("many"), 8), 8);
+        assert_eq!(resolve_threads(None, 8), 8);
+        assert_eq!(resolve_threads(None, 0), 1);
+    }
+
+    #[test]
+    fn task_counter_attributes_nested_work() {
+        let tag: TaskCounter = Arc::new(AtomicU64::new(0));
+        with_task_counter(Arc::clone(&tag), || {
+            pool4().map_with(
+                6,
+                || (),
+                |(), _| {
+                    pool4().map_with(5, || (), |(), j| j);
+                },
+            );
+        });
+        // 6 outer items + 6 × 5 inner items, wherever they executed.
+        assert_eq!(tag.load(Ordering::Relaxed), 36);
+    }
+
+    #[test]
+    fn stats_monotone() {
+        let before = stats();
+        pool4().map_with(10, || (), |(), i| i);
+        let after = stats();
+        assert!(after.items >= before.items + 10);
+        assert!(after.batches > before.batches);
+    }
+
+    #[test]
+    fn dropping_an_executor_shuts_workers_down() {
+        let ex = Executor::new(3);
+        let v = ex.map_with(32, || (), |(), i| i);
+        assert_eq!(v.len(), 32);
+        drop(ex); // must not hang or leak runnable work
+    }
+
+    #[test]
+    fn many_concurrent_owner_threads_share_one_pool() {
+        let pool = pool4();
+        std::thread::scope(|s| {
+            for t in 0..6 {
+                s.spawn(move || {
+                    for round in 0..20 {
+                        let v = pool.map_with(17, || (), move |(), i| t * 1000 + round + i);
+                        assert_eq!(v[16], t * 1000 + round + 16);
+                    }
+                });
+            }
+        });
+    }
+}

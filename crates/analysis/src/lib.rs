@@ -3,14 +3,20 @@
 //! This crate is deliberately free of any temporal-network types: it deals in
 //! plain `f64` samples and renders plain-text tables and series, which is how
 //! the harness "plots" every figure of the paper (one CSV-like series per
-//! curve). It also hosts the small scoped-thread parallel helper used by the
-//! CPU-bound sweeps (the workload is pure computation, so no async runtime is
-//! involved; see DESIGN.md §6).
+//! curve). It also hosts the parallel runtime used by the CPU-bound sweeps: a
+//! persistent work-stealing [`executor`] behind the [`par_map`] /
+//! [`par_map_with`] fork/join facade (the workload is pure computation, so no
+//! async runtime is involved; see DESIGN.md §10).
+//!
+//! `unsafe` is denied crate-wide and lifted in exactly one place: the
+//! executor's type-erased batch handoff, which carries borrowed closures to
+//! `'static` worker threads (see the safety discussion in [`executor`]).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod ecdf;
+pub mod executor;
 pub mod fit;
 pub mod grid;
 pub mod histogram;
@@ -19,6 +25,7 @@ pub mod summary;
 pub mod table;
 
 pub use ecdf::{Ccdf, Ecdf};
+pub use executor::{with_task_counter, Executor, ExecutorStats, TaskCounter};
 pub use fit::{fit_tail, linear_regression, TailFit};
 pub use grid::{linear_grid, log_grid};
 pub use histogram::LogHistogram;

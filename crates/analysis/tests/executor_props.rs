@@ -1,0 +1,143 @@
+//! Property and integration tests of the work-stealing executor: nested
+//! `par_map` must agree with sequential evaluation (index-ordered results,
+//! no matter how work was stolen), the 1-participant configuration must
+//! match the N-participant one, and panics must surface across nested
+//! joins with their payload intact.
+
+use omnet_analysis::executor::{resolve_threads, Executor};
+use omnet_analysis::{par_map, par_map_with};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+/// One shared multi-participant pool for all tests: pool threads are
+/// process-wide daemons, so tests reuse a single instance instead of
+/// spawning a crew per proptest case.
+fn pool() -> &'static Executor {
+    static POOL: OnceLock<Executor> = OnceLock::new();
+    POOL.get_or_init(|| Executor::new(5))
+}
+
+/// The reference semantics: a plain sequential nested evaluation.
+fn sequential_nested(outer: usize, inner: usize, salt: u64) -> Vec<u64> {
+    (0..outer)
+        .map(|i| {
+            (0..inner)
+                .map(|j| (i as u64 + 1).wrapping_mul(j as u64 ^ salt))
+                .sum()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nested_par_map_matches_sequential(
+        outer in 0usize..12,
+        inner in 0usize..12,
+        salt in 0u64..1_000_000,
+    ) {
+        let got = pool().map_with(outer, || (), |(), i| {
+            pool()
+                .map_with(inner, || (), move |(), j| {
+                    (i as u64 + 1).wrapping_mul(j as u64 ^ salt)
+                })
+                .into_iter()
+                .sum::<u64>()
+        });
+        prop_assert_eq!(got, sequential_nested(outer, inner, salt));
+    }
+
+    #[test]
+    fn one_participant_matches_many(n in 0usize..40, salt in 0u64..1_000) {
+        static SERIAL: OnceLock<Executor> = OnceLock::new();
+        let serial = SERIAL.get_or_init(|| Executor::new(1));
+        let f = move |i: usize| (i as u64).wrapping_mul(salt).wrapping_add(i as u64);
+        let a = serial.map_with(n, || (), move |(), i| f(i));
+        let b = pool().map_with(n, || (), move |(), i| f(i));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_variant_matches_scratchless(n in 0usize..40) {
+        let with_scratch = pool().map_with(n, Vec::<u64>::new, |buf, i| {
+            buf.clear();
+            buf.extend(0..i as u64);
+            buf.iter().sum::<u64>()
+        });
+        let plain: Vec<u64> = (0..n).map(|i| (0..i as u64).sum()).collect();
+        prop_assert_eq!(with_scratch, plain);
+    }
+}
+
+#[test]
+fn global_facade_matches_sequential_nested() {
+    // Exercises the real `par_map` entry points (global pool, whatever
+    // size `OMNET_THREADS`/the machine dictates) through two nest levels.
+    let got = par_map(9, |i| {
+        par_map_with(
+            7,
+            || 0u64,
+            |seen, j| {
+                *seen += 1;
+                (i as u64 + 1) * j as u64
+            },
+        )
+        .len()
+    });
+    assert_eq!(got, vec![7; 9]);
+}
+
+#[test]
+fn nested_panic_reaches_the_outermost_caller() {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        pool().map_with(
+            6,
+            || (),
+            |(), i| {
+                pool().map_with(
+                    6,
+                    || (),
+                    move |(), j| {
+                        if i == 4 && j == 5 {
+                            std::panic::panic_any(String::from("deep failure"));
+                        }
+                        i * j
+                    },
+                )
+            },
+        )
+    }));
+    let payload = r.expect_err("panic must cross both join levels");
+    assert_eq!(
+        payload.downcast_ref::<String>().map(String::as_str),
+        Some("deep failure")
+    );
+}
+
+#[test]
+fn init_panic_is_propagated_too() {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        pool().map_with(
+            8,
+            || -> usize { std::panic::panic_any("bad scratch") },
+            |s, i| *s + i,
+        )
+    }));
+    assert!(
+        r.is_err(),
+        "scratch-constructor panic must not be swallowed"
+    );
+}
+
+#[test]
+fn omnet_threads_resolution_contract() {
+    // The documented precedence: explicit >= 1 wins, 0/garbage/absent fall
+    // back to available parallelism, floor 1.
+    assert_eq!(resolve_threads(Some("6"), 2), 6);
+    assert_eq!(resolve_threads(Some("1"), 16), 1);
+    assert_eq!(resolve_threads(Some("0"), 16), 16);
+    assert_eq!(resolve_threads(Some("cores"), 3), 3);
+    assert_eq!(resolve_threads(None, 0), 1);
+}

@@ -1,19 +1,27 @@
 //! Command-line driver for the experiment harness.
 //!
 //! ```text
-//! experiments [--quick] [--seed N] <id>... | all | list
+//! experiments [--quick] [--seed N] [--jobs N] <id>... | all | list
 //! ```
 //!
 //! Every table and figure of the paper has one id (`table1`, `fig1` …
 //! `fig12`) plus the `lemma1` exponent check and the `xval` engine
 //! cross-validation. `--quick` shrinks traces and replications for smoke
 //! runs; the default sizes regenerate the paper-scale artifacts.
+//!
+//! `--jobs N` runs up to `N` experiments concurrently. Stdout is
+//! byte-identical for every `N`: outputs are buffered per experiment and
+//! printed in paper order, and all timing/instrumentation goes to a stderr
+//! footer. Within one experiment, parallelism is governed by the
+//! process-wide executor (`OMNET_THREADS` overrides its size).
 
-use omnet_bench::{find, Config, EXPERIMENTS};
+use omnet_bench::harness::run_experiments;
+use omnet_bench::{find, substrate, Config, EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = Config::default();
+    let mut jobs = 1usize;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -25,43 +33,114 @@ fn main() {
                     .unwrap_or_else(|| usage("missing value after --seed"));
                 cfg.seed = v.parse().unwrap_or_else(|_| usage("invalid --seed value"));
             }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value after --jobs"));
+                jobs = v.parse().unwrap_or_else(|_| usage("invalid --jobs value"));
+                if jobs == 0 {
+                    usage("--jobs must be at least 1");
+                }
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => {
                 usage(&format!("unknown flag {other}"));
             }
-            other => ids.push(other.to_string()),
+            other => {
+                // Dedupe while preserving first-occurrence order: running
+                // an experiment twice in one invocation is never useful.
+                if !ids.iter().any(|i| i == other) {
+                    ids.push(other.to_string());
+                }
+            }
         }
     }
-    if ids.is_empty() || ids.iter().any(|i| i == "list") {
-        eprintln!("available experiments:");
-        for e in EXPERIMENTS {
-            eprintln!("  {:<8} {}", e.id, e.title);
+    if ids.is_empty() {
+        print_list();
+        std::process::exit(2);
+    }
+    let has_list = ids.iter().any(|i| i == "list");
+    let has_all = ids.iter().any(|i| i == "all");
+    if has_list {
+        if ids.len() > 1 {
+            usage("'list' cannot be combined with experiment ids");
         }
-        eprintln!("  {:<8} run everything, in paper order", "all");
-        if ids.is_empty() {
-            std::process::exit(2);
-        }
+        print_list();
         return;
     }
-    let selected: Vec<&'static omnet_bench::Experiment> = if ids.iter().any(|i| i == "all") {
+    let selected: Vec<&'static omnet_bench::Experiment> = if has_all {
+        if ids.len() > 1 {
+            usage("'all' cannot be combined with experiment ids");
+        }
         EXPERIMENTS.iter().collect()
     } else {
-        ids.iter()
-            .map(|id| {
-                find(id)
-                    .unwrap_or_else(|| usage(&format!("unknown experiment '{id}' (try 'list')")))
-            })
-            .collect()
+        let unknown: Vec<&str> = ids
+            .iter()
+            .filter(|id| find(id).is_none())
+            .map(String::as_str)
+            .collect();
+        if !unknown.is_empty() {
+            usage(&format!(
+                "unknown experiment{} {} (try 'list')",
+                if unknown.len() == 1 { "" } else { "s" },
+                unknown
+                    .iter()
+                    .map(|id| format!("'{id}'"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        ids.iter().filter_map(|id| find(id)).collect()
     };
-    for e in selected {
+
+    let run_started = std::time::Instant::now();
+    let records = run_experiments(&selected, &cfg, jobs, |e, output| {
         println!("==================================================================");
         println!("=== {} [{}]", e.title, e.id);
         println!("==================================================================");
-        let started = std::time::Instant::now();
-        let output = (e.run)(&cfg);
         println!("{output}");
-        println!("[{} completed in {:.1?}]\n", e.id, started.elapsed());
+    });
+    let wall = run_started.elapsed();
+
+    // Instrumentation footer — stderr only, so stdout stays byte-identical
+    // across --jobs settings.
+    let pool = omnet_analysis::executor::stats();
+    let cache = substrate::cache_stats();
+    eprintln!("-- run footer ----------------------------------------------------");
+    for r in &records {
+        match &r.error {
+            None => eprintln!(
+                "  {:<8} {:>9.1?}  {:>10} pool items",
+                r.id, r.elapsed, r.pool_items
+            ),
+            Some(msg) => eprintln!("  {:<8} {:>9.1?}  PANICKED: {msg}", r.id, r.elapsed),
+        }
     }
+    eprintln!(
+        "  total    {wall:>9.1?}  jobs {jobs}, executor threads {}",
+        omnet_analysis::executor::global().threads()
+    );
+    eprintln!(
+        "  executor {} batches / {} items; substrate cache {} lookups / {} builds",
+        pool.batches, pool.items, cache.lookups, cache.builds
+    );
+    let failures: Vec<&str> = records
+        .iter()
+        .filter(|r| r.error.is_some())
+        .map(|r| r.id)
+        .collect();
+    if !failures.is_empty() {
+        eprintln!("error: experiment(s) panicked: {}", failures.join(", "));
+        std::process::exit(1);
+    }
+}
+
+fn print_list() {
+    eprintln!("available experiments:");
+    for e in EXPERIMENTS {
+        eprintln!("  {:<8} {}", e.id, e.title);
+    }
+    eprintln!("  {:<8} run everything, in paper order", "all");
 }
 
 fn usage(err: &str) -> ! {
@@ -69,9 +148,11 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments [--quick] [--seed N] <id>... | all | list\n\
+        "usage: experiments [--quick] [--seed N] [--jobs N] <id>... | all | list\n\
          regenerates the tables and figures of 'The Diameter of Opportunistic\n\
-         Mobile Networks' (CoNEXT 2007) on the synthetic data sets."
+         Mobile Networks' (CoNEXT 2007) on the synthetic data sets.\n\
+         --jobs N runs experiments concurrently; stdout order and bytes are\n\
+         identical for every N (timings go to a stderr footer)."
     );
     std::process::exit(2);
 }

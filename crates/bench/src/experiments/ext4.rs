@@ -8,14 +8,14 @@
 //! local rule recovers, and how many hops it spends doing so relative to
 //! the 4–6-hop diameter.
 
-use crate::experiments::util::section;
+use crate::experiments::util::{cached_days, section};
+use crate::substrate::Transform;
 use crate::Config;
 use omnet_flooding::{
     direct_delivery, epidemic_ttl, evaluate_fresh, evaluate_scheme, flood, prophet_batch,
     spray_and_wait, two_hop_relay, ProphetParams,
 };
 use omnet_mobility::Dataset;
-use omnet_temporal::transform::internal_only;
 use omnet_temporal::Dur;
 use omnet_temporal::{NodeId, Time};
 use std::fmt::Write as _;
@@ -29,7 +29,7 @@ pub fn run(cfg: &Config) -> String {
     );
     let days = if cfg.quick { 0.5 } else { 1.0 };
     let samples = if cfg.quick { 8 } else { 16 };
-    let trace = internal_only(&Dataset::Infocom05.generate_days(days, cfg.seed));
+    let trace = cached_days(Dataset::Infocom05, days, cfg, Transform::InternalOnly);
     let _ = writeln!(
         out,
         "substrate: synthetic Infocom05, {} devices, {} contacts over {days} day(s)\n",

@@ -10,12 +10,12 @@
 //! generator is expected to show an exponential long tail — the honest
 //! read-out of where the substitute trace differs from reality.
 
-use crate::experiments::util::section;
+use crate::experiments::util::{cached_days, section};
+use crate::substrate::{substrate, Span, Transform};
 use crate::Config;
 use omnet_analysis::fit_tail;
 use omnet_mobility::Dataset;
 use omnet_temporal::stats::inter_contact_times;
-use omnet_temporal::transform::internal_only;
 use std::fmt::Write as _;
 
 /// Runs the experiment and renders the result.
@@ -40,12 +40,12 @@ pub fn run(cfg: &Config) -> String {
         Dataset::RealityMining,
     ] {
         let trace = if cfg.quick {
-            internal_only(&ds.generate_days(2.0, cfg.seed))
+            cached_days(ds, 2.0, cfg, Transform::InternalOnly)
         } else {
             match ds {
                 // 60 days of Reality Mining give plenty of gaps at bounded cost
-                Dataset::RealityMining => internal_only(&ds.generate_days(60.0, cfg.seed)),
-                _ => internal_only(&ds.generate(cfg.seed)),
+                Dataset::RealityMining => cached_days(ds, 60.0, cfg, Transform::InternalOnly),
+                _ => substrate(ds, Span::Full, cfg.seed, Transform::InternalOnly),
             }
         };
         let gaps: Vec<f64> = inter_contact_times(&trace)

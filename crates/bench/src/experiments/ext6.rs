@@ -9,11 +9,11 @@
 //! ratio while slashing copy transmissions, and it also softens the damage
 //! finite buffers do to unlimited epidemic spreading.
 
-use crate::experiments::util::section;
+use crate::experiments::util::{cached_days, section};
+use crate::substrate::Transform;
 use crate::Config;
 use omnet_flooding::{simulate, uniform_workload, Routing, SimConfig};
 use omnet_mobility::Dataset;
-use omnet_temporal::transform::internal_only;
 use omnet_temporal::Dur;
 use std::fmt::Write as _;
 
@@ -26,7 +26,7 @@ pub fn run(cfg: &Config) -> String {
     );
     let days = if cfg.quick { 0.5 } else { 1.0 };
     let messages = if cfg.quick { 120 } else { 400 };
-    let trace = internal_only(&Dataset::Infocom05.generate_days(days, cfg.seed));
+    let trace = cached_days(Dataset::Infocom05, days, cfg, Transform::InternalOnly);
     let workload = uniform_workload(&trace, messages, 0.6, cfg.seed ^ 0xE6);
     let _ = writeln!(
         out,

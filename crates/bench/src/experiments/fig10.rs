@@ -8,24 +8,35 @@
 //! timescales as the contact rate drops.
 
 use crate::experiments::util::{curves, delay_grid, section};
+use crate::substrate::{substrate, Span, Transform};
 use crate::Config;
 use omnet_core::HopBound;
 use omnet_mobility::Dataset;
-use omnet_temporal::transform::{crop, internal_only, remove_random};
-use omnet_temporal::{Dur, Interval, Time, Trace};
+use omnet_temporal::transform::remove_random;
+use omnet_temporal::{Dur, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// The §6 substrate: day 2 of (synthetic) Infocom06, internal contacts.
-pub fn infocom06_day2(cfg: &Config) -> Trace {
+/// Served by the process-wide substrate cache, so fig10/fig11/fig12 share
+/// one generated trace per `(quick, seed)`.
+pub fn infocom06_day2(cfg: &Config) -> Arc<Trace> {
     let days = if cfg.quick { 1.25 } else { 2.0 };
-    let full = Dataset::Infocom06.generate_days(days, cfg.seed);
-    let start = Time::ZERO + Dur::days(days - 1.0);
-    crop(
-        &internal_only(&full),
-        Interval::new(start, start + Dur::days(1.0)),
+    substrate(
+        Dataset::Infocom06,
+        Span::Days(days),
+        cfg.seed,
+        Transform::InternalFinalDay,
     )
+}
+
+/// The removal-draw RNG seed. Mixes the keep level into the stream: the
+/// 10% and 1% panels previously shared `seed + 1000·rep` and therefore
+/// removed contacts along correlated permutations.
+fn removal_seed(base: u64, keep: f64, rep: usize) -> u64 {
+    (base.wrapping_add(1000 * rep as u64) ^ keep.to_bits()).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// Runs the experiment and renders the result.
@@ -54,9 +65,9 @@ pub fn run(cfg: &Config) -> String {
         let mut diams = Vec::new();
         for rep in 0..reps {
             let t = if keep >= 1.0 {
-                day2.clone()
+                Trace::clone(&day2)
             } else {
-                let mut rng = StdRng::seed_from_u64(cfg.seed + 1000 * rep as u64);
+                let mut rng = StdRng::seed_from_u64(removal_seed(cfg.seed, keep, rep));
                 remove_random(&day2, 1.0 - keep, &mut rng)
             };
             let c = curves(&t, max_hops, grid.clone());

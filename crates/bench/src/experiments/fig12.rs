@@ -23,7 +23,7 @@ pub fn run(cfg: &Config) -> String {
     let max_hops = if cfg.quick { 8 } else { 12 };
 
     let scenarios: Vec<(String, omnet_temporal::Trace)> = vec![
-        ("Infocom06".to_string(), day2.clone()),
+        ("Infocom06".to_string(), omnet_temporal::Trace::clone(&day2)),
         (
             "contacts>=10mn".to_string(),
             min_duration(&day2, Dur::mins(10.0)),

@@ -6,11 +6,11 @@
 //! numbers — occupancy, median and maximum wait — and (b) a down-sampled
 //! series of waiting times `next_contact(t) − t`.
 
-use crate::experiments::util::section;
+use crate::experiments::util::{cached_trace, section};
+use crate::substrate::Transform;
 use crate::Config;
 use omnet_mobility::Dataset;
 use omnet_temporal::stats::{next_contact_series, occupancy};
-use omnet_temporal::transform::internal_only;
 use omnet_temporal::{Dur, NodeId, Trace};
 use std::fmt::Write as _;
 
@@ -42,16 +42,12 @@ pub fn run(cfg: &Config) -> String {
     ];
     let samples = if cfg.quick { 48 } else { 96 };
     for (ds, strip_external) in sets {
-        let full = if cfg.quick {
-            ds.generate_days(2.0, cfg.seed)
+        let transform = if strip_external {
+            Transform::InternalOnly
         } else {
-            ds.generate(cfg.seed)
+            Transform::Raw
         };
-        let trace = if strip_external {
-            internal_only(&full)
-        } else {
-            full
-        };
+        let trace = cached_trace(ds, 2.0, cfg, transform);
         let (a, b) = representative_nodes(&trace);
         for node in [a, b] {
             let occ = occupancy(&trace, node);

@@ -3,7 +3,8 @@
 //! plus the two headline Infocom06 statistics the paper calls out —
 //! the single-slot fraction (~75 %) and the > 1 hour tail (~0.4 %).
 
-use crate::experiments::util::section;
+use crate::experiments::util::{cached_trace, section};
+use crate::substrate::Transform;
 use crate::Config;
 use omnet_mobility::Dataset;
 use omnet_temporal::stats::contact_durations;
@@ -20,11 +21,7 @@ pub fn run(cfg: &Config) -> String {
     let mut series = omnet_analysis::Series::new("duration_s", grid.clone());
     let mut headline = String::new();
     for ds in Dataset::ALL {
-        let trace = if cfg.quick {
-            ds.generate_days(1.0, cfg.seed)
-        } else {
-            ds.generate(cfg.seed)
-        };
+        let trace = cached_trace(ds, 1.0, cfg, Transform::Raw);
         let durs: Vec<f64> = contact_durations(&trace)
             .into_iter()
             .map(|d| d.as_secs())

@@ -7,7 +7,8 @@
 //! signature — unreachable at 1 hop, saturating within a few hops — and
 //! print its Pareto frontiers and sampled `del(t)` per hop class.
 
-use crate::experiments::util::section;
+use crate::experiments::util::{cached_trace, section};
+use crate::substrate::Transform;
 use crate::Config;
 use omnet_core::{Arcs, HopBound, ProfileOptions, SourceProfiles};
 use omnet_mobility::Dataset;
@@ -46,11 +47,7 @@ pub fn run(cfg: &Config) -> String {
         &mut out,
         "Figure 8: delivery function of one Hong-Kong pair, by hop budget",
     );
-    let trace = if cfg.quick {
-        Dataset::HongKong.generate_days(2.0, cfg.seed)
-    } else {
-        Dataset::HongKong.generate(cfg.seed)
-    };
+    let trace = cached_trace(Dataset::HongKong, 2.0, cfg, Transform::Raw);
     let Some((s, prof, d)) = pick_pair(&trace) else {
         return "no multi-hop-only pair found (regenerate with another seed)\n".into();
     };

@@ -8,11 +8,13 @@
 //! multi-hop improvement sits at small timescales for dense traces and at
 //! large timescales for sparse ones.
 
-use crate::experiments::util::{curves, delay_grid, diameter_line, render_curves, section};
+use crate::experiments::util::{
+    cached_trace, curves, delay_grid, diameter_line, render_curves, section,
+};
+use crate::substrate::Transform;
 use crate::Config;
 use omnet_core::{day_time_windows, CurveOptions, HopBound, SuccessCurves};
 use omnet_mobility::Dataset;
-use omnet_temporal::transform::internal_only;
 use omnet_temporal::Dur;
 use std::fmt::Write as _;
 
@@ -29,16 +31,13 @@ pub fn run(cfg: &Config) -> String {
         (Dataset::HongKong, false, "paper diameter: 6"),
     ];
     for (ds, strip_external, paper) in panels {
-        let full = if cfg.quick {
-            ds.generate_days(2.0, cfg.seed)
+        // Hong-Kong keeps external devices as relays (the paper does the same).
+        let transform = if strip_external {
+            Transform::InternalOnly
         } else {
-            ds.generate(cfg.seed)
+            Transform::Raw
         };
-        let trace = if strip_external {
-            internal_only(&full)
-        } else {
-            full // Hong-Kong: external devices relay (the paper does the same)
-        };
+        let trace = cached_trace(ds, 2.0, cfg, transform);
         let horizon = trace.span().duration().min(Dur::weeks(1.0));
         let grid = delay_grid(horizon, if cfg.quick { 10 } else { 22 });
         let c = curves(&trace, if cfg.quick { 8 } else { 10 }, grid);
@@ -73,11 +72,7 @@ pub fn run(cfg: &Config) -> String {
     // similar" — check that adding the external devices as potential relays
     // barely moves the Infocom05 diameter.
     {
-        let full = if cfg.quick {
-            Dataset::Infocom05.generate_days(2.0, cfg.seed)
-        } else {
-            Dataset::Infocom05.generate(cfg.seed)
-        };
+        let full = cached_trace(Dataset::Infocom05, 2.0, cfg, Transform::Raw);
         let horizon = full.span().duration().min(Dur::weeks(1.0));
         let grid = delay_grid(horizon, if cfg.quick { 8 } else { 14 });
         let opts = CurveOptions::standard(if cfg.quick { 8 } else { 10 }, grid);
@@ -96,12 +91,7 @@ pub fn run(cfg: &Config) -> String {
     // re-creates the high-contact-rate regime where the multi-hop
     // improvement concentrates at small timescales.
     section(&mut out, "variant: Infocom05, message creation 9h-18h only");
-    let full = if cfg.quick {
-        Dataset::Infocom05.generate_days(2.0, cfg.seed)
-    } else {
-        Dataset::Infocom05.generate(cfg.seed)
-    };
-    let trace = internal_only(&full);
+    let trace = cached_trace(Dataset::Infocom05, 2.0, cfg, Transform::InternalOnly);
     let windows = day_time_windows(&trace, 9.0, 18.0);
     let grid = delay_grid(Dur::hours(6.0), if cfg.quick { 6 } else { 10 });
     let opts = CurveOptions::standard(if cfg.quick { 8 } else { 10 }, grid);

@@ -1,7 +1,8 @@
 //! Table 1: characteristics of the four experimental data sets, measured on
 //! the calibrated synthetic traces and shown against the published targets.
 
-use crate::experiments::util::section;
+use crate::experiments::util::{cached_days, section};
+use crate::substrate::{substrate, Span, Transform};
 use crate::Config;
 use omnet_mobility::Dataset;
 use omnet_temporal::stats::TraceStats;
@@ -41,10 +42,9 @@ pub fn run(cfg: &Config) -> String {
     for d in Dataset::ALL {
         let trace = if cfg.quick {
             // shorter slices keep smoke runs fast; rates stay calibrated
-            let days = paper_targets(d).0.min(2.0);
-            d.generate_days(days, cfg.seed)
+            cached_days(d, paper_targets(d).0.min(2.0), cfg, Transform::Raw)
         } else {
-            d.generate(cfg.seed)
+            substrate(d, Span::Full, cfg.seed, Transform::Raw)
         };
         let s = TraceStats::of(&trace);
         let (p_days, _p_gran, _dev, p_int, _edev, p_ext) = paper_targets(d);

@@ -1,8 +1,35 @@
 //! Shared helpers for the experiment modules.
 
+use crate::substrate::{substrate, Span, Transform};
+use crate::Config;
 use omnet_core::{CurveOptions, HopBound, SuccessCurves};
+use omnet_mobility::Dataset;
 use omnet_temporal::{Dur, Trace};
 use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A figure's data-set substrate, served by the process-wide cache
+/// ([`crate::substrate`]): quick runs generate the first `quick_days`
+/// days, full runs the data set's natural window. Experiments requesting
+/// the same `(dataset, span, seed, transform)` share one generated trace.
+pub fn cached_trace(
+    ds: Dataset,
+    quick_days: f64,
+    cfg: &Config,
+    transform: Transform,
+) -> Arc<Trace> {
+    let span = if cfg.quick {
+        Span::Days(quick_days)
+    } else {
+        Span::Full
+    };
+    substrate(ds, span, cfg.seed, transform)
+}
+
+/// [`cached_trace`] with an explicit day span regardless of quick mode.
+pub fn cached_days(ds: Dataset, days: f64, cfg: &Config, transform: Transform) -> Arc<Trace> {
+    substrate(ds, Span::Days(days), cfg.seed, transform)
+}
 
 /// A logarithmic delay grid from 2 minutes to `hi`, `n` points — the x axis
 /// of Figures 9–12.

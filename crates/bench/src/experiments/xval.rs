@@ -10,7 +10,8 @@
 //! is the strongest correctness evidence short of the brute-force oracle
 //! (which covers tiny traces in the unit tests).
 
-use crate::experiments::util::section;
+use crate::experiments::util::{cached_days, section};
+use crate::substrate::Transform;
 use crate::Config;
 use omnet_core::{earliest_arrival, AllPairsProfiles, HopBound, ProfileOptions};
 use omnet_flooding::{flood, ZhangProfile};
@@ -112,8 +113,12 @@ pub fn run(cfg: &Config) -> String {
     total_m += t.mismatches;
 
     // 3. a synthetic mobility slice
-    let slice = Dataset::Infocom05.generate_days(if cfg.quick { 0.25 } else { 0.5 }, cfg.seed);
-    let internal = omnet_temporal::transform::internal_only(&slice);
+    let internal = cached_days(
+        Dataset::Infocom05,
+        if cfg.quick { 0.25 } else { 0.5 },
+        cfg,
+        Transform::InternalOnly,
+    );
     let starts: Vec<Time> = internal
         .contacts()
         .iter()

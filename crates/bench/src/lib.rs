@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
+pub mod substrate;
 
 /// Global experiment configuration.
 #[derive(Debug, Clone, Copy)]

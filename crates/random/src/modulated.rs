@@ -8,7 +8,7 @@
 //! high/low duty cycle with a prescribed time-average.
 
 use crate::model::{DiscreteModel, SlotEdges};
-use crate::montecarlo::relax_slot;
+use crate::montecarlo::{relax_slot, RelaxScratch};
 use crate::theory::ContactCase;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -113,14 +113,34 @@ impl ModulatedModel {
         max_slots: usize,
         rng: &mut StdRng,
     ) -> Option<(usize, u32)> {
+        self.delay_optimal_stats_with(
+            case,
+            max_slots,
+            rng,
+            &mut Vec::new(),
+            &mut RelaxScratch::default(),
+        )
+    }
+
+    /// [`Self::delay_optimal_stats`] with caller-pooled `labels` and
+    /// relaxation `scratch`, for allocation-free replication sweeps.
+    fn delay_optimal_stats_with(
+        &self,
+        case: ContactCase,
+        max_slots: usize,
+        rng: &mut StdRng,
+        labels: &mut Vec<u32>,
+        scratch: &mut RelaxScratch,
+    ) -> Option<(usize, u32)> {
         use rand::Rng as _;
         let dest = self.n - 1;
-        let mut labels = vec![u32::MAX; self.n];
+        labels.clear();
+        labels.resize(self.n, u32::MAX);
         labels[0] = 0;
         let phase = rng.gen_range(0..self.period);
         for slot in 1..=max_slots {
             let edges = self.sample_slot(phase + slot - 1, rng);
-            relax_slot(&mut labels, &edges, case);
+            relax_slot(labels, &edges, case, scratch);
             if labels[dest] != u32::MAX {
                 return Some((slot, labels[dest]));
             }
@@ -137,13 +157,17 @@ impl ModulatedModel {
         seed: u64,
     ) -> crate::OptimalPathEstimate {
         assert!(reps > 0, "need at least one replication");
-        let results = omnet_analysis::par_map(reps, |r| {
-            let mut rng = StdRng::seed_from_u64(
-                seed.wrapping_add(r as u64)
-                    .wrapping_mul(0xA076_1D64_78BD_642F),
-            );
-            self.delay_optimal_stats(case, max_slots, &mut rng)
-        });
+        let results = omnet_analysis::par_map_with(
+            reps,
+            <(Vec<u32>, RelaxScratch)>::default,
+            |(labels, scratch), r| {
+                let mut rng = StdRng::seed_from_u64(
+                    seed.wrapping_add(r as u64)
+                        .wrapping_mul(0xA076_1D64_78BD_642F),
+                );
+                self.delay_optimal_stats_with(case, max_slots, &mut rng, labels, scratch)
+            },
+        );
         let ln_n = (self.n as f64).ln();
         let mut d = 0.0;
         let mut h = 0.0;

@@ -15,16 +15,41 @@ use crate::theory::ContactCase;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Reusable buffers for [`relax_slot`], so the per-slot relaxation is
+/// allocation-free in steady state: the `Short` case's label snapshot, and
+/// the `Long` case's sorted arc list + worklist. One scratch serves any
+/// number of slots and replications (the Monte-Carlo sweeps pool it per
+/// worker through `par_map_with`).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RelaxScratch {
+    /// `Short`: labels as they stood when the slot began.
+    before: Vec<u32>,
+    /// `Long`: the slot's edges, both directions, sorted by source node.
+    arcs: Vec<(u32, u32)>,
+    /// `Long`: nodes whose label decreased and must relax their neighbors.
+    queue: std::collections::VecDeque<u32>,
+    /// `Long`: whether a node currently sits in `queue` (all-false between
+    /// calls — every pop clears its mark).
+    in_queue: Vec<bool>,
+}
+
 /// Hop-count labels after flooding one slot graph.
 ///
 /// `labels[v]` is the minimum number of contacts needed to reach `v` so far;
 /// `u32::MAX` marks "not reached".
-pub(crate) fn relax_slot(labels: &mut [u32], edges: &[(u32, u32)], case: ContactCase) {
+pub(crate) fn relax_slot(
+    labels: &mut [u32],
+    edges: &[(u32, u32)],
+    case: ContactCase,
+    scratch: &mut RelaxScratch,
+) {
     match case {
         ContactCase::Short => {
             // One contact per slot per path: relax strictly from the labels
             // as they stood when the slot began.
-            let before = labels.to_vec();
+            scratch.before.clear();
+            scratch.before.extend_from_slice(labels);
+            let before = &scratch.before;
             for &(u, v) in edges {
                 let (u, v) = (u as usize, v as usize);
                 if before[u] != u32::MAX && before[u] + 1 < labels[v] {
@@ -36,22 +61,44 @@ pub(crate) fn relax_slot(labels: &mut [u32], edges: &[(u32, u32)], case: Contact
             }
         }
         ContactCase::Long => {
-            // Chains within the slot: relax to a fixpoint.
-            loop {
-                let mut changed = false;
-                for &(u, v) in edges {
-                    let (u, v) = (u as usize, v as usize);
-                    if labels[u] != u32::MAX && labels[u] + 1 < labels[v] {
-                        labels[v] = labels[u] + 1;
-                        changed = true;
-                    }
-                    if labels[v] != u32::MAX && labels[v] + 1 < labels[u] {
-                        labels[u] = labels[v] + 1;
-                        changed = true;
+            // Chains within the slot: relax to the least fixpoint. Labels
+            // only ever decrease and relaxation is order-independent, so a
+            // worklist of improved nodes reaches the same fixpoint as the
+            // old repeat-all-edges sweep while touching each arc only when
+            // its source actually improved.
+            let arcs = &mut scratch.arcs;
+            arcs.clear();
+            for &(u, v) in edges {
+                arcs.push((u, v));
+                arcs.push((v, u));
+            }
+            arcs.sort_unstable();
+            if scratch.in_queue.len() < labels.len() {
+                scratch.in_queue.resize(labels.len(), false);
+            }
+            scratch.queue.clear();
+            let mut seed = u32::MAX;
+            for &(u, _) in arcs.iter() {
+                if u != seed {
+                    seed = u;
+                    if labels[u as usize] != u32::MAX && !scratch.in_queue[u as usize] {
+                        scratch.in_queue[u as usize] = true;
+                        scratch.queue.push_back(u);
                     }
                 }
-                if !changed {
-                    break;
+            }
+            while let Some(u) = scratch.queue.pop_front() {
+                scratch.in_queue[u as usize] = false;
+                let through = labels[u as usize] + 1;
+                let lo = arcs.partition_point(|a| a.0 < u);
+                for &(_, v) in arcs[lo..].iter().take_while(|a| a.0 == u) {
+                    if through < labels[v as usize] {
+                        labels[v as usize] = through;
+                        if !scratch.in_queue[v as usize] {
+                            scratch.in_queue[v as usize] = true;
+                            scratch.queue.push_back(v);
+                        }
+                    }
                 }
             }
         }
@@ -68,13 +115,36 @@ pub fn delay_optimal_stats(
     max_slots: usize,
     rng: &mut StdRng,
 ) -> Option<(usize, u32)> {
+    let mut labels = Vec::new();
+    delay_optimal_stats_with(
+        model,
+        case,
+        max_slots,
+        rng,
+        &mut labels,
+        &mut RelaxScratch::default(),
+    )
+}
+
+/// [`delay_optimal_stats`] with caller-pooled buffers: `labels` and
+/// `scratch` are reset here and reused across calls, so a replication
+/// sweep performs no per-slot (and after warm-up, no per-rep) allocation.
+pub(crate) fn delay_optimal_stats_with(
+    model: DiscreteModel,
+    case: ContactCase,
+    max_slots: usize,
+    rng: &mut StdRng,
+    labels: &mut Vec<u32>,
+    scratch: &mut RelaxScratch,
+) -> Option<(usize, u32)> {
     let n = model.n;
     let dest = n - 1;
-    let mut labels = vec![u32::MAX; n];
+    labels.clear();
+    labels.resize(n, u32::MAX);
     labels[0] = 0;
     for slot in 1..=max_slots {
         let edges = model.sample_slot(rng);
-        relax_slot(&mut labels, &edges, case);
+        relax_slot(labels, &edges, case, scratch);
         if labels[dest] != u32::MAX {
             return Some((slot, labels[dest]));
         }
@@ -94,24 +164,29 @@ pub fn constrained_path_probability(
     seed: u64,
 ) -> f64 {
     assert!(reps > 0, "need at least one replication");
-    let hits: usize = omnet_analysis::par_map(reps, |r| {
-        let mut rng = StdRng::seed_from_u64(
-            seed.wrapping_add(r as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        let n = model.n;
-        let dest = n - 1;
-        let mut labels = vec![u32::MAX; n];
-        labels[0] = 0;
-        for _ in 1..=t_slots {
-            let edges = model.sample_slot(&mut rng);
-            relax_slot(&mut labels, &edges, case);
-            if labels[dest] <= max_hops {
-                return 1usize;
+    let hits: usize = omnet_analysis::par_map_with(
+        reps,
+        <(Vec<u32>, RelaxScratch)>::default,
+        |(labels, scratch), r| {
+            let mut rng = StdRng::seed_from_u64(
+                seed.wrapping_add(r as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let n = model.n;
+            let dest = n - 1;
+            labels.clear();
+            labels.resize(n, u32::MAX);
+            labels[0] = 0;
+            for _ in 1..=t_slots {
+                let edges = model.sample_slot(&mut rng);
+                relax_slot(labels, &edges, case, scratch);
+                if labels[dest] <= max_hops {
+                    return 1usize;
+                }
             }
-        }
-        0usize
-    })
+            0usize
+        },
+    )
     .into_iter()
     .sum();
     hits as f64 / reps as f64
@@ -152,13 +227,17 @@ pub fn estimate_optimal_path(
     seed: u64,
 ) -> OptimalPathEstimate {
     assert!(reps > 0, "need at least one replication");
-    let results = omnet_analysis::par_map(reps, |r| {
-        let mut rng = StdRng::seed_from_u64(
-            seed.wrapping_add(r as u64)
-                .wrapping_mul(0x2545_F491_4F6C_DD1D),
-        );
-        delay_optimal_stats(model, case, max_slots, &mut rng)
-    });
+    let results = omnet_analysis::par_map_with(
+        reps,
+        <(Vec<u32>, RelaxScratch)>::default,
+        |(labels, scratch), r| {
+            let mut rng = StdRng::seed_from_u64(
+                seed.wrapping_add(r as u64)
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D),
+            );
+            delay_optimal_stats_with(model, case, max_slots, &mut rng, labels, scratch)
+        },
+    );
     let ln_n = (model.n as f64).ln();
     let mut d_sum = 0.0;
     let mut h_sum = 0.0;
@@ -308,20 +387,94 @@ mod tests {
 
     #[test]
     fn relax_short_uses_one_hop_per_slot() {
+        let mut scratch = RelaxScratch::default();
         let mut labels = vec![0u32, u32::MAX, u32::MAX];
         // chain 0-1, 1-2 in the SAME slot: short case reaches only node 1.
-        relax_slot(&mut labels, &[(0, 1), (1, 2)], ContactCase::Short);
+        relax_slot(
+            &mut labels,
+            &[(0, 1), (1, 2)],
+            ContactCase::Short,
+            &mut scratch,
+        );
         assert_eq!(labels, vec![0, 1, u32::MAX]);
         // next slot, the second edge carries it on.
-        relax_slot(&mut labels, &[(1, 2)], ContactCase::Short);
+        relax_slot(&mut labels, &[(1, 2)], ContactCase::Short, &mut scratch);
         assert_eq!(labels, vec![0, 1, 2]);
     }
 
     #[test]
     fn relax_long_chains_within_slot() {
+        let mut scratch = RelaxScratch::default();
         let mut labels = vec![0u32, u32::MAX, u32::MAX];
-        relax_slot(&mut labels, &[(1, 2), (0, 1)], ContactCase::Long);
+        relax_slot(
+            &mut labels,
+            &[(1, 2), (0, 1)],
+            ContactCase::Long,
+            &mut scratch,
+        );
         assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    /// The old `Long` implementation, kept as the reference semantics: sweep
+    /// every edge (both directions) until no label changes.
+    fn relax_long_fixpoint_reference(labels: &mut [u32], edges: &[(u32, u32)]) {
+        loop {
+            let mut changed = false;
+            for &(u, v) in edges {
+                let (u, v) = (u as usize, v as usize);
+                if labels[u] != u32::MAX && labels[u] + 1 < labels[v] {
+                    labels[v] = labels[u] + 1;
+                    changed = true;
+                }
+                if labels[v] != u32::MAX && labels[v] + 1 < labels[u] {
+                    labels[u] = labels[v] + 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn relax_long_worklist_matches_reference_fixpoint() {
+        // Pseudo-random sparse slot graphs, one shared scratch across all
+        // of them (exercising buffer reuse between slots of different
+        // shapes and sizes).
+        let mut scratch = RelaxScratch::default();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..200 {
+            let n = 3 + (next() % 40) as u32;
+            let m = (next() % (2 * n as u64)) as usize;
+            let edges: Vec<(u32, u32)> = (0..m)
+                .filter_map(|_| {
+                    let u = (next() % n as u64) as u32;
+                    let v = (next() % n as u64) as u32;
+                    (u != v).then_some((u, v))
+                })
+                .collect();
+            let mut labels: Vec<u32> = (0..n)
+                .map(|_| {
+                    if next() % 3 == 0 {
+                        (next() % 5) as u32
+                    } else {
+                        u32::MAX
+                    }
+                })
+                .collect();
+            let mut want = labels.clone();
+            relax_long_fixpoint_reference(&mut want, &edges);
+            relax_slot(&mut labels, &edges, ContactCase::Long, &mut scratch);
+            assert_eq!(labels, want, "round {round}, n={n}, edges={edges:?}");
+            assert!(scratch.in_queue.iter().all(|q| !q), "queue marks leaked");
+        }
     }
 
     #[test]
