@@ -1,24 +1,30 @@
-//! Minimal scoped-thread fork/join helpers.
+//! Fork/join facade over the persistent work-stealing [`crate::executor`].
 //!
 //! The profile algorithm and Monte-Carlo sweeps are embarrassingly parallel
 //! across sources / replications; these helpers spread an indexed map across
-//! the machine's cores with crossbeam scoped threads. The closure receives
-//! the item index so replications can derive independent RNG seeds, and the
-//! `_with` variant additionally threads a per-worker scratch state through
-//! every item a worker processes — the hook the profile engine uses to reuse
-//! its candidate buffers across sources instead of reallocating per source.
+//! the process-wide executor crew. The closure receives the item index so
+//! replications can derive independent RNG seeds, and the `_with` variant
+//! additionally threads a per-participant scratch state through every item a
+//! participant processes — the hook the profile engine uses to reuse its
+//! candidate buffers across sources instead of reallocating per source.
+//!
+//! Historically each call forked its own crew of crossbeam scoped threads;
+//! the calls now share one lazily-spawned pool (sized by `OMNET_THREADS`,
+//! default one participant per core), so nested maps — experiments ×
+//! sources × replications — compose cooperatively instead of
+//! oversubscribing the machine. Signatures are unchanged.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::executor;
 
 /// Applies `f` to every index `0..n`, in parallel, returning results in order.
 ///
-/// `f` must be `Sync` because multiple worker threads call it concurrently.
-/// Work is distributed dynamically (atomic counter), so uneven per-item cost
-/// — e.g. per-source profile computations on heterogeneous traces — balances
-/// well. Work items are expected to be coarse (milliseconds and up); each
-/// completed item takes one short mutex lock to deposit its result.
-/// Falls back to a sequential loop when `n` is tiny or only one core exists.
+/// `f` must be `Sync` because multiple participants call it concurrently.
+/// Work is distributed dynamically (shared claim cursor), so uneven per-item
+/// cost — e.g. per-source profile computations on heterogeneous traces —
+/// balances well. Work items are expected to be coarse (milliseconds and
+/// up). Runs sequentially on the caller when `n <= 1` or the executor has a
+/// single participant (`OMNET_THREADS=1` or a one-core machine). A panic in
+/// any item cancels the rest of the batch and is re-raised on the caller.
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -27,65 +33,22 @@ where
     par_map_with(n, || (), |(), i| f(i))
 }
 
-/// Like [`par_map`], but each worker thread first builds a private scratch
-/// state with `init` and hands `f` a mutable reference to it for every item
-/// the worker processes.
+/// Like [`par_map`], but each participating thread first builds a private
+/// scratch state with `init` and hands `f` a mutable reference to it for
+/// every item that participant processes.
 ///
 /// The scratch never crosses threads, so `f` can freely mutate it; it is
-/// dropped when the worker finishes. Use this to pool allocations (buffers,
-/// arenas) across work items: with `k` threads only `k` scratch states ever
-/// exist, no matter how large `n` is. The sequential fallback builds exactly
-/// one scratch state.
+/// dropped when the participant leaves the batch. Use this to pool
+/// allocations (buffers, arenas) across work items: with `k` participants
+/// only `k` scratch states ever exist, no matter how large `n` is. The
+/// sequential fallback builds exactly one scratch state.
 pub fn par_map_with<T, S, I, F>(n: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    if n <= 1 {
-        let mut scratch = init();
-        return (0..n).map(|i| f(&mut scratch, i)).collect();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads == 1 {
-        let mut scratch = init();
-        return (0..n).map(|i| f(&mut scratch, i)).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let out = Mutex::new(slots);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            let next = &next;
-            let init = &init;
-            let f = &f;
-            let out = &out;
-            scope.spawn(move |_| {
-                let mut scratch = init();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let value = f(&mut scratch, i);
-                    out.lock().expect("result mutex poisoned")[i] = Some(value);
-                }
-            });
-        }
-    })
-    .expect("parallel worker panicked");
-
-    out.into_inner()
-        .expect("result mutex poisoned")
-        .into_iter()
-        .map(|v| v.expect("every index visited"))
-        .collect()
+    executor::global().map_with(n, init, f)
 }
 
 #[cfg(test)]
@@ -127,8 +90,8 @@ mod tests {
 
     #[test]
     fn scratch_reused_within_worker() {
-        // Each worker's scratch counts the items it processed; the counts
-        // across all distinct scratches must partition the index range.
+        // Each participant's scratch counts the items it processed; every
+        // observation is at least 1 (the scratch was handed in).
         let v = par_map_with(
             64,
             || 0usize,
@@ -138,14 +101,13 @@ mod tests {
             },
         );
         assert!(v.iter().enumerate().all(|(i, (j, _))| i == *j));
-        // every per-item observation is at least 1 (the scratch was handed in)
         assert!(v.iter().all(|(_, seen)| *seen >= 1));
     }
 
     #[test]
     fn scratch_buffer_pooling_keeps_capacity() {
         // A Vec scratch grown by an early item stays grown for later items
-        // on the same worker — the whole point of the pooling hook.
+        // on the same participant — the whole point of the pooling hook.
         let v = par_map_with(16, Vec::<u64>::new, |buf, i| {
             buf.clear();
             buf.extend(0..(i as u64 % 5) * 100);
@@ -154,5 +116,26 @@ mod tests {
         assert_eq!(v[3], 300);
         assert_eq!(v[4], 400);
         assert_eq!(v[5], 0);
+    }
+
+    #[test]
+    fn nested_par_map_composes() {
+        let v = par_map(6, |i| par_map(4, move |j| i * 4 + j));
+        for (i, inner) in v.iter().enumerate() {
+            assert_eq!(*inner, (0..4).map(|j| i * 4 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panic_in_item_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            par_map(32, |i| {
+                if i == 9 {
+                    panic!("item 9 failed");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
     }
 }

@@ -64,13 +64,17 @@ pub fn run(cfg: &Config) -> String {
         let mut acc: Option<Vec<Vec<f64>>> = None;
         let mut diams = Vec::new();
         for rep in 0..reps {
-            let t = if keep >= 1.0 {
-                Trace::clone(&day2)
+            // keep == 1.0 borrows the shared cached substrate directly; only
+            // the removal panels materialize a thinned copy.
+            let removed;
+            let t: &Trace = if keep >= 1.0 {
+                &day2
             } else {
                 let mut rng = StdRng::seed_from_u64(removal_seed(cfg.seed, keep, rep));
-                remove_random(&day2, 1.0 - keep, &mut rng)
+                removed = remove_random(&day2, 1.0 - keep, &mut rng);
+                &removed
             };
-            let c = curves(&t, max_hops, grid.clone());
+            let c = curves(t, max_hops, grid.clone());
             diams.push(c.diameter(0.01));
             let mut rows: Vec<Vec<f64>> = Vec::new();
             for k in [1usize, 2, 3, 4] {
