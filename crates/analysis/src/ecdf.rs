@@ -71,12 +71,17 @@ impl Ecdf {
 
     /// The `q`-quantile (0 < q <= 1), or `None` if it falls in the infinite
     /// tail.
+    ///
+    /// The rank convention is the smallest order statistic whose empirical
+    /// CDF reaches `q` (so `quantile(1.0)` is the maximum), computed with
+    /// [`quantile_rank`] so that levels of the form `q = k/n` hit exactly
+    /// the `k`-th order statistic despite the inexact `q * n` product.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile level out of range");
         if self.total == 0 {
             return None;
         }
-        let rank = (q * self.total as f64).ceil().max(1.0) as usize;
+        let rank = quantile_rank(q, self.total);
         if rank > self.sorted.len() {
             None
         } else {
@@ -88,6 +93,29 @@ impl Ecdf {
     pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
     }
+}
+
+/// The 1-based quantile rank: the smallest `r` with `r / total >= q`,
+/// i.e. `ceil(q * total)` (at least 1), computed robustly.
+///
+/// The naive `(q * total).ceil()` is wrong at exactly-representable
+/// boundaries: for levels like `q = k/n` the double rounding of `k/n`
+/// followed by the product can land a few ulps *above* the integer `k`,
+/// and `ceil` then silently shifts the answer one full rank up (e.g.
+/// `0.28 * 25 = 7.000000000000001`). Since `q` itself carries at best
+/// relative error `ε/2`, a product within a few ulps of an integer is
+/// that integer for every attainable input, so we snap before ceiling.
+/// `fit::tail_cut_index` shares this convention, which is what keeps the
+/// tail-fit cut aligned with [`Ecdf::quantile`].
+pub fn quantile_rank(q: f64, total: usize) -> usize {
+    let scaled = q * total as f64;
+    let nearest = scaled.round();
+    let rank = if (scaled - nearest).abs() <= nearest.max(1.0) * (4.0 * f64::EPSILON) {
+        nearest as usize
+    } else {
+        scaled.ceil() as usize
+    };
+    rank.max(1)
 }
 
 /// Empirical complementary CDF, `P[X > x]`, as used by Figure 7 (contact
@@ -165,6 +193,36 @@ mod tests {
         assert_eq!(e.quantile(0.4), Some(2.0));
         assert_eq!(e.median(), Some(3.0));
         assert_eq!(e.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_rank_is_exact_at_k_over_n() {
+        // Regression: 0.28 * 25.0 = 7.000000000000001 in f64, so the old
+        // `(q * total).ceil()` returned rank 8 instead of 7.
+        assert_eq!(quantile_rank(0.28, 25), 7);
+        let e = Ecdf::new((1..=25).map(f64::from).collect());
+        assert_eq!(e.quantile(0.28), Some(7.0));
+        // Every k/n level must hit exactly the k-th order statistic.
+        for n in 1usize..=120 {
+            let e = Ecdf::new((1..=n as i32).map(f64::from).collect());
+            for k in 1..=n {
+                let q = k as f64 / n as f64;
+                assert_eq!(
+                    e.quantile(q),
+                    Some(k as f64),
+                    "q = {k}/{n} must select the {k}-th order statistic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_rank_still_ceils_between_ranks() {
+        assert_eq!(quantile_rank(0.5, 3), 2);
+        assert_eq!(quantile_rank(0.01, 3), 1);
+        assert_eq!(quantile_rank(0.34, 3), 2);
+        assert_eq!(quantile_rank(1.0, 7), 7);
+        assert_eq!(quantile_rank(0.0, 7), 1);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! `deny(unsafe_code)` is lifted.
 #![allow(unsafe_code)]
 
+use omnet_obs::Counter;
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -54,10 +55,23 @@ pub type TaskCounter = Arc<AtomicU64>;
 /// Monomorphized participation entry point stored in a batch handle.
 type RunFn = unsafe fn(&BatchHandle, *const (), usize);
 
+// Process-wide scheduler telemetry: always-on `omnet_obs` counters (one
+// relaxed `fetch_add` each), surfaced both through [`stats`] and through
+// the shared `omnet_obs::counters()` registry the harness footer and the
+// `--trace-out` sink read.
 /// Items executed through the executor (all batches, process-wide).
-static ITEMS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static ITEMS_EXECUTED: Counter = Counter::new("executor.items");
 /// Batches (i.e. `par_map`-level calls) executed, process-wide.
-static BATCHES_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static BATCHES_EXECUTED: Counter = Counter::new("executor.batches");
+/// Batch handles stolen from a sibling worker's deque.
+static STEALS: Counter = Counter::new("executor.steals");
+/// Batch handles popped from the global injector.
+static INJECTOR_POPS: Counter = Counter::new("executor.injector_pops");
+/// Times a crew thread parked on the wakeup condvar.
+static PARKS: Counter = Counter::new("executor.parks");
+/// Parks that ended by a push notification (rather than the re-poll
+/// timeout).
+static UNPARKS: Counter = Counter::new("executor.unparks");
 
 thread_local! {
     /// `(Arc::as_ptr of the owning pool, worker index)` for crew threads.
@@ -236,6 +250,7 @@ fn find_task(shared: &Shared, me: Option<usize>) -> Option<Arc<BatchHandle>> {
         }
     }
     if let Some(t) = lock(&shared.injector).pop_front() {
+        INJECTOR_POPS.inc();
         return Some(t);
     }
     let k = shared.queues.len();
@@ -246,6 +261,7 @@ fn find_task(shared: &Shared, me: Option<usize>) -> Option<Arc<BatchHandle>> {
             continue;
         }
         if let Some(t) = lock(&shared.queues[q]).pop_front() {
+            STEALS.inc();
             return Some(t);
         }
     }
@@ -295,12 +311,14 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
         if *guard == epoch {
             // Nothing arrived between the scan and now; park until a push
             // bumps the epoch (the timeout is a belt-and-braces re-poll).
-            drop(
-                shared
-                    .wakeup
-                    .wait_timeout(guard, Duration::from_millis(50))
-                    .unwrap_or_else(PoisonError::into_inner),
-            );
+            PARKS.inc();
+            let (guard, _) = shared
+                .wakeup
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            if *guard != epoch {
+                UNPARKS.inc();
+            }
         }
     }
 }
@@ -459,8 +477,8 @@ impl Drop for Executor {
 
 /// Bumps the process-wide and per-batch instrumentation counters.
 fn account(tag: Option<&TaskCounter>, n: usize) {
-    ITEMS_EXECUTED.fetch_add(n as u64, Ordering::Relaxed);
-    BATCHES_EXECUTED.fetch_add(1, Ordering::Relaxed);
+    ITEMS_EXECUTED.add(n as u64);
+    BATCHES_EXECUTED.inc();
     if let Some(t) = tag {
         t.fetch_add(n as u64, Ordering::Relaxed);
     }
@@ -488,19 +506,35 @@ pub fn global() -> &'static Executor {
 }
 
 /// Cumulative executor instrumentation (process-wide, all instances).
+///
+/// The same numbers are registered as `executor.*` counters with
+/// `omnet_obs`, so they also appear in the harness footer and in the
+/// `--trace-out` JSONL sink.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutorStats {
     /// `par_map`-level batches dispatched.
     pub batches: u64,
     /// Work items executed (serial fallbacks included).
     pub items: u64,
+    /// Batch handles stolen from sibling worker deques.
+    pub steals: u64,
+    /// Batch handles popped from the global injector.
+    pub injector_pops: u64,
+    /// Crew-thread parks on the wakeup condvar.
+    pub parks: u64,
+    /// Parks ended by a push notification rather than the re-poll timeout.
+    pub unparks: u64,
 }
 
 /// Reads the cumulative instrumentation counters.
 pub fn stats() -> ExecutorStats {
     ExecutorStats {
-        batches: BATCHES_EXECUTED.load(Ordering::Relaxed),
-        items: ITEMS_EXECUTED.load(Ordering::Relaxed),
+        batches: BATCHES_EXECUTED.get(),
+        items: ITEMS_EXECUTED.get(),
+        steals: STEALS.get(),
+        injector_pops: INJECTOR_POPS.get(),
+        parks: PARKS.get(),
+        unparks: UNPARKS.get(),
     }
 }
 
@@ -644,6 +678,25 @@ mod tests {
         let after = stats();
         assert!(after.items >= before.items + 10);
         assert!(after.batches > before.batches);
+    }
+
+    #[test]
+    fn executor_counters_reach_the_obs_registry() {
+        pool4().map_with(64, || (), |(), i| i);
+        let snap = omnet_obs::counters();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("{name} missing from registry: {snap:?}"))
+        };
+        assert!(get("executor.items") >= 64);
+        assert!(get("executor.batches") >= 1);
+        // Registry values mirror `stats()` (both read the same counters;
+        // other tests may run concurrently, so only monotonicity holds).
+        let s = stats();
+        assert!(s.items >= get("executor.items") || get("executor.items") >= 64);
+        let _ = (s.steals, s.injector_pops, s.parks, s.unparks);
     }
 
     #[test]

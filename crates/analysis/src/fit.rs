@@ -61,9 +61,27 @@ impl TailFit {
     }
 }
 
+/// The 0-based index, into the sorted positive finite samples, where the
+/// tail cut of [`fit_tail`] starts.
+///
+/// This is exactly one below [`crate::ecdf::quantile_rank`], so the first
+/// tail sample is the value [`crate::Ecdf::quantile`] returns at the same
+/// level — the two layers share one rank convention. (The previous
+/// `(n * lo_quantile) as usize` truncated where the ecdf ceils, starting
+/// the tail one sample off whenever `n * lo_quantile` was an integer.)
+pub fn tail_cut_index(n: usize, lo_quantile: f64) -> usize {
+    assert!((0.0..1.0).contains(&lo_quantile), "quantile out of range");
+    crate::ecdf::quantile_rank(lo_quantile, n) - 1
+}
+
 /// Fits both tail shapes to the samples at and above the `lo_quantile`
 /// quantile (e.g. 0.5 = upper half). Returns `None` when fewer than 8
 /// distinct positive tail points remain.
+///
+/// The cut follows the [`crate::Ecdf::quantile`] rank convention (see
+/// [`tail_cut_index`]): the first tail sample is the `lo_quantile`
+/// order statistic of the positive finite samples, so e.g.
+/// `fit_tail(_, 0.5)` starts exactly at the ecdf median.
 pub fn fit_tail(samples: &[f64], lo_quantile: f64) -> Option<TailFit> {
     assert!((0.0..1.0).contains(&lo_quantile), "quantile out of range");
     let mut sorted: Vec<f64> = samples
@@ -76,7 +94,7 @@ pub fn fit_tail(samples: &[f64], lo_quantile: f64) -> Option<TailFit> {
     if n < 8 {
         return None;
     }
-    let start = ((n as f64) * lo_quantile) as usize;
+    let start = tail_cut_index(n, lo_quantile);
     // evaluate the CCDF at distinct tail points (excluding the very last,
     // where CCDF = 0 and logs blow up)
     let mut xs = Vec::new();
@@ -154,6 +172,38 @@ mod tests {
         assert!(fit.prefers_powerlaw(), "{fit:?}");
         assert!((fit.powerlaw_alpha - 1.5).abs() < 0.1, "{fit:?}");
         assert!(fit.powerlaw_r2 > 0.99);
+    }
+
+    #[test]
+    fn tail_cut_matches_the_ecdf_rank_convention() {
+        // Regression: 16 distinct samples, lo = 0.5. The ecdf median is
+        // the 8th order statistic (index 7), so the tail holds the 9
+        // distinct values {8..16} and — after dropping the max, where the
+        // CCDF is 0 — exactly 8 points. The old truncating cut started at
+        // index 8, kept only 7 points and returned None.
+        let samples: Vec<f64> = (1..=16).map(f64::from).collect();
+        assert_eq!(tail_cut_index(16, 0.5), 7);
+        let fit = fit_tail(&samples, 0.5).expect("8 tail points survive the median cut");
+        assert_eq!(fit.points, 8);
+        // And the robust rank: 0.28 * 25 = 7.000000000000001.
+        assert_eq!(tail_cut_index(25, 0.28), 6);
+    }
+
+    #[test]
+    fn first_tail_sample_is_the_ecdf_quantile() {
+        use crate::ecdf::Ecdf;
+        let samples: Vec<f64> = (1..=40).map(|i| (i as f64).powi(2) * 0.125).collect();
+        assert_eq!(tail_cut_index(samples.len(), 0.0), 0);
+        let ecdf = Ecdf::new(samples.clone());
+        for &q in &[0.1, 0.25, 0.5, 19.0 / 40.0, 0.9] {
+            let cut = tail_cut_index(samples.len(), q);
+            let at_cut = samples[cut]; // samples are already sorted ascending
+            assert_eq!(
+                Some(at_cut),
+                ecdf.quantile(q),
+                "cut disagrees with ecdf at q={q}"
+            );
+        }
     }
 
     #[test]

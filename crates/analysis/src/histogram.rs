@@ -17,6 +17,12 @@ impl LogHistogram {
     /// Builds a histogram with `bins` bins spanning `[lo, hi)`
     /// geometrically. Samples below `lo` / at or above `hi` are tallied in
     /// the under/overflow counters. Panics unless `0 < lo < hi`, `bins ≥ 1`.
+    ///
+    /// Bin membership is decided against the stored [`edges`](Self::edges)
+    /// themselves — bin `k` holds exactly `[edges[k], edges[k+1])` — rather
+    /// than by recomputing `(ln x − ln lo) / ln ratio`, whose rounding can
+    /// disagree with the edges by one bin for samples sitting exactly on an
+    /// interior edge.
     pub fn new(lo: f64, hi: f64, bins: usize, samples: &[f64]) -> LogHistogram {
         assert!(lo > 0.0 && lo < hi, "need 0 < lo < hi");
         assert!(bins >= 1, "need at least one bin");
@@ -25,17 +31,20 @@ impl LogHistogram {
         let mut counts = vec![0usize; bins];
         let mut below = 0usize;
         let mut above = 0usize;
-        let log_lo = lo.ln();
-        let log_ratio = ratio.ln();
         for &x in samples {
             assert!(!x.is_nan(), "histogram over NaN is meaningless");
-            if x < lo {
+            // Rank of x among the edges: the number of edges <= x. 0 means
+            // below the first edge, edges.len() means at/above the computed
+            // last edge; either way the open-interval convention of the
+            // under/overflow counters is preserved for edge values that
+            // round past the nominal `lo`/`hi`.
+            let rank = edges.partition_point(|e| *e <= x);
+            if rank == 0 || x < lo {
                 below += 1;
-            } else if x >= hi {
+            } else if rank == edges.len() || x >= hi {
                 above += 1;
             } else {
-                let bin = ((x.ln() - log_lo) / log_ratio) as usize;
-                counts[bin.min(bins - 1)] += 1;
+                counts[rank - 1] += 1;
             }
         }
         LogHistogram {
@@ -125,6 +134,29 @@ mod tests {
         assert_eq!(h.counts(), &[1, 1, 2]);
         assert_eq!(h.below(), 0);
         assert_eq!(h.above(), 0);
+    }
+
+    #[test]
+    fn samples_on_interior_edges_open_their_bin() {
+        // Regression: with lo = 3, hi = 300, bins = 4 the stored edges are
+        // 3 · 10^(k/2). Recomputing the bin as
+        // `((x.ln() - lo.ln()) / ratio.ln()) as usize` put a sample equal to
+        // edges[1] in bin 0 and one equal to edges[3] in bin 2 — one bin
+        // below the half-open `[edges[k], edges[k+1])` membership the edges
+        // themselves define.
+        let probe = LogHistogram::new(3.0, 300.0, 4, &[]);
+        let e1 = probe.edges()[1];
+        let e3 = probe.edges()[3];
+        let h = LogHistogram::new(3.0, 300.0, 4, &[e1, e3]);
+        assert_eq!(h.counts(), &[0, 1, 0, 1]);
+        assert_eq!(h.below(), 0);
+        assert_eq!(h.above(), 0);
+        // Every interior edge opens its own bin; the first edge is lo
+        // itself and the last edge closes the range.
+        let edges = probe.edges().to_vec();
+        let h = LogHistogram::new(3.0, 300.0, 4, &edges);
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.above(), 1);
     }
 
     #[test]

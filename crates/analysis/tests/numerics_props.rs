@@ -1,0 +1,119 @@
+//! Property tests for the boundary-exact analysis numerics: quantile
+//! ranks hit order statistics exactly, the tail-fit cut shares the ecdf
+//! rank convention, and histogram bin membership agrees with the stored
+//! edges even for samples lying exactly on an edge.
+
+use omnet_analysis::{fit, Ecdf, LogHistogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `quantile(k/n)` must select exactly the `k`-th order statistic —
+    /// the product `fl(fl(k/n) * n)` may land ulps off the integer `k`,
+    /// and the rank computation has to absorb that.
+    #[test]
+    fn quantile_at_k_over_n_is_the_kth_order_statistic(
+        n in 1usize..400,
+        k_seed in 0usize..400,
+        scale in 0.25f64..1000.0,
+    ) {
+        let k = (k_seed % n) + 1;
+        let samples: Vec<f64> = (1..=n).map(|i| i as f64 * scale).collect();
+        let e = Ecdf::new(samples.clone());
+        let q = k as f64 / n as f64;
+        prop_assert_eq!(
+            e.quantile(q),
+            Some(samples[k - 1]),
+            "q = {}/{} must select the {}-th order statistic", k, n, k
+        );
+    }
+
+    /// Between exact ranks the quantile still rounds up: any level in
+    /// the open interval `((k-1)/n, k/n)` selects the `k`-th order
+    /// statistic.
+    #[test]
+    fn quantile_between_ranks_rounds_up(
+        n in 2usize..300,
+        k_seed in 0usize..300,
+        frac in 0.05f64..0.95,
+    ) {
+        let k = (k_seed % n) + 1;
+        // q is strictly inside (0, 1): frac > 0 gives q > 0, and
+        // k - 1 + frac < k <= n keeps q < 1.
+        let q = (k as f64 - 1.0 + frac) / n as f64;
+        let samples: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let e = Ecdf::new(samples);
+        prop_assert_eq!(e.quantile(q), Some(k as f64));
+    }
+
+    /// The tail-fit cut and the ecdf share one rank convention: the
+    /// first sample the tail keeps is the value `Ecdf::quantile`
+    /// returns at the same level.
+    #[test]
+    fn tail_cut_agrees_with_the_ecdf_quantile(
+        n in 8usize..250,
+        num in 1usize..250,
+        scale in 0.5f64..50.0,
+    ) {
+        let num = num % n; // lo_quantile = num/n in [0, 1)
+        let lo = num as f64 / n as f64;
+        let samples: Vec<f64> = (1..=n).map(|i| (i as f64).sqrt() * scale).collect();
+        let cut = fit::tail_cut_index(n, lo);
+        prop_assert!(cut < n, "cut {} out of range for n = {}", cut, n);
+        if lo > 0.0 {
+            let e = Ecdf::new(samples.clone());
+            prop_assert_eq!(
+                e.quantile(lo),
+                Some(samples[cut]),
+                "cut {} disagrees with the ecdf at lo = {}/{}", cut, num, n
+            );
+        } else {
+            prop_assert_eq!(cut, 0);
+        }
+    }
+
+    /// Every in-range sample lands in its bracketing bin — membership is
+    /// decided by the stored edges, so a linear scan over the edges must
+    /// reconstruct the histogram exactly. Samples placed exactly on the
+    /// edges are included.
+    #[test]
+    fn histogram_bins_agree_with_the_stored_edges(
+        lo_grid in 1u32..40,
+        span in 2u32..200,
+        bins in 1usize..12,
+        samples in prop::collection::vec(0.1f64..500.0, 0..40),
+        edge_picks in prop::collection::vec(0usize..13, 0..6),
+    ) {
+        let lo = lo_grid as f64 * 0.25;
+        let hi = lo * (1.0 + span as f64 * 0.5);
+        let probe = LogHistogram::new(lo, hi, bins, &[]);
+        let edges = probe.edges().to_vec();
+        // Mix in samples lying exactly on the stored edges.
+        let mut samples = samples;
+        samples.extend(edge_picks.iter().map(|&i| edges[i % edges.len()]));
+
+        let h = LogHistogram::new(lo, hi, bins, &samples);
+
+        // Reference tally by linear scan over the stored edges.
+        let mut counts = vec![0usize; bins];
+        let mut below = 0usize;
+        let mut above = 0usize;
+        for &x in &samples {
+            if x < edges[0] || x < lo {
+                below += 1;
+            } else if x >= edges[bins] || x >= hi {
+                above += 1;
+            } else {
+                let k = (0..bins)
+                    .find(|&k| edges[k] <= x && x < edges[k + 1])
+                    .expect("in-range sample must have a bracketing bin");
+                counts[k] += 1;
+            }
+        }
+        prop_assert_eq!(h.counts(), counts.as_slice());
+        prop_assert_eq!(h.below(), below);
+        prop_assert_eq!(h.above(), above);
+        prop_assert_eq!(h.total(), samples.len());
+    }
+}

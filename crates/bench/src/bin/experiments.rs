@@ -1,7 +1,7 @@
 //! Command-line driver for the experiment harness.
 //!
 //! ```text
-//! experiments [--quick] [--seed N] [--jobs N] <id>... | all | list
+//! experiments [--quick] [--seed N] [--jobs N] [--trace-out FILE] <id>... | all | list
 //! ```
 //!
 //! Every table and figure of the paper has one id (`table1`, `fig1` …
@@ -14,14 +14,31 @@
 //! printed in paper order, and all timing/instrumentation goes to a stderr
 //! footer. Within one experiment, parallelism is governed by the
 //! process-wide executor (`OMNET_THREADS` overrides its size).
+//!
+//! `--trace-out FILE` (or the `OMNET_TRACE=FILE` environment variable)
+//! additionally streams every `omnet_obs` span, event and final counter
+//! snapshot as JSON lines to `FILE` — engine levels, executor activity,
+//! substrate cache traffic, per-experiment lanes. Tracing never writes to
+//! stdout, so the emitted tables stay byte-identical with and without it.
 
 use omnet_bench::harness::run_experiments;
 use omnet_bench::{find, substrate, Config, EXPERIMENTS};
+
+/// Flushes the counter snapshot into the trace sink (when one is active)
+/// and closes it, then exits. Used by every exit path so `--trace-out`
+/// files are complete even on failures (`std::process::exit` runs no
+/// destructors).
+fn finish(code: i32) -> ! {
+    omnet_obs::flush_counters();
+    omnet_obs::shutdown();
+    std::process::exit(code);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = Config::default();
     let mut jobs = 1usize;
+    let mut trace_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -42,6 +59,12 @@ fn main() {
                     usage("--jobs must be at least 1");
                 }
             }
+            "--trace-out" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value after --trace-out"));
+                trace_out = Some(v);
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => {
                 usage(&format!("unknown flag {other}"));
@@ -55,9 +78,26 @@ fn main() {
             }
         }
     }
+    // Install the trace sink before any experiment code runs: the flag
+    // wins, the OMNET_TRACE environment variable is the fallback.
+    match &trace_out {
+        Some(path) => {
+            if let Err(e) = omnet_obs::install_file(std::path::Path::new(path)) {
+                eprintln!("error: cannot open trace sink {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        None => {
+            if let Err(e) = omnet_obs::init_from_env() {
+                eprintln!("error: cannot open OMNET_TRACE sink: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     if ids.is_empty() {
         print_list();
-        std::process::exit(2);
+        finish(2);
     }
     let has_list = ids.iter().any(|i| i == "list");
     let has_all = ids.iter().any(|i| i == "all");
@@ -66,7 +106,7 @@ fn main() {
             usage("'list' cannot be combined with experiment ids");
         }
         print_list();
-        return;
+        finish(0);
     }
     let selected: Vec<&'static omnet_bench::Experiment> = if has_all {
         if ids.len() > 1 {
@@ -103,8 +143,9 @@ fn main() {
     let wall = run_started.elapsed();
 
     // Instrumentation footer — stderr only, so stdout stays byte-identical
-    // across --jobs settings.
-    let pool = omnet_analysis::executor::stats();
+    // across --jobs settings and with/without tracing. The counter section
+    // is the `omnet_obs` registry: every `engine.*`, `executor.*` and
+    // `substrate.*` counter touched during the run, in one place.
     let cache = substrate::cache_stats();
     eprintln!("-- run footer ----------------------------------------------------");
     for r in &records {
@@ -117,13 +158,14 @@ fn main() {
         }
     }
     eprintln!(
-        "  total    {wall:>9.1?}  jobs {jobs}, executor threads {}",
-        omnet_analysis::executor::global().threads()
+        "  total    {wall:>9.1?}  jobs {jobs}, executor threads {}, substrate cache {}/{} hits",
+        omnet_analysis::executor::global().threads(),
+        cache.hits,
+        cache.lookups,
     );
-    eprintln!(
-        "  executor {} batches / {} items; substrate cache {} lookups / {} builds",
-        pool.batches, pool.items, cache.lookups, cache.builds
-    );
+    for (name, value) in omnet_obs::counters() {
+        eprintln!("  {name:<28} {value:>12}");
+    }
     let failures: Vec<&str> = records
         .iter()
         .filter(|r| r.error.is_some())
@@ -131,8 +173,9 @@ fn main() {
         .collect();
     if !failures.is_empty() {
         eprintln!("error: experiment(s) panicked: {}", failures.join(", "));
-        std::process::exit(1);
+        finish(1);
     }
+    finish(0);
 }
 
 fn print_list() {
@@ -148,11 +191,13 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments [--quick] [--seed N] [--jobs N] <id>... | all | list\n\
+        "usage: experiments [--quick] [--seed N] [--jobs N] [--trace-out FILE] <id>... | all | list\n\
          regenerates the tables and figures of 'The Diameter of Opportunistic\n\
          Mobile Networks' (CoNEXT 2007) on the synthetic data sets.\n\
          --jobs N runs experiments concurrently; stdout order and bytes are\n\
-         identical for every N (timings go to a stderr footer)."
+         identical for every N (timings go to a stderr footer).\n\
+         --trace-out FILE streams spans/events/counters as JSON lines\n\
+         (OMNET_TRACE=FILE is the environment fallback)."
     );
-    std::process::exit(2);
+    finish(2);
 }

@@ -10,7 +10,10 @@
 //! print, only when.)
 //!
 //! Each lane wraps its experiment in [`omnet_analysis::with_task_counter`]
-//! and a wall clock, producing one [`ExperimentRecord`] per experiment for
+//! and a wall clock — plus, when an `omnet_obs` trace sink is active, one
+//! `harness.experiment` span (`id`, attributed `items`, `panicked`)
+//! written to the sink, never to stdout — producing one
+//! [`ExperimentRecord`] per experiment for
 //! the run footer: elapsed time, executor work items attributed to that
 //! experiment (exact even under work stealing — batches are tagged at
 //! creation), and the panic message if the experiment failed. A panicking
@@ -94,14 +97,19 @@ pub fn run_experiments(
                     break;
                 }
                 let counter: TaskCounter = Arc::new(AtomicU64::new(0));
+                let mut span = omnet_obs::span("harness.experiment").with("id", selected[i].id);
                 let started = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     with_task_counter(Arc::clone(&counter), || (selected[i].run)(cfg))
                 }));
+                let pool_items = counter.load(Ordering::Relaxed);
+                span.record("items", pool_items);
+                span.record("panicked", outcome.is_err());
+                drop(span);
                 let cell = Finished {
                     output: outcome.map_err(panic_message),
                     elapsed: started.elapsed(),
-                    pool_items: counter.load(Ordering::Relaxed),
+                    pool_items,
                 };
                 lock(&finished)[i] = Some(cell);
                 ready.notify_all();

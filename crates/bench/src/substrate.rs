@@ -17,10 +17,10 @@
 //! keys, each a few hundred kilobytes.
 
 use omnet_mobility::Dataset;
+use omnet_obs::Counter;
 use omnet_temporal::transform::{crop, internal_only};
 use omnet_temporal::{Dur, Interval, Time, Trace};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// How much of a data set's window to generate.
@@ -68,12 +68,17 @@ struct Key {
 pub struct CacheStats {
     /// Substrate requests served (hits + builds).
     pub lookups: u64,
+    /// Requests served from an already-built substrate.
+    pub hits: u64,
     /// Requests that had to generate/transform a trace.
     pub builds: u64,
 }
 
-static LOOKUPS: AtomicU64 = AtomicU64::new(0);
-static BUILDS: AtomicU64 = AtomicU64::new(0);
+// Cache telemetry: `omnet_obs` counters, shared between [`cache_stats`],
+// the harness footer and the `--trace-out` sink.
+static LOOKUPS: Counter = Counter::new("substrate.lookups");
+static HITS: Counter = Counter::new("substrate.hits");
+static BUILDS: Counter = Counter::new("substrate.builds");
 
 type Slot = Arc<OnceLock<Arc<Trace>>>;
 
@@ -88,7 +93,7 @@ fn cache() -> &'static Mutex<HashMap<Key, Slot>> {
 /// for different keys build in parallel (the map lock is not held while
 /// generating).
 pub fn substrate(dataset: Dataset, span: Span, seed: u64, transform: Transform) -> Arc<Trace> {
-    LOOKUPS.fetch_add(1, Ordering::Relaxed);
+    LOOKUPS.inc();
     let key = Key {
         dataset,
         span_bits: span.key_bits(),
@@ -99,10 +104,39 @@ pub fn substrate(dataset: Dataset, span: Span, seed: u64, transform: Transform) 
         let mut map = cache().lock().expect("substrate cache poisoned");
         Arc::clone(map.entry(key).or_default())
     };
-    Arc::clone(slot.get_or_init(|| {
-        BUILDS.fetch_add(1, Ordering::Relaxed);
+    let mut built = false;
+    let trace = Arc::clone(slot.get_or_init(|| {
+        built = true;
+        BUILDS.inc();
+        // Per-key build duration: the span's fields identify the key, its
+        // `elapsed` is the generate/transform time (nested builds of the
+        // transform a key derives from show up as their own spans).
+        let mut sp = omnet_obs::span("substrate.build");
+        if sp.active() {
+            sp.record("dataset", format!("{dataset:?}"));
+            sp.record("transform", format!("{transform:?}"));
+            sp.record("seed", seed);
+            if let Span::Days(d) = span {
+                sp.record("span_days", d);
+            }
+        }
         Arc::new(build(dataset, span, seed, transform))
-    }))
+    }));
+    if !built {
+        HITS.inc();
+    }
+    if omnet_obs::enabled() {
+        omnet_obs::event(
+            "substrate.lookup",
+            &[
+                ("hit", (!built).into()),
+                ("dataset", format!("{dataset:?}").into()),
+                ("transform", format!("{transform:?}").into()),
+                ("seed", seed.into()),
+            ],
+        );
+    }
+    trace
 }
 
 /// Builds a substrate, reusing the cache for the transform it derives from.
@@ -129,8 +163,9 @@ fn build(dataset: Dataset, span: Span, seed: u64, transform: Transform) -> Trace
 /// Reads the cumulative cache counters.
 pub fn cache_stats() -> CacheStats {
     CacheStats {
-        lookups: LOOKUPS.load(Ordering::Relaxed),
-        builds: BUILDS.load(Ordering::Relaxed),
+        lookups: LOOKUPS.get(),
+        hits: HITS.get(),
+        builds: BUILDS.get(),
     }
 }
 
@@ -163,6 +198,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "second lookup must share the Arc");
         let after = cache_stats();
         assert_eq!(after.lookups - before.lookups, 2);
+        assert_eq!(after.hits - before.hits, 1);
         assert_eq!(after.builds - before.builds, 1);
     }
 

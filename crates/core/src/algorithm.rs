@@ -35,8 +35,26 @@
 //!   demand, cutting snapshot memory by roughly the convergence depth.
 
 use crate::delivery::{self, DeliveryFunction};
+use omnet_obs::Counter;
 use omnet_temporal::{Interval, LdEa, NodeId, Trace};
 use std::borrow::Cow;
+
+// Engine telemetry: always-on `omnet_obs` counters, accumulated in plain
+// locals inside [`SourceProfiles::compute_with`] and flushed with one
+// relaxed `fetch_add` each per source — the per-(pair, arc) hot path pays
+// nothing. Per-level `engine.level` events are additionally emitted when a
+// trace sink is enabled.
+/// Sources whose §4.4 induction ran to completion.
+static SOURCES: Counter = Counter::new("engine.sources");
+/// Induction levels executed (all sources).
+static LEVELS: Counter = Counter::new("engine.levels");
+/// Arcs skipped by the time-indexed boardability `partition_point`.
+static ARCS_TIME_PRUNED: Counter = Counter::new("engine.arcs_time_pruned");
+/// Boardable arcs skipped exactly because the destination frontier
+/// already covered their `(ld, ea)` rectangle.
+static ARCS_COVER_SKIPPED: Counter = Counter::new("engine.arcs_cover_skipped");
+/// `ProfileScratch` resets that reused previously grown buffers.
+static SCRATCH_REUSES: Counter = Counter::new("engine.scratch_reuses");
 
 /// A maximum-hop constraint for path queries (the hop classes of §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,6 +253,9 @@ impl ProfileScratch {
 
     /// Clears all buffers and ensures capacity for `n` destinations.
     fn reset(&mut self, n: usize) {
+        if !self.cands.is_empty() {
+            SCRATCH_REUSES.inc();
+        }
         self.cands.resize_with(n.max(self.cands.len()), Vec::new);
         self.delta.resize_with(n.max(self.delta.len()), Vec::new);
         for b in &mut self.cands {
@@ -327,9 +348,15 @@ impl SourceProfiles {
         }
         let mut converged_at = opts.max_levels;
         let mut converged = false;
+        // Telemetry accumulators — flushed to the `engine.*` counters once
+        // per source so the per-(pair, arc) loop stays counter-free.
+        let mut levels_run = 0u64;
+        let mut time_pruned = 0u64;
+        let mut cover_skipped = 0u64;
 
         let ProfileScratch { cands, delta } = scratch;
         for k in 1..=opts.max_levels {
+            levels_run += 1;
             // Extension: concatenate every level-(k-1) delta with every arc
             // its summaries can still board.
             for (m, d) in delta.iter().enumerate() {
@@ -347,12 +374,15 @@ impl SourceProfiles {
                         }
                     }
                     ArcPruning::TimeIndexed => {
-                        for &(to, iv) in arcs.boardable(node, d[0].ea) {
+                        let boardable = arcs.boardable(node, d[0].ea);
+                        time_pruned += (arcs.leaving(node).len() - boardable.len()) as u64;
+                        for &(to, iv) in boardable {
                             // Every candidate this arc can produce has
                             // `ld <= iv.end` and `ea >= iv.start`; if the
                             // destination frontier already covers that
                             // rectangle, the whole arc is dead (exact skip).
                             if cur[to as usize].covers(iv) {
+                                cover_skipped += 1;
                                 continue;
                             }
                             delivery::extend_frontier_into(d, iv, &mut cands[to as usize]);
@@ -376,6 +406,22 @@ impl SourceProfiles {
                 delivery::compact_frontier_in_place(&mut delta[d_idx]);
                 changed = true;
             }
+            if omnet_obs::enabled() {
+                // One record per induction level: how much the frontier
+                // grew (delta pairs) and how big it now is. The O(n) sums
+                // run only with an active trace sink.
+                let delta_pairs: usize = delta.iter().map(Vec::len).sum();
+                let frontier_pairs: usize = cur.iter().map(DeliveryFunction::len).sum();
+                omnet_obs::event(
+                    "engine.level",
+                    &[
+                        ("source", source.0.into()),
+                        ("level", k.into()),
+                        ("delta_pairs", delta_pairs.into()),
+                        ("frontier_pairs", frontier_pairs.into()),
+                    ],
+                );
+            }
             if !changed {
                 converged_at = k - 1;
                 converged = true;
@@ -395,6 +441,11 @@ impl SourceProfiles {
                 }
             }
         }
+
+        SOURCES.inc();
+        LEVELS.add(levels_run);
+        ARCS_TIME_PRUNED.add(time_pruned);
+        ARCS_COVER_SKIPPED.add(cover_skipped);
 
         let levels = match opts.level_storage {
             LevelStorage::FullClones => LevelStore::Full(full_levels),
@@ -547,12 +598,17 @@ impl AllPairsProfiles {
     /// Computes every source's profiles (parallel across sources, one
     /// pooled [`ProfileScratch`] per worker thread).
     pub fn compute(trace: &Trace, opts: ProfileOptions) -> AllPairsProfiles {
+        let mut span = omnet_obs::span("engine.all_pairs")
+            .with("nodes", trace.num_nodes())
+            .with("contacts", trace.num_contacts());
         let arcs = Arcs::of(trace);
         let n = trace.num_nodes() as usize;
         let rows = omnet_analysis::par_map_with(n, ProfileScratch::default, |scratch, s| {
             SourceProfiles::compute_with(trace, &arcs, NodeId(s as u32), opts, scratch)
         });
-        AllPairsProfiles { rows }
+        let all = AllPairsProfiles { rows };
+        span.record("max_useful_hops", all.max_useful_hops());
+        all
     }
 
     /// The profiles from `source`.

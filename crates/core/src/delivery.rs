@@ -303,7 +303,7 @@ impl DeliveryFunction {
 /// run compacts in one forward pass with no scratch allocation: an equal-EA
 /// neighbour is superseded by the later (larger-LD) pair, an equal-LD
 /// neighbour dominates the later (larger-EA) pair.
-pub(crate) fn extend_frontier_into(pairs: &[LdEa], iv: Interval, out: &mut Vec<LdEa>) {
+pub fn extend_frontier_into(pairs: &[LdEa], iv: Interval, out: &mut Vec<LdEa>) {
     let te = iv.end;
     let tb = iv.start;
     // Pairs with ea <= te form a prefix (ea increasing).
@@ -333,7 +333,7 @@ pub(crate) fn extend_frontier_into(pairs: &[LdEa], iv: Interval, out: &mut Vec<L
 /// Pareto frontier of §4.3 condition (4) — the buffer-reusing counterpart
 /// of [`DeliveryFunction::from_pairs`] used by the induction's per-level
 /// delta buffers.
-pub(crate) fn compact_frontier_in_place(cands: &mut Vec<LdEa>) {
+pub fn compact_frontier_in_place(cands: &mut Vec<LdEa>) {
     cands.sort_unstable_by_key(|a| (a.ld, a.ea));
     // Reverse scan by decreasing LD (mirrors `compact_sorted`), filling the
     // kept pairs from the tail of the same buffer: the write cursor `w`

@@ -1,0 +1,149 @@
+//! Minimal JSON-line serialization (no external dependencies).
+//!
+//! The trace sink format is one JSON object per line; this module holds
+//! the typed field values and the escaping/number-formatting rules. Only
+//! what the records need is implemented: flat objects of string keys and
+//! scalar values.
+
+use std::fmt::Write as _;
+
+/// A typed field value carried by spans and events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point; non-finite values serialize as `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (escaped on write).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes and escapes included).
+pub(crate) fn push_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Appends a finite `f64` as a JSON number (`null` when non-finite —
+/// JSON has no NaN/Infinity literals).
+pub(crate) fn push_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(buf, "{v}");
+    } else {
+        buf.push_str("null");
+    }
+}
+
+/// Appends one typed value.
+pub(crate) fn push_value(buf: &mut String, v: &Value) {
+    match v {
+        Value::U64(x) => {
+            let _ = write!(buf, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(buf, "{x}");
+        }
+        Value::F64(x) => push_f64(buf, *x),
+        Value::Bool(x) => buf.push_str(if *x { "true" } else { "false" }),
+        Value::Str(s) => push_str(buf, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(v: Value) -> String {
+        let mut buf = String::new();
+        push_value(&mut buf, &v);
+        buf
+    }
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(render(Value::from(7u64)), "7");
+        assert_eq!(render(Value::from(-3i64)), "-3");
+        assert_eq!(render(Value::from(1.5f64)), "1.5");
+        assert_eq!(render(Value::from(true)), "true");
+        assert_eq!(render(Value::from("plain")), "\"plain\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(render(Value::from(f64::NAN)), "null");
+        assert_eq!(render(Value::from(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            render(Value::from("a\"b\\c\nd\te\u{1}")),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+}
