@@ -36,14 +36,15 @@
 //! `deny(unsafe_code)` is lifted.
 #![allow(unsafe_code)]
 
+use crate::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex, MutexGuard};
 use omnet_obs::Counter;
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{OnceLock, PoisonError};
 use std::time::Duration;
 
 /// A panic payload carried from a failed batch item back to its owner.
@@ -53,6 +54,9 @@ type Payload = Box<dyn Any + Send + 'static>;
 pub type TaskCounter = Arc<AtomicU64>;
 
 /// Monomorphized participation entry point stored in a batch handle.
+// SAFETY: callers must uphold the contract documented on [`run_batch`]
+// (live `BatchBody` of the matching concrete types behind the pointer,
+// and an executed-item claim held for the whole call).
 type RunFn = unsafe fn(&BatchHandle, *const (), usize);
 
 // Process-wide scheduler telemetry: always-on `omnet_obs` counters (one
@@ -351,7 +355,7 @@ impl Executor {
         });
         for id in 0..workers {
             let s = Arc::clone(&shared);
-            let spawned = std::thread::Builder::new()
+            let spawned = thread::Builder::new()
                 .name(format!("omnet-worker-{id}"))
                 .spawn(move || worker_loop(s, id));
             if spawned.is_err() {
@@ -480,17 +484,44 @@ fn account(tag: Option<&TaskCounter>, n: usize) {
     ITEMS_EXECUTED.add(n as u64);
     BATCHES_EXECUTED.inc();
     if let Some(t) = tag {
+        // ORDERING: pure tally — readers only consume the value after the
+        // attributed region completes (the `with_task_counter` closure has
+        // returned, which joins every batch), so no ordering is needed.
         t.fetch_add(n as u64, Ordering::Relaxed);
+    }
+}
+
+/// Classifies an `OMNET_THREADS`-style override: `Ok(Some(k))` for a
+/// usable count (`k >= 1`), `Ok(None)` when the variable is unset, and
+/// `Err(raw)` — carrying the raw value — when it is set but unusable
+/// (unparsable, or `0`, which would mean "no participants at all").
+pub fn parse_thread_override(env: Option<&str>) -> Result<Option<usize>, &str> {
+    match env {
+        None => Ok(None),
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(k) if k >= 1 => Ok(Some(k)),
+            _ => Err(raw),
+        },
     }
 }
 
 /// Resolves the participant count from an `OMNET_THREADS`-style override
 /// and the machine's available parallelism. `Some("k")` with `k >= 1`
-/// wins; `0`, garbage or absence fall back to `available` (min 1).
+/// wins; `0`, garbage or absence fall back to `available` (min 1), and a
+/// rejected value is reported once on stderr so a typo'd override fails
+/// loudly instead of silently using every core.
 pub fn resolve_threads(env: Option<&str>, available: usize) -> usize {
-    match env.and_then(|s| s.trim().parse::<usize>().ok()) {
-        Some(k) if k >= 1 => k,
-        _ => available.max(1),
+    let fallback = available.max(1);
+    match parse_thread_override(env) {
+        Ok(Some(k)) => k,
+        Ok(None) => fallback,
+        Err(raw) => {
+            eprintln!(
+                "warning: ignoring OMNET_THREADS={raw:?} (expected an integer >= 1); \
+                 using {fallback} thread(s)"
+            );
+            fallback
+        }
     }
 }
 
@@ -656,6 +687,19 @@ mod tests {
     }
 
     #[test]
+    fn rejected_overrides_are_classified_for_the_warning() {
+        // The warning path fires exactly on `Err`: a set-but-unusable
+        // value, reported with the raw text the user typed.
+        assert_eq!(parse_thread_override(None), Ok(None));
+        assert_eq!(parse_thread_override(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_thread_override(Some(" 2\n")), Ok(Some(2)));
+        assert_eq!(parse_thread_override(Some("0")), Err("0"));
+        assert_eq!(parse_thread_override(Some("-3")), Err("-3"));
+        assert_eq!(parse_thread_override(Some("many")), Err("many"));
+        assert_eq!(parse_thread_override(Some("")), Err(""));
+    }
+
+    #[test]
     fn task_counter_attributes_nested_work() {
         let tag: TaskCounter = Arc::new(AtomicU64::new(0));
         with_task_counter(Arc::clone(&tag), || {
@@ -680,6 +724,8 @@ mod tests {
         assert!(after.batches > before.batches);
     }
 
+    // Counter registration is compiled out under `--cfg loom`.
+    #[cfg(not(loom))]
     #[test]
     fn executor_counters_reach_the_obs_registry() {
         pool4().map_with(64, || (), |(), i| i);

@@ -22,6 +22,7 @@ pub mod grid;
 pub mod histogram;
 pub mod parallel;
 pub mod summary;
+pub(crate) mod sync;
 pub mod table;
 
 pub use ecdf::{Ccdf, Ecdf};

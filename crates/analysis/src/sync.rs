@@ -1,0 +1,19 @@
+//! Concurrency primitives behind a model-checking seam.
+//!
+//! Every thread-synchronization primitive used by [`crate::executor`] is
+//! imported through this module rather than from `std` directly. Ordinary
+//! builds re-export `std::sync` / `std::thread` unchanged (zero cost);
+//! building with `RUSTFLAGS="--cfg loom"` swaps in the vendored `loom`
+//! shadow types, whose every operation is a scheduler switch point, so the
+//! executor's claim/park/shutdown protocols run under the bounded model
+//! checker in `tests/loom_executor.rs`. See DESIGN.md §12.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};
+#[cfg(loom)]
+pub(crate) use loom::thread;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub(crate) use std::thread;

@@ -370,7 +370,9 @@ pub fn journeys(a: &JourneysArgs) -> Result<String, CliError> {
         a.src,
         a.dst
     );
-    for (pair, path) in optimal_journeys(&trace, NodeId(a.src), NodeId(a.dst), &f) {
+    let journeys = optimal_journeys(&trace, NodeId(a.src), NodeId(a.dst), &f)
+        .map_err(|e| CliError::domain(e.to_string()))?;
+    for (pair, path) in journeys {
         let _ = writeln!(
             text,
             "  leave by {:>10}  arrive {:>10}  {} hops: {}",

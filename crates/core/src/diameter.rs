@@ -205,7 +205,9 @@ impl SuccessCurves {
             .collect();
         ks.sort_unstable();
         for k in ks {
-            let curve = self.curve(HopBound::AtMost(k)).expect("listed bound");
+            let Some(curve) = self.curve(HopBound::AtMost(k)) else {
+                continue;
+            };
             if curve
                 .iter()
                 .zip(flood)
@@ -231,8 +233,8 @@ impl SuccessCurves {
             .collect();
         ks.sort_unstable();
         ks.into_iter().find(|&k| {
-            self.curve(HopBound::AtMost(k)).expect("listed bound")[grid_index]
-                >= (1.0 - epsilon) * flood
+            self.curve(HopBound::AtMost(k))
+                .is_some_and(|curve| curve[grid_index] >= (1.0 - epsilon) * flood)
         })
     }
 

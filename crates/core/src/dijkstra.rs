@@ -135,7 +135,8 @@ pub fn earliest_arrival_bounded(
     cur[source.index()] = start;
     levels.push(cur.clone());
     for _ in 1..=max_hops {
-        let prev = levels.last().expect("at least level 0").clone();
+        // `cur` always equals the last pushed level at this point.
+        let prev = cur.clone();
         for c in trace.contacts() {
             for (u, v) in [(c.a, c.b), (c.b, c.a)] {
                 let at = prev[u.index()];

@@ -10,10 +10,38 @@
 use crate::delivery::DeliveryFunction;
 use crate::dijkstra::earliest_arrival;
 use omnet_temporal::{ContactSeq, LdEa, NodeId, Trace};
+use std::fmt;
+
+/// A frontier pair with no realizing path in the queried trace: the
+/// delivery profile (§4.3) handed to [`optimal_journeys`] does not belong
+/// to the `(trace, source, destination)` triple it was queried against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForeignPair {
+    /// The unachievable frontier pair.
+    pub pair: LdEa,
+    /// The queried source device.
+    pub source: NodeId,
+    /// The queried destination device.
+    pub destination: NodeId,
+}
+
+impl fmt::Display for ForeignPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frontier pair {:?} of {} -> {} has no witness in this trace \
+             (profile from a different trace, source or destination?)",
+            self.pair, self.source, self.destination
+        )
+    }
+}
+
+impl std::error::Error for ForeignPair {}
 
 /// Extracts a time-respecting path realizing the frontier pair `pair` of
 /// the ordered pair `(s, d)` — i.e. departing no earlier than `pair.ld`
-/// and arriving no later than `max(pair.ld, pair.ea)`.
+/// and arriving no later than `max(pair.ld, pair.ea)` (the §4.3 frontier
+/// semantics, recovered constructively from the earliest-arrival tree).
 ///
 /// Returns `None` if the pair is not actually achievable in `trace`
 /// (e.g. a pair from a different trace).
@@ -30,28 +58,34 @@ pub fn witness_for_pair(trace: &Trace, s: NodeId, d: NodeId, pair: LdEa) -> Opti
 }
 
 /// Every optimal journey of `(s, d)`: each frontier pair of `profile`
-/// together with a concrete witness path.
+/// (§4.3) together with a concrete witness path.
 ///
-/// Panics if `profile` does not belong to `(trace, s, d)` (a witness is
-/// then missing, which is a caller bug worth failing loudly on).
+/// Every frontier pair of a profile computed over `trace` has a witness by
+/// construction, so `Err` means `profile` does not belong to
+/// `(trace, s, d)` — a caller bug, reported as a typed [`ForeignPair`]
+/// instead of aborting the caller.
 pub fn optimal_journeys(
     trace: &Trace,
     s: NodeId,
     d: NodeId,
     profile: &DeliveryFunction,
-) -> Vec<(LdEa, ContactSeq)> {
+) -> Result<Vec<(LdEa, ContactSeq)>, ForeignPair> {
     profile
         .pairs()
         .iter()
-        .map(|&pair| {
-            let path = witness_for_pair(trace, s, d, pair)
-                .expect("every frontier pair of a trace profile has a witness");
-            (pair, path)
+        .map(|&pair| match witness_for_pair(trace, s, d, pair) {
+            Some(path) => Ok((pair, path)),
+            None => Err(ForeignPair {
+                pair,
+                source: s,
+                destination: d,
+            }),
         })
         .collect()
 }
 
-/// Renders one journey as a one-line route summary (`0 -> 3 -> 7`).
+/// Renders one optimal journey (§4.3) as a one-line route summary
+/// (`0 -> 3 -> 7`).
 pub fn route_string(seq: &ContactSeq) -> String {
     seq.nodes()
         .iter()
@@ -88,7 +122,8 @@ mod tests {
                     continue;
                 }
                 let f = profiles.profile(NodeId(s), NodeId(d), HopBound::Unlimited);
-                let journeys = optimal_journeys(&t, NodeId(s), NodeId(d), &f);
+                let journeys = optimal_journeys(&t, NodeId(s), NodeId(d), &f)
+                    .expect("trace-derived profiles always have witnesses");
                 assert_eq!(journeys.len(), f.len());
                 for (pair, path) in journeys {
                     assert_eq!(path.origin(), NodeId(s));
@@ -120,6 +155,22 @@ mod tests {
     }
 
     #[test]
+    fn foreign_profile_yields_a_typed_error() {
+        let t = toy();
+        // A profile computed over a different trace whose only contact lies
+        // beyond `t`'s span: none of its pairs are achievable in `t`.
+        let other = TraceBuilder::new().contact_secs(0, 3, 500.0, 501.0).build();
+        let profiles = AllPairsProfiles::compute(&other, ProfileOptions::default());
+        let f = profiles.profile(NodeId(0), NodeId(3), HopBound::Unlimited);
+        assert!(!f.is_empty());
+        let err = optimal_journeys(&t, NodeId(0), NodeId(3), &f)
+            .expect_err("a foreign profile must be rejected");
+        assert_eq!(err.source, NodeId(0));
+        assert_eq!(err.destination, NodeId(3));
+        assert!(err.to_string().contains("no witness"), "{err}");
+    }
+
+    #[test]
     fn route_string_format() {
         let t = toy();
         let tree = earliest_arrival(&t, NodeId(0), Time::ZERO);
@@ -139,7 +190,8 @@ mod tests {
         // unlimited profile may hold more pairs than the 2-hop class
         let finf = profiles.profile(NodeId(0), NodeId(3), HopBound::Unlimited);
         assert!(finf.len() >= f2.len());
-        let journeys = optimal_journeys(&t, NodeId(0), NodeId(3), &finf);
+        let journeys = optimal_journeys(&t, NodeId(0), NodeId(3), &finf)
+            .expect("trace-derived profiles always have witnesses");
         assert!(journeys.iter().all(|(_, p)| p.hops() <= 3));
     }
 }

@@ -7,7 +7,7 @@
 //! into the global registry, which [`counters`] snapshots for footers and
 //! trace flushes.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// A process-wide monotonic counter. Always on (not gated on the trace
@@ -17,6 +17,8 @@ use std::sync::{Mutex, OnceLock, PoisonError};
 pub struct Counter {
     name: &'static str,
     value: AtomicU64,
+    // Never read under `--cfg loom` (registration is compiled out there).
+    #[cfg_attr(loom, allow(dead_code))]
     registered: AtomicBool,
 }
 
@@ -44,6 +46,13 @@ impl Counter {
     #[inline]
     pub fn add(&'static self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
+        // Under the loom model checker the registry is skipped entirely:
+        // counters are `static`s that outlive a single model execution, so
+        // the one-time registration branch would give the first execution a
+        // different switch-point sequence from every later one and break
+        // deterministic schedule replay (the registry mutex is also
+        // invisible to the model scheduler).
+        #[cfg(not(loom))]
         if !self.registered.load(Ordering::Relaxed) {
             self.register();
         }
@@ -61,6 +70,7 @@ impl Counter {
     }
 
     /// Pushes the counter into the global registry exactly once.
+    #[cfg(not(loom))]
     #[cold]
     fn register(&'static self) {
         if !self.registered.swap(true, Ordering::AcqRel) {
@@ -90,6 +100,8 @@ pub fn counters() -> Vec<(&'static str, u64)> {
 mod tests {
     use super::*;
 
+    // Registration is compiled out under `--cfg loom` (see `add`).
+    #[cfg(not(loom))]
     #[test]
     fn counts_and_registers_once() {
         static HITS: Counter = Counter::new("test.hits");

@@ -1,0 +1,13 @@
+//! Atomic primitives behind a model-checking seam.
+//!
+//! [`crate::counter`]'s hot path goes through this module: ordinary builds
+//! re-export `std::sync::atomic` unchanged, and `RUSTFLAGS="--cfg loom"`
+//! builds swap in the vendored `loom` shadow atomics so counter increments
+//! made by code under the model checker (the `omnet-analysis` executor)
+//! are visible scheduler switch points. See DESIGN.md §12.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic;

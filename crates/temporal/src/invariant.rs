@@ -213,10 +213,21 @@ where
 {
     #[cfg(any(debug_assertions, feature = "strict-invariants"))]
     if let Err(violation) = check() {
-        panic!("structural invariant violated: {violation}");
+        invariant_failure(&violation);
     }
     #[cfg(not(any(debug_assertions, feature = "strict-invariants")))]
     let _ = check;
+}
+
+/// The one deliberate abort in this crate: `enforce`'s documented contract
+/// is to fail loudly on a violated invariant (a programmer error, not a
+/// recoverable condition), so this raises an unwind whose payload carries
+/// the violation description.
+#[cfg(any(debug_assertions, feature = "strict-invariants"))]
+#[cold]
+#[inline(never)]
+fn invariant_failure(violation: &InvariantViolation) -> ! {
+    std::panic::panic_any(format!("structural invariant violated: {violation}"))
 }
 
 #[cfg(test)]

@@ -27,7 +27,11 @@ impl From<u32> for NodeId {
 
 impl From<usize> for NodeId {
     fn from(v: usize) -> Self {
-        NodeId(u32::try_from(v).expect("node index exceeds u32"))
+        assert!(
+            v <= u32::MAX as usize,
+            "node index {v} exceeds the u32 node universe"
+        );
+        NodeId(v as u32)
     }
 }
 

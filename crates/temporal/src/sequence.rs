@@ -142,7 +142,7 @@ impl ContactSeq {
     /// Appends a contact; `None` when it does not touch the current endpoint
     /// or would break chronology.
     pub fn extended(&self, c: &Contact) -> Option<ContactSeq> {
-        let here = *self.nodes.last().expect("sequence always has an origin");
+        let here = self.destination();
         if !c.touches(here) {
             return None;
         }
@@ -163,9 +163,10 @@ impl ContactSeq {
         self.nodes[0]
     }
 
-    /// The final device.
+    /// The final device. (A sequence always has an origin, so — like
+    /// [`Self::origin`] — this indexes unconditionally.)
     pub fn destination(&self) -> NodeId {
-        *self.nodes.last().expect("sequence always has an origin")
+        self.nodes[self.nodes.len() - 1]
     }
 
     /// Devices visited, origin first.

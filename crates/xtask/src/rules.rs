@@ -19,6 +19,24 @@ pub const LIB_CRATES: &[&str] = &[
 /// Crates whose public items must cite a paper section (`§`) in docs.
 pub const CITATION_CRATES: &[&str] = &["temporal", "core"];
 
+/// Files registered as concurrency modules: the only library code allowed
+/// to spell atomic `Ordering::` literals. Everything else must go through
+/// the abstractions these modules export (`cargo xtask lint` rule
+/// `atomic-ordering`).
+pub const CONCURRENCY_MODULES: &[&str] = &[
+    "crates/analysis/src/executor.rs",
+    "crates/analysis/src/sync.rs",
+    "crates/obs/src/counter.rs",
+    "crates/obs/src/lib.rs",
+    "crates/obs/src/sync.rs",
+];
+
+/// Concurrency modules that are pure tallies: `Ordering::Relaxed` needs no
+/// per-site justification there (a torn or stale count is harmless by
+/// construction). Everywhere else a `Relaxed` literal must carry an
+/// `// ORDERING:` comment.
+pub const COUNTER_MODULES: &[&str] = &["crates/obs/src/counter.rs"];
+
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -92,6 +110,8 @@ pub fn run_all(root: &Path) -> Vec<Violation> {
     let lib_sources = load_sources(root, LIB_CRATES);
     no_panics(&lib_sources, &mut v);
     no_raw_time_compare(&lib_sources, &mut v);
+    unsafe_audit(&lib_sources, &mut v);
+    atomic_ordering(&lib_sources, &mut v);
     deny_missing_docs(root, &mut v);
     let cite_sources = load_sources(root, CITATION_CRATES);
     paper_citations(&cite_sources, &mut v);
@@ -157,6 +177,141 @@ fn no_raw_time_compare(files: &[SourceFile], out: &mut Vec<Violation>) {
                               directly (it is `Ord`)"
                         .to_string(),
                 });
+            }
+        }
+    }
+}
+
+/// `true` when `line` uses `unsafe` as a keyword (word-boundary match, so
+/// `unsafe_code` inside lint attributes does not count).
+fn keyword_unsafe(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find("unsafe") {
+        let i = start + pos;
+        let end = i + "unsafe".len();
+        let boundary = |b: u8| -> bool { !(b.is_ascii_alphanumeric() || b == b'_') };
+        let before_ok = i == 0 || boundary(bytes[i - 1]);
+        let after_ok = end >= bytes.len() || boundary(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// `true` when the contiguous block of comment/attribute lines directly
+/// above `lineno` contains one of `needles` (in the raw, unmasked text —
+/// justifications live in comments, which masking blanks).
+fn justified_above(raw_lines: &[&str], lineno: usize, needles: &[&str]) -> bool {
+    let mut j = lineno;
+    while j > 0 {
+        j -= 1;
+        let above = raw_lines[j].trim_start();
+        if above.starts_with("//") {
+            if needles.iter().any(|n| above.contains(n)) {
+                return true;
+            }
+        } else if above.starts_with("#[") || above.starts_with("#!") || above.ends_with(']') {
+            // attribute (possibly the tail of a multi-line one)
+            continue;
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Rule `unsafe-audit`: every `unsafe` keyword in library code (block,
+/// fn, impl, or fn-pointer type) must be immediately preceded by a
+/// `// SAFETY:` comment (or a `# Safety` doc section) stating the proof
+/// obligation, on the same line or in the contiguous comment/attribute
+/// block directly above.
+fn unsafe_audit(files: &[SourceFile], out: &mut Vec<Violation>) {
+    const JUSTIFICATIONS: &[&str] = &["SAFETY:", "# Safety"];
+    for f in files {
+        let raw_lines: Vec<&str> = f.raw.lines().collect();
+        for (lineno, line) in f.analysis.masked.lines().enumerate() {
+            if *f.analysis.in_test.get(lineno).unwrap_or(&false) {
+                continue;
+            }
+            if !keyword_unsafe(line) {
+                continue;
+            }
+            let same_line = raw_lines
+                .get(lineno)
+                .is_some_and(|r| JUSTIFICATIONS.iter().any(|n| r.contains(n)));
+            if same_line || justified_above(&raw_lines, lineno, JUSTIFICATIONS) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "unsafe-audit",
+                file: f.rel.clone(),
+                line: lineno + 1,
+                message: "`unsafe` without an immediately preceding `// SAFETY:` \
+                          justification"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule `atomic-ordering`: atomic `Ordering::` literals may only appear in
+/// the registered [`CONCURRENCY_MODULES`]; `Ordering::Relaxed` outside the
+/// pure-tally [`COUNTER_MODULES`] additionally needs an `// ORDERING:`
+/// comment justifying why no synchronization is required.
+///
+/// Matches only the five atomic variants, so `std::cmp::Ordering`
+/// (`Less`/`Equal`/`Greater`) is unaffected.
+fn atomic_ordering(files: &[SourceFile], out: &mut Vec<Violation>) {
+    const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    for f in files {
+        let registered = CONCURRENCY_MODULES.contains(&f.rel.as_str());
+        let counter_module = COUNTER_MODULES.contains(&f.rel.as_str());
+        let raw_lines: Vec<&str> = f.raw.lines().collect();
+        for (lineno, line) in f.analysis.masked.lines().enumerate() {
+            if *f.analysis.in_test.get(lineno).unwrap_or(&false) {
+                continue;
+            }
+            let mut hit = None;
+            let mut relaxed = false;
+            for v in VARIANTS {
+                if line.contains(&format!("Ordering::{v}")) {
+                    hit = Some(*v);
+                    relaxed |= *v == "Relaxed";
+                }
+            }
+            let Some(variant) = hit else {
+                continue;
+            };
+            if !registered {
+                out.push(Violation {
+                    rule: "atomic-ordering",
+                    file: f.rel.clone(),
+                    line: lineno + 1,
+                    message: format!(
+                        "atomic `Ordering::{variant}` outside a registered concurrency \
+                         module — use the abstractions those modules export, or register \
+                         the file in `CONCURRENCY_MODULES`"
+                    ),
+                });
+                continue;
+            }
+            if relaxed && !counter_module {
+                let same_line = raw_lines
+                    .get(lineno)
+                    .is_some_and(|r| r.contains("ORDERING:"));
+                if !(same_line || justified_above(&raw_lines, lineno, &["ORDERING:"])) {
+                    out.push(Violation {
+                        rule: "atomic-ordering",
+                        file: f.rel.clone(),
+                        line: lineno + 1,
+                        message: "`Ordering::Relaxed` outside counter code without an \
+                                  `// ORDERING:` justification"
+                            .to_string(),
+                    });
+                }
             }
         }
     }
@@ -334,6 +489,162 @@ mod tests {
         assert!(
             !v.iter().any(|v| v.file == "crates/temporal/src/time.rs"),
             "time.rs itself is the one place raw comparison is allowed: {v:?}"
+        );
+    }
+
+    #[test]
+    fn planted_unjustified_unsafe_is_caught() {
+        let root = scratch(
+            "unsafe-audit-planted",
+            &[(
+                "crates/analysis/src/lib.rs",
+                "#![deny(missing_docs)]\n#![allow(unsafe_code)]\nfn f(p: *const u32) -> u32 { unsafe { *p } }\n",
+            )],
+        );
+        let v = run_all(&root);
+        assert!(
+            v.iter().any(|v| v.rule == "unsafe-audit"
+                && v.file == "crates/analysis/src/lib.rs"
+                && v.line == 3),
+            "planted unjustified unsafe not caught: {v:?}"
+        );
+        assert!(
+            !v.iter().any(|v| v.rule == "unsafe-audit" && v.line == 2),
+            "`#![allow(unsafe_code)]` is not a keyword use: {v:?}"
+        );
+    }
+
+    #[test]
+    fn justified_unsafe_passes() {
+        let root = scratch(
+            "unsafe-audit-justified",
+            &[(
+                "crates/analysis/src/lib.rs",
+                concat!(
+                    "#![deny(missing_docs)]\n",
+                    "// SAFETY: callers guarantee `p` is valid for reads.\n",
+                    "#[inline]\n",
+                    "fn f(p: *const u32) -> u32 { unsafe { *p } }\n",
+                    "/// Reads a raw pointer.\n",
+                    "///\n",
+                    "/// # Safety\n",
+                    "/// `p` must be valid for reads.\n",
+                    "unsafe fn g(p: *const u32) -> u32 { *p }\n",
+                    "fn h(p: *const u32) -> u32 { unsafe { *p } } // SAFETY: p checked above\n",
+                ),
+            )],
+        );
+        let v = run_all(&root);
+        assert!(
+            !v.iter().any(|v| v.rule == "unsafe-audit"),
+            "justified unsafe (comment above, doc section, same line) must pass: {v:?}"
+        );
+    }
+
+    #[test]
+    fn unsafe_in_tests_or_strings_is_exempt() {
+        let root = scratch(
+            "unsafe-audit-exempt",
+            &[(
+                "crates/analysis/src/lib.rs",
+                concat!(
+                    "#![deny(missing_docs)]\n",
+                    "fn f() -> &'static str { \"unsafe { }\" }\n",
+                    "#[cfg(test)]\n",
+                    "mod tests {\n",
+                    "    fn g(p: *const u32) -> u32 { unsafe { *p } }\n",
+                    "}\n",
+                ),
+            )],
+        );
+        let v = run_all(&root);
+        assert!(
+            !v.iter().any(|v| v.rule == "unsafe-audit"),
+            "string-masked and test-module unsafe must be exempt: {v:?}"
+        );
+    }
+
+    #[test]
+    fn ordering_outside_concurrency_modules_is_caught() {
+        let src =
+            "#![deny(missing_docs)]\nfn f(a: &AtomicU32) -> u32 { a.load(Ordering::SeqCst) }\n";
+        let root = scratch(
+            "atomic-ordering-planted",
+            &[
+                ("crates/core/src/lib.rs", src),
+                ("crates/obs/src/lib.rs", "#![deny(missing_docs)]\n"),
+                ("crates/obs/src/counter.rs", src),
+            ],
+        );
+        let v = run_all(&root);
+        assert!(
+            v.iter().any(|v| v.rule == "atomic-ordering"
+                && v.file == "crates/core/src/lib.rs"
+                && v.line == 2),
+            "planted ordering literal not caught: {v:?}"
+        );
+        assert!(
+            !v.iter()
+                .any(|v| v.rule == "atomic-ordering" && v.file == "crates/obs/src/counter.rs"),
+            "registered concurrency modules may use orderings: {v:?}"
+        );
+    }
+
+    #[test]
+    fn relaxed_outside_counter_code_needs_an_ordering_comment() {
+        let root = scratch(
+            "atomic-ordering-relaxed",
+            &[
+                (
+                    "crates/analysis/src/executor.rs",
+                    concat!(
+                        "fn bare(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }\n",
+                        "// ORDERING: pure tally, readers join first.\n",
+                        "fn justified(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }\n",
+                        "fn strong(a: &AtomicU64) -> u64 { a.load(Ordering::Acquire) }\n",
+                    ),
+                ),
+                (
+                    "crates/obs/src/counter.rs",
+                    "fn tally(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }\n",
+                ),
+                ("crates/analysis/src/lib.rs", "#![deny(missing_docs)]\n"),
+                ("crates/obs/src/lib.rs", "#![deny(missing_docs)]\n"),
+            ],
+        );
+        let v = run_all(&root);
+        assert!(
+            v.iter().any(|v| v.rule == "atomic-ordering"
+                && v.file == "crates/analysis/src/executor.rs"
+                && v.line == 1),
+            "bare Relaxed outside counter code not caught: {v:?}"
+        );
+        assert_eq!(
+            v.iter().filter(|v| v.rule == "atomic-ordering").count(),
+            1,
+            "justified Relaxed, non-Relaxed orderings and counter-module \
+             Relaxed must all pass: {v:?}"
+        );
+    }
+
+    #[test]
+    fn ordering_in_strings_and_cmp_ordering_are_exempt() {
+        let root = scratch(
+            "atomic-ordering-exempt",
+            &[(
+                "crates/core/src/lib.rs",
+                concat!(
+                    "#![deny(missing_docs)]\n",
+                    "fn f() -> &'static str { \"Ordering::SeqCst\" }\n",
+                    "fn g(a: u32, b: u32) -> Ordering { a.cmp(&b) }\n",
+                    "fn h() -> Ordering { Ordering::Less }\n",
+                ),
+            )],
+        );
+        let v = run_all(&root);
+        assert!(
+            !v.iter().any(|v| v.rule == "atomic-ordering"),
+            "string-masked and `cmp::Ordering` uses must be exempt: {v:?}"
         );
     }
 

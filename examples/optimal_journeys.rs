@@ -38,7 +38,9 @@ fn main() {
     }
     let f = profiles.profile(s, d, HopBound::Unlimited);
     println!("pair {s} -> {d} has {} optimal journeys:", f.len());
-    for (pair, path) in optimal_journeys(&trace, s, d, &f).iter().take(10) {
+    let journeys =
+        optimal_journeys(&trace, s, d, &f).expect("trace-derived profiles always have witnesses");
+    for (pair, path) in journeys.iter().take(10) {
         println!(
             "  leave by {:>9}  arrive {:>9}  {} hops: {}",
             pair.ld,

@@ -1,0 +1,66 @@
+//! Offline drop-in subset of the [`loom`](https://docs.rs/loom) 0.7 API.
+//!
+//! The build environment has no registry access, so — like the other
+//! `vendor/` crates — this is an API-compatible subset implemented from
+//! scratch. It is a *bounded systematic concurrency tester*: running a
+//! closure under [`model`] executes it many times, exploring a different
+//! thread interleaving on every iteration via depth-first search over
+//! scheduling decisions, with the number of *preemptive* context switches
+//! per execution bounded (preemption bounding is the classic CHESS
+//! technique: almost all real schedule-sensitive bugs manifest with ≤ 2
+//! preemptions).
+//!
+//! # How it differs from real loom
+//!
+//! * **Sequentially consistent semantics.** Threads are real OS threads,
+//!   but a global scheduler lets exactly one run at a time and makes every
+//!   operation on a `loom` type a possible switch point. Because execution
+//!   is serialized, all atomics behave as `SeqCst`: the `Ordering` argument
+//!   is accepted but not weakened, so this checker explores *interleavings*
+//!   (lost updates, use-after-free windows, lost wakeups, deadlocks), not
+//!   relaxed-memory reorderings. Pair it with Miri/TSan for the latter.
+//! * **Bounded, not exhaustive.** Exploration stops at
+//!   `LOOM_MAX_ITERATIONS` executions (default 50 000) even if the
+//!   preemption-bounded tree is larger; a one-line summary says which.
+//! * **Graceful outside a model.** Real loom panics if its types are used
+//!   outside [`model`]; here every shadow type falls back to the equivalent
+//!   `std` behavior, so a `--cfg loom` build of a whole crate (including
+//!   code paths never exercised under a model) still runs correctly.
+//! * **`const` constructors.** Shadow atomics and locks are
+//!   const-constructible so `static` counters keep working under
+//!   `--cfg loom` — a deliberate divergence from real loom (which requires
+//!   `loom::lazy_static`).
+//!
+//! # Configuration (environment)
+//!
+//! * `LOOM_MAX_PREEMPTIONS` — preemption bound per execution (default 2).
+//! * `LOOM_MAX_BRANCHES` — scheduling decisions per execution before the
+//!   model is declared divergent (default 20 000).
+//! * `LOOM_MAX_ITERATIONS` — executions explored before stopping early
+//!   (default 50 000).
+//!
+//! # Failure reporting
+//!
+//! A panic inside the modeled closure (an assertion failure, an executor
+//! invariant breach, …), a deadlock (every live thread blocked with no
+//! timed waiter), or a branch-budget blowout aborts the run and re-raises
+//! on the caller of [`model`], after printing how many executions had been
+//! explored — the count identifies the failing schedule for replay-by-rerun.
+
+#![deny(missing_docs)]
+
+pub mod model;
+pub(crate) mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Builder};
+
+/// Mirrors `loom::hint`: spin-loop hints become plain yield points.
+pub mod hint {
+    /// Emits a scheduling switch point (the model equivalent of a spin
+    /// hint: give every other thread a chance to run here).
+    pub fn spin_loop() {
+        crate::rt::hit();
+    }
+}

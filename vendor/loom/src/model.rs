@@ -1,0 +1,122 @@
+//! The exploration driver: run a closure under every (bounded) schedule.
+
+use crate::rt::{Branch, Config, Rt};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Serializes model executions process-wide: two concurrently running
+/// models would interleave real OS threads outside scheduler control (and
+/// `cargo test` runs tests in parallel by default).
+fn model_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Exploration configuration, mirroring `loom::model::Builder`.
+///
+/// Defaults come from the environment (`LOOM_MAX_PREEMPTIONS`,
+/// `LOOM_MAX_BRANCHES`, `LOOM_MAX_ITERATIONS`); individual models override
+/// the fields to trade coverage against run time.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Max preemptive context switches per execution (`None` = unbounded —
+    /// usually intractable for anything but toy models).
+    pub preemption_bound: Option<usize>,
+    /// Max scheduling decisions in a single execution before the model is
+    /// declared divergent (an unbounded loop).
+    pub max_branches: usize,
+    /// Max executions explored before stopping early with a note.
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+impl Builder {
+    /// A builder with environment-derived defaults.
+    pub fn new() -> Builder {
+        Builder {
+            preemption_bound: Some(env_usize("LOOM_MAX_PREEMPTIONS", 2)),
+            max_branches: env_usize("LOOM_MAX_BRANCHES", 20_000),
+            max_iterations: env_usize("LOOM_MAX_ITERATIONS", 50_000),
+        }
+    }
+
+    /// Explores `f` under every schedule within the configured bounds.
+    ///
+    /// Panics (on the caller) when any execution panics, deadlocks, or
+    /// exceeds the branch budget, after printing the execution count that
+    /// identifies the failing schedule.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let _serial = model_lock()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cfg = Config {
+            max_preemptions: self.preemption_bound.unwrap_or(usize::MAX),
+            max_branches: self.max_branches,
+        };
+        let f = Arc::new(f);
+        let mut path: Vec<Branch> = Vec::new();
+        let mut iters: usize = 0;
+        loop {
+            iters += 1;
+            let rt = Arc::new(Rt::new(cfg, std::mem::take(&mut path)));
+            let body = Arc::clone(&f);
+            rt.spawn_thread(move || body(), Some("model-root".to_string()));
+            let (final_path, failure, panic) = rt.wait_done_and_join();
+            if let Some(p) = panic {
+                eprintln!("loom: a model thread panicked on execution {iters} (of the schedules explored so far)");
+                std::panic::resume_unwind(p);
+            }
+            if let Some(msg) = failure {
+                panic!("loom: {msg} (execution {iters})");
+            }
+            path = final_path;
+            // Depth-first backtrack: advance the deepest decision that
+            // still has unexplored options, discarding everything below.
+            loop {
+                match path.last_mut() {
+                    None => {
+                        eprintln!("loom: explored {iters} executions (schedule tree exhausted)");
+                        return;
+                    }
+                    Some(b) if b.chosen + 1 < b.options => {
+                        b.chosen += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        path.pop();
+                    }
+                }
+            }
+            if iters >= self.max_iterations {
+                eprintln!(
+                    "loom: stopping after {iters} executions (LOOM_MAX_ITERATIONS) — \
+                     schedule tree not exhausted"
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Explores `f` under every schedule within the default bounds; the model
+/// fails by panicking on the caller. See [`Builder`] to tune bounds.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

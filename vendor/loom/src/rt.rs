@@ -1,0 +1,440 @@
+//! The scheduler: serialized execution of model threads plus depth-first
+//! exploration of scheduling decisions.
+//!
+//! One [`Rt`] exists per *execution* (one run of the modeled closure). All
+//! model threads are real OS threads, but a token (`State::active`) admits
+//! exactly one at a time; every visible operation on a shadow type calls
+//! [`hit`]/[`Rt::switch`], which consults the DFS path to decide which
+//! runnable thread proceeds. Blocking primitives park threads via
+//! [`Rt::block_and_wait`] and wake them via [`Rt::wake_all`]; when nothing
+//! is runnable the scheduler force-fires a timed waiter (modeling a
+//! `wait_timeout` expiry) or reports a deadlock.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A panic payload carried out of a model thread.
+pub(crate) type Payload = Box<dyn Any + Send + 'static>;
+
+/// Message used to unwind parked threads when an execution is aborted
+/// (deadlock, branch blowout); the wrapper recognizes and swallows it.
+pub(crate) const ABORT_MSG: &str = "loom-internal: execution aborted";
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The runtime handle of the calling thread, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Rt>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// Emits one switch point for the calling thread if it is a model thread;
+/// a no-op outside a model (fallback mode).
+pub(crate) fn hit() {
+    if let Some((rt, tid)) = current() {
+        rt.switch(tid);
+    }
+}
+
+/// Run states of a model thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Run {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Parked with no self-wakeup (mutex, untimed condvar wait, join).
+    Blocked,
+    /// Parked in a `wait_timeout`: the scheduler may force an expiry.
+    TimedWait,
+    /// Exited (normally or by panic).
+    Finished,
+}
+
+/// Per-thread bookkeeping.
+pub(crate) struct ThreadSt {
+    pub(crate) run: Run,
+    /// Set when the last wakeup was a forced `wait_timeout` expiry.
+    pub(crate) timed_out: bool,
+    /// Threads parked in `join` on this one.
+    pub(crate) joiners: Vec<usize>,
+    /// Panic payload not yet claimed by a `join`.
+    pub(crate) panic: Option<Payload>,
+    name: Option<String>,
+}
+
+/// One recorded scheduling decision.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Branch {
+    /// Index chosen among the options at this decision point.
+    pub(crate) chosen: usize,
+    /// Number of options that were available.
+    pub(crate) options: usize,
+}
+
+/// Exploration limits (see the crate docs for the env knobs).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Config {
+    pub(crate) max_preemptions: usize,
+    pub(crate) max_branches: usize,
+}
+
+pub(crate) struct State {
+    threads: Vec<ThreadSt>,
+    /// The single thread currently allowed to run.
+    active: usize,
+    /// Next index into `path` (how many decisions this execution has made).
+    depth: usize,
+    /// The DFS path: replayed as a prefix, extended past its end.
+    path: Vec<Branch>,
+    preemptions: usize,
+    branches: usize,
+    /// All threads finished (or the execution was aborted).
+    finished: bool,
+    /// True while tearing down an aborted execution: parked threads unwind.
+    abort: bool,
+    /// Deadlock / divergence description, reported by the coordinator.
+    failure: Option<String>,
+    cfg: Config,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One execution's runtime: shared state plus the hand-off condvar.
+pub(crate) struct Rt {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+fn lock(rt: &Rt) -> std::sync::MutexGuard<'_, State> {
+    // The state mutex is only poisoned if the coordinator itself panicked;
+    // keep going so parked threads can still observe `abort`.
+    rt.state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Rt {
+    pub(crate) fn new(cfg: Config, path: Vec<Branch>) -> Rt {
+        Rt {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                active: 0,
+                depth: 0,
+                path,
+                preemptions: 0,
+                branches: 0,
+                finished: false,
+                abort: false,
+                failure: None,
+                cfg,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Picks the chosen option index at a decision point with `n` options.
+    fn choose(st: &mut State, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        st.branches += 1;
+        if st.branches > st.cfg.max_branches {
+            st.failure = Some(format!(
+                "execution exceeded LOOM_MAX_BRANCHES ({}) scheduling decisions — \
+                 the model likely has an unbounded loop",
+                st.cfg.max_branches
+            ));
+            st.abort = true;
+            st.finished = true;
+            return 0;
+        }
+        let d = st.depth;
+        st.depth += 1;
+        if d < st.path.len() {
+            let b = &mut st.path[d];
+            // Cross-execution nondeterminism (e.g. a `static` registering
+            // itself only on the first run) can shrink the option count;
+            // clamp rather than crash — exploration degrades gracefully.
+            b.options = n;
+            if b.chosen >= n {
+                b.chosen = n - 1;
+            }
+            b.chosen
+        } else {
+            st.path.push(Branch {
+                chosen: 0,
+                options: n,
+            });
+            0
+        }
+    }
+
+    /// Core scheduling decision. Called with the lock held by the thread
+    /// ceding control (`cur`); sets `State::active` to the next thread.
+    fn reschedule(&self, st: &mut State, cur: usize, cur_runnable: bool) {
+        let mut options: Vec<usize> = Vec::new();
+        if cur_runnable {
+            options.push(cur);
+        }
+        // Preemption bounding: once the budget is spent, a runnable thread
+        // is never switched away from (options collapses to `[cur]`).
+        if !cur_runnable || st.preemptions < st.cfg.max_preemptions {
+            for tid in 0..st.threads.len() {
+                if tid != cur && st.threads[tid].run == Run::Runnable {
+                    options.push(tid);
+                }
+            }
+        }
+        if options.is_empty() {
+            let timed: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| st.threads[t].run == Run::TimedWait)
+                .collect();
+            if !timed.is_empty() {
+                // Nothing runnable: a `wait_timeout` expires. Which waiter
+                // fires first is itself a scheduling decision.
+                let idx = Self::choose(st, timed.len());
+                let t = timed[idx];
+                st.threads[t].run = Run::Runnable;
+                st.threads[t].timed_out = true;
+                st.active = t;
+                self.cv.notify_all();
+                return;
+            }
+            if st.threads.iter().all(|t| t.run == Run::Finished) {
+                st.finished = true;
+                self.cv.notify_all();
+                return;
+            }
+            let states: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    format!(
+                        "#{i}{}: {:?}",
+                        t.name
+                            .as_deref()
+                            .map(|n| format!(" ({n})"))
+                            .unwrap_or_default(),
+                        t.run
+                    )
+                })
+                .collect();
+            st.failure = Some(format!("deadlock — thread states: [{}]", states.join(", ")));
+            st.abort = true;
+            st.finished = true;
+            self.cv.notify_all();
+            return;
+        }
+        let idx = Self::choose(st, options.len());
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        let next = options[idx];
+        if cur_runnable && next != cur {
+            st.preemptions += 1;
+        }
+        if st.active != next {
+            st.active = next;
+            self.cv.notify_all();
+        }
+    }
+
+    /// One switch point: cede control, wait until scheduled again.
+    ///
+    /// Skipped while the calling thread is unwinding — a panicking model
+    /// thread (its payload is what the model reports) must not block, and
+    /// a `Drop`-triggered switch during abort teardown must not
+    /// double-panic.
+    pub(crate) fn switch(self: &Arc<Self>, tid: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = lock(self);
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        debug_assert_eq!(st.active, tid, "switch() from a non-active thread");
+        self.reschedule(&mut st, tid, true);
+        while !st.abort && st.active != tid {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+    }
+
+    /// Parks the calling thread (`Blocked`, or `TimedWait` when `timed`)
+    /// until a wakeup schedules it again. Returns whether the wakeup was a
+    /// forced timeout expiry.
+    pub(crate) fn block_and_wait(self: &Arc<Self>, tid: usize, timed: bool) -> bool {
+        let mut st = lock(self);
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        st.threads[tid].run = if timed { Run::TimedWait } else { Run::Blocked };
+        st.threads[tid].timed_out = false;
+        self.reschedule(&mut st, tid, false);
+        loop {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if st.threads[tid].run == Run::Runnable && st.active == tid {
+                return st.threads[tid].timed_out;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Marks each thread in `tids` runnable (if parked). Does not switch —
+    /// the waker keeps running until its own next switch point.
+    pub(crate) fn wake_all(self: &Arc<Self>, tids: &[usize]) {
+        if tids.is_empty() {
+            return;
+        }
+        let mut st = lock(self);
+        for &t in tids {
+            if matches!(st.threads[t].run, Run::Blocked | Run::TimedWait) {
+                st.threads[t].run = Run::Runnable;
+                st.threads[t].timed_out = false;
+            }
+        }
+    }
+
+    /// Registers the calling thread as a joiner of `target`; parks until
+    /// `target` finishes, then hands over its unclaimed panic payload.
+    pub(crate) fn join(self: &Arc<Self>, tid: usize, target: usize) -> Option<Payload> {
+        self.switch(tid);
+        loop {
+            {
+                let mut st = lock(self);
+                if st.abort {
+                    drop(st);
+                    abort_unwind();
+                }
+                if st.threads[target].run == Run::Finished {
+                    return st.threads[target].panic.take();
+                }
+                st.threads[target].joiners.push(tid);
+            }
+            self.block_and_wait(tid, false);
+        }
+    }
+
+    /// Spawns a model thread running `f`; returns its tid. The OS thread
+    /// waits until the scheduler first activates it.
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        f: impl FnOnce() + Send + 'static,
+        name: Option<String>,
+    ) -> usize {
+        let tid = {
+            let mut st = lock(self);
+            st.threads.push(ThreadSt {
+                run: Run::Runnable,
+                timed_out: false,
+                joiners: Vec::new(),
+                panic: None,
+                name: name.clone(),
+            });
+            st.threads.len() - 1
+        };
+        let rt = Arc::clone(self);
+        let mut builder = std::thread::Builder::new();
+        if let Some(n) = &name {
+            builder = builder.name(format!("loom-{n}"));
+        }
+        let handle = builder
+            .spawn(move || {
+                set_current(Some((Arc::clone(&rt), tid)));
+                // Wait to be scheduled for the first time.
+                {
+                    let mut st = lock(&rt);
+                    while !st.abort && (st.active != tid || st.threads[tid].run != Run::Runnable) {
+                        st = rt
+                            .cv
+                            .wait(st)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    if st.abort {
+                        rt.finish_thread(tid, None);
+                        return;
+                    }
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(f));
+                let payload = match outcome {
+                    Ok(()) => None,
+                    Err(p) if p.downcast_ref::<&str>() == Some(&ABORT_MSG) => None,
+                    Err(p) => Some(p),
+                };
+                rt.finish_thread(tid, payload);
+            })
+            .expect("loom: failed to spawn a model OS thread");
+        lock(self).os_handles.push(handle);
+        tid
+    }
+
+    /// Marks `tid` finished, stores its panic payload, wakes joiners, and
+    /// hands control to the next thread.
+    fn finish_thread(self: &Arc<Self>, tid: usize, payload: Option<Payload>) {
+        let mut st = lock(self);
+        st.threads[tid].run = Run::Finished;
+        st.threads[tid].panic = payload;
+        let joiners = std::mem::take(&mut st.threads[tid].joiners);
+        for j in joiners {
+            if matches!(st.threads[j].run, Run::Blocked | Run::TimedWait) {
+                st.threads[j].run = Run::Runnable;
+            }
+        }
+        if !st.abort {
+            self.reschedule(&mut st, tid, false);
+        }
+    }
+
+    /// Coordinator side: wait for the execution to end, join every OS
+    /// thread, and extract `(path, failure, first unclaimed panic)`.
+    pub(crate) fn wait_done_and_join(
+        self: &Arc<Self>,
+    ) -> (Vec<Branch>, Option<String>, Option<Payload>) {
+        let handles = {
+            let mut st = lock(self);
+            while !st.finished {
+                st = self
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            std::mem::take(&mut st.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = lock(self);
+        let path = std::mem::take(&mut st.path);
+        let failure = st.failure.take();
+        let panic = st.threads.iter_mut().find_map(|t| t.panic.take());
+        (path, failure, panic)
+    }
+}
+
+/// Unwinds a parked thread out of an aborted execution.
+fn abort_unwind() -> ! {
+    std::panic::panic_any(ABORT_MSG)
+}

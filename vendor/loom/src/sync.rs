@@ -1,0 +1,557 @@
+//! Shadow `std::sync`: model-aware locks, condvars and atomics.
+//!
+//! Inside a [`crate::model`] every operation is a scheduler switch point
+//! and blocking is mediated by the model scheduler; outside a model every
+//! type behaves exactly like its `std` counterpart (poisoning is the one
+//! simplification: a model-mode lock never reports poison — a panicking
+//! model thread already fails the whole model).
+
+use crate::rt;
+use std::sync::PoisonError;
+use std::time::Duration;
+
+pub use std::sync::{Arc, LockResult, TryLockError};
+
+/// Shadow `std::sync::Mutex`.
+///
+/// Internally backed by a real `std` mutex for the data (uncontended in
+/// model mode — the scheduler serializes threads) plus model-side owner /
+/// waiter bookkeeping.
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    meta: std::sync::Mutex<MutexMeta>,
+    inner: std::sync::Mutex<T>,
+}
+
+#[derive(Debug, Default)]
+struct MutexMeta {
+    owner: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+/// Shadow `std::sync::MutexGuard`.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    /// Whether this guard holds model-side ownership (and must release it).
+    model: bool,
+}
+
+fn meta_lock(m: &std::sync::Mutex<MutexMeta>) -> std::sync::MutexGuard<'_, MutexMeta> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex (const, unlike real loom — lets statics work).
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            meta: std::sync::Mutex::new(MutexMeta {
+                owner: None,
+                waiters: Vec::new(),
+            }),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Shadow `Mutex::lock`. Model mode never reports poison.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            Some((rt, tid)) => {
+                rt.switch(tid);
+                loop {
+                    let acquired = {
+                        let mut m = meta_lock(&self.meta);
+                        if m.owner.is_none() {
+                            m.owner = Some(tid);
+                            true
+                        } else {
+                            m.waiters.push(tid);
+                            false
+                        }
+                    };
+                    if acquired {
+                        break;
+                    }
+                    rt.block_and_wait(tid, false);
+                }
+                let std = match self.inner.try_lock() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("loom: model-owned mutex held at the std layer")
+                    }
+                };
+                Ok(MutexGuard {
+                    mutex: self,
+                    std: Some(std),
+                    model: true,
+                })
+            }
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    mutex: self,
+                    std: Some(g),
+                    model: false,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    mutex: self,
+                    std: Some(p.into_inner()),
+                    model: false,
+                })),
+            },
+        }
+    }
+
+    /// Releases model-side ownership and wakes every model waiter. No
+    /// switch point — callers add one where the semantics allow it.
+    fn model_release(&self, rt: &Arc<rt::Rt>) {
+        let waiters = {
+            let mut m = meta_lock(&self.meta);
+            m.owner = None;
+            std::mem::take(&mut m.waiters)
+        };
+        rt.wake_all(&waiters);
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_deref().expect("guard holds the std lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_deref_mut().expect("guard holds the std lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.std.take());
+        if self.model {
+            if let Some((rt, tid)) = rt::current() {
+                self.mutex.model_release(&rt);
+                // Unlock is a visible operation (skipped while unwinding —
+                // `Rt::switch` no-ops then).
+                rt.switch(tid);
+            }
+        }
+    }
+}
+
+/// Shadow `std::sync::WaitTimeoutResult`. (The std type has no public
+/// constructor, hence the local mirror.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Shadow `std::sync::Condvar`.
+///
+/// In model mode a `wait_timeout` parks the thread as a *timed waiter*:
+/// it wakes on notification like any waiter, and the scheduler force-fires
+/// its timeout only when no thread is runnable (so spurious-timeout storms
+/// cannot make executions unbounded, while lost-wakeup recovery paths are
+/// still reachable).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    meta: std::sync::Mutex<CvMeta>,
+    inner: std::sync::Condvar,
+}
+
+#[derive(Debug, Default)]
+struct CvMeta {
+    waiters: Vec<usize>,
+}
+
+impl Condvar {
+    /// Creates the condvar (const, unlike real loom).
+    pub const fn new() -> Condvar {
+        Condvar {
+            meta: std::sync::Mutex::new(CvMeta {
+                waiters: Vec::new(),
+            }),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn cv_meta(&self) -> std::sync::MutexGuard<'_, CvMeta> {
+        self.meta.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Model-mode park: register, atomically release the mutex and block,
+    /// then reacquire. Returns the reacquired guard plus the timeout flag.
+    fn model_wait<'a, T: ?Sized>(
+        &self,
+        rt: Arc<rt::Rt>,
+        tid: usize,
+        mut guard: MutexGuard<'a, T>,
+        timed: bool,
+    ) -> (MutexGuard<'a, T>, bool) {
+        // The wait call is itself a visible operation: another thread may be
+        // scheduled *before* this one registers as a waiter (this is exactly
+        // the window where an unsynchronized notify is lost — it must be
+        // explorable for lost-wakeup bugs to be found).
+        rt.switch(tid);
+        let mutex = guard.mutex;
+        self.cv_meta().waiters.push(tid);
+        // Release without a switch point: registration, release and park
+        // must be atomic with respect to other model threads, or a notify
+        // arriving in between would be lost by the *model* rather than by
+        // the code under test.
+        guard.model = false;
+        drop(guard.std.take());
+        drop(guard);
+        mutex.model_release(&rt);
+        let timed_out = rt.block_and_wait(tid, timed);
+        self.cv_meta().waiters.retain(|t| *t != tid);
+        let guard = match mutex.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        (guard, timed_out)
+    }
+
+    /// Shadow `Condvar::wait`.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match rt::current() {
+            Some((rt, tid)) => {
+                let (g, _) = self.model_wait(rt, tid, guard, false);
+                Ok(g)
+            }
+            None => {
+                let mutex = guard.mutex;
+                let mut guard = guard;
+                let std = guard.std.take().expect("guard holds the std lock");
+                drop(guard); // inert: the std guard has been moved out
+                match self.inner.wait(std) {
+                    Ok(g) => Ok(MutexGuard {
+                        mutex,
+                        std: Some(g),
+                        model: false,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        mutex,
+                        std: Some(p.into_inner()),
+                        model: false,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Shadow `Condvar::wait_timeout`.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match rt::current() {
+            Some((rt, tid)) => {
+                let (g, timed_out) = self.model_wait(rt, tid, guard, true);
+                Ok((g, WaitTimeoutResult(timed_out)))
+            }
+            None => {
+                let mutex = guard.mutex;
+                let mut guard = guard;
+                let std = guard.std.take().expect("guard holds the std lock");
+                drop(guard); // inert: the std guard has been moved out
+                match self.inner.wait_timeout(std, dur) {
+                    Ok((g, t)) => Ok((
+                        MutexGuard {
+                            mutex,
+                            std: Some(g),
+                            model: false,
+                        },
+                        WaitTimeoutResult(t.timed_out()),
+                    )),
+                    Err(p) => {
+                        let (g, t) = p.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                mutex,
+                                std: Some(g),
+                                model: false,
+                            },
+                            WaitTimeoutResult(t.timed_out()),
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shadow `Condvar::notify_all`.
+    pub fn notify_all(&self) {
+        match rt::current() {
+            Some((rt, tid)) => {
+                let waiters = std::mem::take(&mut self.cv_meta().waiters);
+                rt.wake_all(&waiters);
+                rt.switch(tid);
+            }
+            None => self.inner.notify_all(),
+        }
+    }
+
+    /// Shadow `Condvar::notify_one`.
+    pub fn notify_one(&self) {
+        match rt::current() {
+            Some((rt, tid)) => {
+                let first = {
+                    let mut m = self.cv_meta();
+                    if m.waiters.is_empty() {
+                        None
+                    } else {
+                        Some(m.waiters.remove(0))
+                    }
+                };
+                if let Some(t) = first {
+                    rt.wake_all(&[t]);
+                }
+                rt.switch(tid);
+            }
+            None => self.inner.notify_one(),
+        }
+    }
+}
+
+pub mod atomic {
+    //! Shadow `std::sync::atomic`: every operation is a model switch point;
+    //! orderings are accepted but executed as `SeqCst` (the model is
+    //! sequentially consistent — see the crate docs).
+
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    /// Shadow `std::sync::atomic::fence`: a switch point plus a real fence.
+    pub fn fence(_order: Ordering) {
+        rt::hit();
+        std::sync::atomic::fence(SeqCst);
+    }
+
+    macro_rules! shadow_atomic_int {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates the atomic (const, unlike real loom).
+                pub const fn new(v: $ty) -> $name {
+                    $name { inner: std::sync::atomic::$std::new(v) }
+                }
+
+                /// Shadow `load`.
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    rt::hit();
+                    self.inner.load(SeqCst)
+                }
+
+                /// Shadow `store`.
+                pub fn store(&self, v: $ty, _order: Ordering) {
+                    rt::hit();
+                    self.inner.store(v, SeqCst)
+                }
+
+                /// Shadow `swap`.
+                pub fn swap(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::hit();
+                    self.inner.swap(v, SeqCst)
+                }
+
+                /// Shadow `fetch_add`.
+                pub fn fetch_add(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::hit();
+                    self.inner.fetch_add(v, SeqCst)
+                }
+
+                /// Shadow `fetch_sub`.
+                pub fn fetch_sub(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::hit();
+                    self.inner.fetch_sub(v, SeqCst)
+                }
+
+                /// Shadow `fetch_or`.
+                pub fn fetch_or(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::hit();
+                    self.inner.fetch_or(v, SeqCst)
+                }
+
+                /// Shadow `fetch_and`.
+                pub fn fetch_and(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::hit();
+                    self.inner.fetch_and(v, SeqCst)
+                }
+
+                /// Shadow `fetch_max`.
+                pub fn fetch_max(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::hit();
+                    self.inner.fetch_max(v, SeqCst)
+                }
+
+                /// Shadow `fetch_min`.
+                pub fn fetch_min(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::hit();
+                    self.inner.fetch_min(v, SeqCst)
+                }
+
+                /// Shadow `compare_exchange`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::hit();
+                    self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+                }
+
+                /// Shadow `compare_exchange_weak` (never fails spuriously —
+                /// the model is sequentialized).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Shadow `into_inner`.
+                pub fn into_inner(self) -> $ty {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    shadow_atomic_int!(
+        /// Shadow `std::sync::atomic::AtomicUsize`.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    shadow_atomic_int!(
+        /// Shadow `std::sync::atomic::AtomicU64`.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    shadow_atomic_int!(
+        /// Shadow `std::sync::atomic::AtomicU32`.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    shadow_atomic_int!(
+        /// Shadow `std::sync::atomic::AtomicI64`.
+        AtomicI64,
+        AtomicI64,
+        i64
+    );
+
+    /// Shadow `std::sync::atomic::AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates the atomic (const, unlike real loom).
+        pub const fn new(v: bool) -> AtomicBool {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Shadow `load`.
+        pub fn load(&self, _order: Ordering) -> bool {
+            rt::hit();
+            self.inner.load(SeqCst)
+        }
+
+        /// Shadow `store`.
+        pub fn store(&self, v: bool, _order: Ordering) {
+            rt::hit();
+            self.inner.store(v, SeqCst)
+        }
+
+        /// Shadow `swap`.
+        pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+            rt::hit();
+            self.inner.swap(v, SeqCst)
+        }
+
+        /// Shadow `compare_exchange`.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::hit();
+            self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+        }
+    }
+
+    /// Shadow `std::sync::atomic::AtomicPtr`.
+    #[derive(Debug)]
+    pub struct AtomicPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// Creates the atomic (const, unlike real loom).
+        pub const fn new(p: *mut T) -> AtomicPtr<T> {
+            AtomicPtr {
+                inner: std::sync::atomic::AtomicPtr::new(p),
+            }
+        }
+
+        /// Shadow `load`.
+        pub fn load(&self, _order: Ordering) -> *mut T {
+            rt::hit();
+            self.inner.load(SeqCst)
+        }
+
+        /// Shadow `store`.
+        pub fn store(&self, p: *mut T, _order: Ordering) {
+            rt::hit();
+            self.inner.store(p, SeqCst)
+        }
+
+        /// Shadow `swap`.
+        pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+            rt::hit();
+            self.inner.swap(p, SeqCst)
+        }
+
+        /// Shadow `compare_exchange`.
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            rt::hit();
+            self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+        }
+    }
+}

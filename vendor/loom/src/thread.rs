@@ -1,0 +1,128 @@
+//! Shadow `std::thread`: model threads inside [`crate::model`], real
+//! threads outside it.
+
+use crate::rt;
+use std::io;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result slot shared between a model thread and its [`JoinHandle`].
+type Slot<T> = Arc<Mutex<Option<T>>>;
+
+enum Imp<T> {
+    Model {
+        rt: Arc<rt::Rt>,
+        tid: usize,
+        slot: Slot<T>,
+    },
+    Std(std::thread::JoinHandle<T>),
+}
+
+/// Shadow `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    imp: Imp<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.imp {
+            Imp::Model {
+                rt,
+                tid: target,
+                slot,
+            } => {
+                let (_, me) = rt::current()
+                    .expect("loom: join() on a model JoinHandle from outside the model");
+                match rt.join(me, target) {
+                    Some(payload) => Err(payload),
+                    None => Ok(slot
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take()
+                        .expect("loom: joined model thread left no result")),
+                }
+            }
+            Imp::Std(h) => h.join(),
+        }
+    }
+}
+
+fn spawn_impl<F, T>(f: F, name: Option<String>) -> io::Result<JoinHandle<T>>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        Some((rt, me)) => {
+            let slot: Slot<T> = Arc::new(Mutex::new(None));
+            let out = Arc::clone(&slot);
+            let tid = rt.spawn_thread(
+                move || {
+                    let v = f();
+                    *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                },
+                name,
+            );
+            // Spawning is a visible operation: the child may run before the
+            // parent's next step.
+            rt.switch(me);
+            Ok(JoinHandle {
+                imp: Imp::Model { rt, tid, slot },
+            })
+        }
+        None => {
+            let mut b = std::thread::Builder::new();
+            if let Some(n) = name {
+                b = b.name(n);
+            }
+            b.spawn(f).map(|h| JoinHandle { imp: Imp::Std(h) })
+        }
+    }
+}
+
+/// Shadow `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_impl(f, None).expect("loom: failed to spawn thread")
+}
+
+/// Shadow `std::thread::Builder` (name-only subset).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// A builder with no name set.
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    /// Names the thread (surfaced in deadlock reports).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        spawn_impl(f, self.name)
+    }
+}
+
+/// Shadow `std::thread::yield_now`: a pure switch point in a model, a real
+/// yield outside one.
+pub fn yield_now() {
+    if rt::current().is_some() {
+        rt::hit();
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,156 @@
+//! Sanity checks for the vendored model checker itself: it must catch
+//! planted interleaving bugs and pass their corrected counterparts.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f` under the model and reports whether any schedule failed.
+fn model_fails<F: Fn() + Send + Sync + 'static>(f: F) -> bool {
+    catch_unwind(AssertUnwindSafe(|| loom::model(f))).is_err()
+}
+
+#[test]
+fn catches_lost_update() {
+    // Non-atomic read-modify-write: two threads each do load + store, so a
+    // preemption between the two steps loses one increment.
+    assert!(model_fails(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    }));
+}
+
+#[test]
+fn passes_atomic_rmw() {
+    loom::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn catches_lost_wakeup_deadlock() {
+    // The notifier flips an atomic flag and notifies *without holding the
+    // lock*, and the waiter does not re-check in a loop: a notify landing
+    // between the waiter's flag check and its wait registration is lost,
+    // and the untimed wait deadlocks.
+    use loom::sync::atomic::AtomicBool;
+    assert!(model_fails(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let waiter = {
+            let flag = Arc::clone(&flag);
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let g = lock.lock().unwrap();
+                if !flag.load(Ordering::SeqCst) {
+                    // BUG: the notify may fire right here, before this
+                    // thread registers as a waiter.
+                    drop(cv.wait(g).unwrap());
+                }
+            })
+        };
+        flag.store(true, Ordering::SeqCst);
+        pair.1.notify_all();
+        waiter.join().unwrap();
+    }));
+}
+
+#[test]
+fn passes_condvar_handshake() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut g = lock.lock().unwrap();
+                while !*g {
+                    g = cv.wait(g).unwrap();
+                }
+            })
+        };
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+    });
+}
+
+#[test]
+fn timed_wait_recovers_from_lost_wakeup() {
+    // Same planted lost-wakeup as above, but with `wait_timeout`: when
+    // nothing else is runnable the scheduler force-fires the timeout, so
+    // the waiter re-checks the flag and terminates. No schedule may fail.
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut g = lock.lock().unwrap();
+                while !*g {
+                    let (back, _timed_out) = cv
+                        .wait_timeout(g, std::time::Duration::from_millis(1))
+                        .unwrap();
+                    g = back;
+                }
+            })
+        };
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+    });
+}
+
+#[test]
+fn propagates_child_panic_through_join() {
+    assert!(model_fails(|| {
+        let h = loom::thread::spawn(|| panic!("child boom"));
+        h.join().unwrap();
+    }));
+}
+
+#[test]
+fn shadow_types_fall_back_to_std_outside_models() {
+    // No model running here: every shadow type must behave like std.
+    let n = AtomicUsize::new(1);
+    assert_eq!(n.fetch_add(2, Ordering::Relaxed), 1);
+    assert_eq!(n.load(Ordering::Acquire), 3);
+
+    let m = Mutex::new(5u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+
+    let h = loom::thread::spawn(|| 42);
+    assert_eq!(h.join().unwrap(), 42);
+}
