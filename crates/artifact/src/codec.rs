@@ -1,0 +1,198 @@
+//! Little-endian byte codec and the FNV-1a checksum shared by the header
+//! and section encoders.
+
+use crate::ArtifactError;
+
+/// FNV-1a, 64-bit: the artifact's section and header checksum. Chosen for
+/// determinism, zero dependencies, and speed — this is an integrity check
+/// against truncation and bit rot, not an adversarial MAC.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip,
+    /// including signed zero and infinities).
+    pub fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Consumes the writer into its buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian decoder over a byte slice; every read
+/// returns [`ArtifactError::Truncated`] with the caller's context when the
+/// slice runs out.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], ArtifactError> {
+        if self.remaining() < n {
+            return Err(ArtifactError::Truncated { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, ArtifactError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, ArtifactError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, ArtifactError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, ArtifactError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` bit pattern, rejecting NaN — no field of the format
+    /// admits one, and letting a NaN through would poison every time
+    /// comparison downstream.
+    pub fn f64_bits(&mut self, context: &'static str) -> Result<f64, ArtifactError> {
+        let v = f64::from_bits(self.u64(context)?);
+        if v.is_nan() {
+            return Err(ArtifactError::Corrupt {
+                context: "NaN time value",
+            });
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.f64_bits(-0.0);
+        w.f64_bits(f64::INFINITY);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 300);
+        assert_eq!(r.u32("c").unwrap(), 70_000);
+        assert_eq!(r.u64("d").unwrap(), 1 << 40);
+        assert_eq!(r.f64_bits("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64_bits("f").unwrap(), f64::INFINITY);
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(
+            r.u8("g"),
+            Err(ArtifactError::Truncated { context: "g" })
+        ));
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let mut w = Writer::new();
+        w.u64(f64::NAN.to_bits());
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.f64_bits("t"),
+            Err(ArtifactError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

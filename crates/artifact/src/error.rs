@@ -1,0 +1,106 @@
+//! The typed rejection vocabulary of the artifact layer.
+
+use omnet_core::ProfilePartsError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why an artifact could not be written, read, or trusted.
+///
+/// Every load-path failure is one of these — a corrupted, truncated, or
+/// version-bumped artifact is always rejected with a variant naming the
+/// first violated check, never decoded into garbage profiles.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The underlying file operation failed.
+    Io {
+        /// What the operation was trying to do.
+        context: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the `OMNPROF1` magic.
+    BadMagic {
+        /// The first eight bytes found instead.
+        found: [u8; 8],
+    },
+    /// The file's format version is not the one this build reads.
+    UnsupportedVersion {
+        /// Version the file claims.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The file ended before a field could be read.
+    Truncated {
+        /// The field or section being read.
+        context: &'static str,
+    },
+    /// A stored checksum does not match the bytes it covers.
+    ChecksumMismatch {
+        /// The header or section that failed.
+        what: &'static str,
+    },
+    /// A field decoded to a value the format forbids.
+    Corrupt {
+        /// The violated constraint.
+        context: &'static str,
+    },
+    /// Shards of one set disagree (metadata, options, ranges, or count).
+    SetInconsistent {
+        /// The disagreement found.
+        context: String,
+    },
+    /// The decoded profile data failed the engine's frontier validation.
+    InvalidProfile(ProfilePartsError),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io {
+                context,
+                path,
+                source,
+            } => write!(f, "{context} {}: {source}", path.display()),
+            ArtifactError::BadMagic { found } => {
+                write!(f, "not a profile artifact (magic {found:02x?})")
+            }
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "artifact format version {found} unsupported (this build reads {supported})"
+                )
+            }
+            ArtifactError::Truncated { context } => {
+                write!(f, "artifact truncated while reading {context}")
+            }
+            ArtifactError::ChecksumMismatch { what } => {
+                write!(f, "artifact {what} checksum mismatch")
+            }
+            ArtifactError::Corrupt { context } => write!(f, "artifact corrupt: {context}"),
+            ArtifactError::SetInconsistent { context } => {
+                write!(f, "artifact set inconsistent: {context}")
+            }
+            ArtifactError::InvalidProfile(e) => write!(f, "artifact profile data invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io { source, .. } => Some(source),
+            ArtifactError::InvalidProfile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProfilePartsError> for ArtifactError {
+    fn from(e: ProfilePartsError) -> ArtifactError {
+        ArtifactError::InvalidProfile(e)
+    }
+}

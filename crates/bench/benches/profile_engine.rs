@@ -215,10 +215,12 @@ fn run_gate() {
             trace.num_contacts(),
         ));
     }
+    let threads = omnet_analysis::executor::global().threads();
     let json = format!(
         "{{\n  \"pr\": 2,\n  \"bench\": \"profile_engine\",\n  \
          \"metric\": \"AllPairsProfiles::compute wall-clock, best of {reps}, \
          default options (TimeIndexed + Deltas) vs frozen pre-PR inner loop\",\n  \
+         \"threads\": {threads},\n  \
          \"presets\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );

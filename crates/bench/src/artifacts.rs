@@ -1,0 +1,160 @@
+//! Substrate-fed artifact precomputation.
+//!
+//! The harness side of `omnet precompute`: benchmarks and experiments that
+//! want persisted profile artifacts go through [`precompute_substrate`],
+//! which draws the trace from the process-wide [`substrate`](crate::substrate)
+//! cache instead of re-generating it. Precomputing the same `(dataset, span,
+//! seed, transform)` twice therefore generates the mobility trace once; only
+//! the §4.4 induction and the artifact encode repeat.
+//!
+//! The dataset key written into the artifacts is canonical in the substrate
+//! key (e.g. `infocom06/days2/seed7/internalfinalday`), so a loaded set can
+//! be traced back to the exact substrate that produced it.
+
+use crate::substrate::{substrate, Span, Transform};
+use omnet_artifact::{write_set, ArtifactError, ArtifactMeta};
+use omnet_core::{AllPairsProfiles, ProfileOptions};
+use omnet_mobility::Dataset;
+use std::path::{Path, PathBuf};
+
+/// A freshly written artifact set: where the shards live and the metadata
+/// stamped into each of them.
+#[derive(Debug, Clone)]
+pub struct PrecomputedSet {
+    /// Metadata every shard carries (dataset key, node counts, window,
+    /// options fingerprint source).
+    pub meta: ArtifactMeta,
+    /// Shard files, ascending by shard index.
+    pub paths: Vec<PathBuf>,
+}
+
+/// The canonical dataset key for a substrate, stable across runs.
+pub fn substrate_key(dataset: Dataset, span: Span, seed: u64, transform: Transform) -> String {
+    let span = match span {
+        Span::Days(d) => format!("days{d}"),
+        Span::Full => "full".to_string(),
+    };
+    format!(
+        "{:?}/{span}/seed{seed}/{}",
+        dataset,
+        format!("{transform:?}").to_lowercase()
+    )
+    .to_lowercase()
+}
+
+/// Runs the all-pairs induction over a cached substrate and persists the
+/// rows as `shards` artifact files under `dir` (stem `profiles`, same
+/// naming scheme as `omnet precompute`).
+///
+/// The trace comes from the substrate cache, so interleaving this with
+/// experiments that analyze the same substrate shares one `Arc<Trace>`.
+pub fn precompute_substrate(
+    dataset: Dataset,
+    span: Span,
+    seed: u64,
+    transform: Transform,
+    opts: ProfileOptions,
+    dir: &Path,
+    shards: u32,
+) -> Result<PrecomputedSet, ArtifactError> {
+    let trace = substrate(dataset, span, seed, transform);
+    let meta = ArtifactMeta {
+        dataset_key: substrate_key(dataset, span, seed, transform),
+        num_nodes: trace.num_nodes(),
+        num_internal: trace.num_internal(),
+        window: trace.span(),
+        options: opts,
+    };
+    let rows = AllPairsProfiles::compute(&trace, opts).into_rows();
+    let paths = write_set(dir, "profiles", &meta, &rows, shards)?;
+    Ok(PrecomputedSet { meta, paths })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnet_serve::{Engine, Query};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock before epoch")
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!("omnet-bench-art-{tag}-{nanos}"));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn precompute_reuses_the_substrate_cache() {
+        let dir_a = temp_dir("a");
+        let dir_b = temp_dir("b");
+        let opts = ProfileOptions::default();
+        let seed = 424_242;
+        let a = precompute_substrate(
+            Dataset::Infocom05,
+            Span::Days(0.2),
+            seed,
+            Transform::InternalOnly,
+            opts,
+            &dir_a,
+            3,
+        )
+        .expect("first precompute");
+        let before = crate::substrate::cache_stats();
+        let b = precompute_substrate(
+            Dataset::Infocom05,
+            Span::Days(0.2),
+            seed,
+            Transform::InternalOnly,
+            opts,
+            &dir_b,
+            3,
+        )
+        .expect("second precompute");
+        let after = crate::substrate::cache_stats();
+        // The second run must not have rebuilt the trace.
+        assert_eq!(after.builds, before.builds);
+        assert!(after.hits > before.hits);
+        assert_eq!(a.meta, b.meta);
+        assert_eq!(a.paths.len(), 3);
+        for dir in [&dir_a, &dir_b] {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn precomputed_set_answers_like_the_trace() {
+        let dir = temp_dir("q");
+        let opts = ProfileOptions::default();
+        let set = precompute_substrate(
+            Dataset::Infocom05,
+            Span::Days(0.2),
+            7,
+            Transform::InternalOnly,
+            opts,
+            &dir,
+            2,
+        )
+        .expect("precompute");
+        let trace = substrate(
+            Dataset::Infocom05,
+            Span::Days(0.2),
+            7,
+            Transform::InternalOnly,
+        );
+        let from_disk = Engine::load_dir(&dir).expect("load artifacts");
+        let direct = Engine::from_trace(trace, opts, &set.meta.dataset_key);
+        let q = Query::Diameter {
+            eps: 0.05,
+            max_hops: 6,
+            internal_only: true,
+        };
+        assert_eq!(
+            from_disk.answer(&q).expect("disk answer"),
+            direct.answer(&q).expect("direct answer"),
+            "artifact-backed diameter must match the in-memory engine"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -35,6 +35,58 @@ pub enum Command {
     Components(ComponentsArgs),
     /// `omnet check <trace> [--oracle] [--starts N]`
     Check(CheckArgs),
+    /// `omnet delivery <trace> <src> <dst> <t> [--hops K]`
+    Delivery(DeliveryArgs),
+    /// `omnet precompute <trace> <outdir> [--shards N] [...]`
+    Precompute(PrecomputeArgs),
+    /// `omnet query <artifacts> (<query...> | --stdin) [--trace FILE]`
+    Query(QueryArgs),
+}
+
+/// Arguments of `omnet delivery`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+    /// Message creation time, seconds.
+    pub at: f64,
+    /// Optional hop budget (`None` = unlimited flooding).
+    pub hops: Option<usize>,
+}
+
+/// Arguments of `omnet precompute`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecomputeArgs {
+    /// Trace file.
+    pub trace: PathBuf,
+    /// Directory to write `*.omna` shards into.
+    pub outdir: PathBuf,
+    /// Number of source-range shards.
+    pub shards: u32,
+    /// Override of `ProfileOptions::store_levels`.
+    pub store_levels: Option<usize>,
+    /// Override of `ProfileOptions::max_levels`.
+    pub max_levels: Option<usize>,
+    /// Dataset key recorded in the artifact headers (defaults to the trace
+    /// file name).
+    pub dataset_key: Option<String>,
+}
+
+/// Arguments of `omnet query`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// Directory holding the `*.omna` artifact shards.
+    pub artifacts: PathBuf,
+    /// One inline query, tokenized (empty with `--stdin`).
+    pub tokens: Vec<String>,
+    /// Read one query per line from stdin instead.
+    pub stdin: bool,
+    /// Optional source trace, enabling concrete `path` routes.
+    pub trace: Option<PathBuf>,
 }
 
 /// Arguments of `omnet flood`.
@@ -260,9 +312,49 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
                 trace: trace.into(),
                 src: src.parse().map_err(|_| CliError::parse("invalid src id"))?,
                 dst: dst.parse().map_err(|_| CliError::parse("invalid dst id"))?,
-                start: start
-                    .parse()
-                    .map_err(|_| CliError::parse("invalid start time"))?,
+                start: parse_secs(&start, "invalid start time")?,
+            })
+        }
+        "delivery" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let [trace, src, dst, at] =
+                positional::<4>(&pos, "delivery <trace> <src> <dst> <at-secs> [--hops K]")?;
+            Command::Delivery(DeliveryArgs {
+                trace: trace.into(),
+                src: src.parse().map_err(|_| CliError::parse("invalid src id"))?,
+                dst: dst.parse().map_err(|_| CliError::parse("invalid dst id"))?,
+                at: parse_secs(&at, "invalid creation time")?,
+                hops: flag_value(&flags, "--hops")?,
+            })
+        }
+        "precompute" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let [trace, outdir] = positional::<2>(
+                &pos,
+                "precompute <trace> <outdir> [--shards N] [--store-levels K] \
+                 [--max-levels K] [--dataset-key S]",
+            )?;
+            Command::Precompute(PrecomputeArgs {
+                trace: trace.into(),
+                outdir: outdir.into(),
+                shards: flag_value(&flags, "--shards")?.unwrap_or(1),
+                store_levels: flag_value(&flags, "--store-levels")?,
+                max_levels: flag_value(&flags, "--max-levels")?,
+                dataset_key: flag_str(&flags, "--dataset-key").map(String::from),
+            })
+        }
+        "query" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let Some((artifacts, tokens)) = pos.split_first() else {
+                return Err(CliError::usage(
+                    "expected: omnet query <artifacts> (<query...> | --stdin) [--trace FILE]",
+                ));
+            };
+            Command::Query(QueryArgs {
+                artifacts: (*artifacts).into(),
+                tokens: tokens.iter().map(|s| s.to_string()).collect(),
+                stdin: flags.iter().any(|(k, _)| *k == "--stdin"),
+                trace: flag_str(&flags, "--trace").map(PathBuf::from),
             })
         }
         "prune" => {
@@ -351,7 +443,7 @@ fn split_flags<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, ParsedFlags<'a>), 
     while i < rest.len() {
         let a = rest[i];
         if a.starts_with("--") {
-            let takes_value = !matches!(a, "--internal-only" | "--oracle");
+            let takes_value = !matches!(a, "--internal-only" | "--oracle" | "--stdin");
             if takes_value {
                 let v = rest
                     .get(i + 1)
@@ -369,6 +461,15 @@ fn split_flags<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, ParsedFlags<'a>), 
         }
     }
     Ok((pos, flags))
+}
+
+/// Parses a seconds value, rejecting NaN (`Time::secs` would panic on it
+/// deep inside a command otherwise).
+fn parse_secs(tok: &str, message: &str) -> Result<f64, CliError> {
+    match tok.parse::<f64>() {
+        Ok(v) if !v.is_nan() => Ok(v),
+        _ => Err(CliError::parse(message)),
+    }
 }
 
 fn positional<const N: usize>(args: &[&str], usage: &str) -> Result<[String; N], CliError> {
@@ -506,6 +607,74 @@ mod tests {
             panic!()
         };
         assert_eq!(a.at, 3600.0);
+    }
+
+    #[test]
+    fn delivery_parses_with_optional_hops() {
+        let ParsedArgs::Run(Command::Delivery(a)) =
+            parse(&argv("delivery t.trace 0 3 120 --hops 2")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((a.src, a.dst, a.at, a.hops), (0, 3, 120.0, Some(2)));
+        let ParsedArgs::Run(Command::Delivery(a)) =
+            parse(&argv("delivery t.trace 0 3 120")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.hops, None);
+    }
+
+    #[test]
+    fn precompute_parses_knobs() {
+        let ParsedArgs::Run(Command::Precompute(a)) = parse(&argv(
+            "precompute t.trace out --shards 4 --store-levels 6 --dataset-key infocom05",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.shards, 4);
+        assert_eq!(a.store_levels, Some(6));
+        assert_eq!(a.max_levels, None);
+        assert_eq!(a.dataset_key.as_deref(), Some("infocom05"));
+        let ParsedArgs::Run(Command::Precompute(d)) =
+            parse(&argv("precompute t.trace out")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(d.shards, 1);
+    }
+
+    #[test]
+    fn query_forms_parse() {
+        let ParsedArgs::Run(Command::Query(a)) =
+            parse(&argv("query shards delivery 0 3 120")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.artifacts, PathBuf::from("shards"));
+        assert_eq!(a.tokens, vec!["delivery", "0", "3", "120"]);
+        assert!(!a.stdin && a.trace.is_none());
+        let ParsedArgs::Run(Command::Query(b)) =
+            parse(&argv("query shards --stdin --trace t.trace")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(b.stdin && b.tokens.is_empty());
+        assert_eq!(b.trace, Some(PathBuf::from("t.trace")));
+        assert!(parse(&argv("query")).is_err());
+    }
+
+    #[test]
+    fn nan_times_are_parse_errors() {
+        assert!(matches!(
+            parse(&argv("path t.trace 0 1 nan")).unwrap_err(),
+            CliError::Parse(_)
+        ));
+        assert!(matches!(
+            parse(&argv("delivery t.trace 0 1 nan")).unwrap_err(),
+            CliError::Parse(_)
+        ));
     }
 
     #[test]

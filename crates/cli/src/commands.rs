@@ -8,16 +8,20 @@
 
 use crate::args::*;
 use crate::error::CliError;
+use crate::render;
+use omnet_artifact::{write_set, ArtifactError, ArtifactMeta};
 use omnet_core::{
-    earliest_arrival, optimal_journeys, route_string, AllPairsProfiles, CurveOptions, HopBound,
-    ProfileOptions, SuccessCurves,
+    optimal_journeys, route_string, AllPairsProfiles, CurveOptions, HopBound, ProfileOptions,
+    SuccessCurves,
 };
 use omnet_flooding::{flood, simulate, uniform_workload, Routing, SimConfig};
 use omnet_mobility::Dataset;
+use omnet_serve::{Engine, Query, QueryError};
 use omnet_temporal::stats::TraceStats;
 use omnet_temporal::{io, transform, Dur, NodeId, Time, Trace};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 fn load(path: &Path) -> Result<Trace, CliError> {
     io::load(path).map_err(|e| CliError::io("cannot read trace", path, e))
@@ -25,6 +29,35 @@ fn load(path: &Path) -> Result<Trace, CliError> {
 
 fn save(trace: &Trace, path: &Path) -> Result<(), CliError> {
     io::save(trace, path).map_err(|e| CliError::io("cannot write trace", path, e))
+}
+
+/// Dataset label used when wrapping a trace in an engine: its file name.
+fn trace_key(path: &Path) -> String {
+    path.file_name()
+        .map_or_else(|| "trace".into(), |s| s.to_string_lossy().into_owned())
+}
+
+/// Maps artifact failures onto the CLI's exit-code taxonomy: underlying
+/// file-system errors stay I/O errors, every integrity rejection (bad
+/// magic, checksum, version) is a domain error.
+fn artifact_err(e: ArtifactError) -> CliError {
+    match e {
+        ArtifactError::Io {
+            context,
+            path,
+            source,
+        } => CliError::io(context, &path, io::IoError::Io(source)),
+        other => CliError::domain(format!("artifact: {other}")),
+    }
+}
+
+/// Maps typed query failures: syntax to parse errors, everything else to
+/// domain errors.
+fn query_err(e: QueryError) -> CliError {
+    match e {
+        QueryError::Parse { message } => CliError::parse(message),
+        other => CliError::domain(other.to_string()),
+    }
 }
 
 /// `omnet stats`.
@@ -127,60 +160,27 @@ pub fn generate(a: &GenerateArgs) -> Result<String, CliError> {
     ))
 }
 
-/// `omnet diameter`.
+/// `omnet diameter`: routed through the typed query engine (trace-backed).
 pub fn diameter(a: &DiameterArgs) -> Result<String, CliError> {
-    if !(0.0..1.0).contains(&a.eps) {
-        return Err(CliError::domain("--eps must lie in [0, 1)"));
-    }
-    if a.max_hops == 0 {
-        return Err(CliError::domain("--max-hops must be positive"));
-    }
     let trace = load(&a.trace)?;
     let trace = if a.internal_only {
         transform::internal_only(&trace)
     } else {
         trace
     };
-    let horizon = trace.span().duration().as_secs().max(240.0);
-    let grid: Vec<Dur> = omnet_analysis::log_grid(120.0_f64.min(horizon / 2.0), horizon, 16)
-        .into_iter()
-        .map(Dur::secs)
-        .collect();
-    let mut opts = CurveOptions::standard(a.max_hops, grid);
-    opts.internal_pairs_only = a.internal_only;
-    let curves = SuccessCurves::compute(&trace, &opts);
-    let mut out = String::new();
-    match curves.diameter(a.eps) {
-        Some(d) => {
-            let _ = writeln!(
-                out,
-                "(1-{})-diameter: {d} hops  (over {} ordered pairs, delays {} to {})",
-                a.eps,
-                curves.pairs(),
-                curves.grid()[0],
-                curves.grid()[curves.grid().len() - 1]
-            );
-        }
-        None => {
-            let _ = writeln!(
-                out,
-                "(1-{})-diameter exceeds {} hops; raise --max-hops",
-                a.eps, a.max_hops
-            );
-        }
-    }
-    // per-delay diameter summary (Fig-12 style)
-    let per_delay = curves.diameter_curve(a.eps);
-    let _ = writeln!(out, "\ndiameter per delay constraint:");
-    for (x, d) in curves.grid().iter().zip(per_delay) {
-        let _ = writeln!(
-            out,
-            "  {:>10}  {}",
-            x.to_string(),
-            d.map_or("-".into(), |v| v.to_string())
-        );
-    }
-    Ok(out)
+    let engine = Engine::from_trace(
+        Arc::new(trace),
+        ProfileOptions::default(),
+        &trace_key(&a.trace),
+    );
+    let resp = engine
+        .answer(&Query::Diameter {
+            eps: a.eps,
+            max_hops: a.max_hops,
+            internal_only: a.internal_only,
+        })
+        .map_err(query_err)?;
+    Ok(render::response(&resp))
 }
 
 /// `omnet cdf`.
@@ -222,52 +222,147 @@ pub fn cdf(a: &CdfArgs) -> Result<String, CliError> {
     Ok(series.render())
 }
 
-/// `omnet path`.
+/// `omnet path`: routed through the typed query engine (trace-backed, so
+/// the concrete contact chain is reconstructed).
 pub fn path(a: &PathArgs) -> Result<String, CliError> {
     let trace = load(&a.trace)?;
-    let n = trace.num_nodes();
-    if a.src >= n || a.dst >= n {
-        return Err(CliError::domain(format!("node ids must be below {n}")));
+    let engine = Engine::from_trace(
+        Arc::new(trace),
+        ProfileOptions::default(),
+        &trace_key(&a.trace),
+    );
+    let resp = engine
+        .answer(&Query::Path {
+            src: a.src,
+            dst: a.dst,
+            at: Time::secs(a.start),
+        })
+        .map_err(query_err)?;
+    Ok(render::response(&resp))
+}
+
+/// `omnet delivery`: one delivery-function lookup through the engine.
+pub fn delivery(a: &DeliveryArgs) -> Result<String, CliError> {
+    let trace = load(&a.trace)?;
+    let engine = Engine::from_trace(
+        Arc::new(trace),
+        ProfileOptions::default(),
+        &trace_key(&a.trace),
+    );
+    let resp = engine
+        .answer(&Query::Delivery {
+            src: a.src,
+            dst: a.dst,
+            at: Time::secs(a.at),
+            bound: a.hops.map_or(HopBound::Unlimited, HopBound::AtMost),
+        })
+        .map_err(query_err)?;
+    Ok(render::response(&resp))
+}
+
+/// `omnet precompute`: trace → sharded profile artifacts on disk.
+pub fn precompute(a: &PrecomputeArgs) -> Result<String, CliError> {
+    if a.shards == 0 {
+        return Err(CliError::domain("--shards must be positive"));
     }
-    if a.src == a.dst {
-        return Err(CliError::domain("source equals destination"));
+    let trace = load(&a.trace)?;
+    let mut b = ProfileOptions::builder();
+    if let Some(k) = a.store_levels {
+        b = b.store_levels(k);
     }
-    let t0 = Time::secs(a.start);
-    let tree = earliest_arrival(&trace, NodeId(a.src), t0);
-    let mut out = String::new();
-    match tree.path_to(&trace, NodeId(a.dst)) {
-        None => {
-            let _ = writeln!(
-                out,
-                "no path from {} to {} for a message created at {}",
-                a.src, a.dst, t0
-            );
+    if let Some(k) = a.max_levels {
+        b = b.max_levels(k);
+    }
+    let opts = b.build();
+    let meta = ArtifactMeta {
+        dataset_key: a.dataset_key.clone().unwrap_or_else(|| trace_key(&a.trace)),
+        num_nodes: trace.num_nodes(),
+        num_internal: trace.num_internal(),
+        window: trace.span(),
+        options: opts,
+    };
+    let rows = AllPairsProfiles::compute(&trace, opts).into_rows();
+    let paths = write_set(&a.outdir, "profiles", &meta, &rows, a.shards).map_err(artifact_err)?;
+    Ok(format!(
+        "precomputed {} source rows ({} stored hop classes) into {} shard(s) under {}\n",
+        rows.len(),
+        opts.store_levels,
+        paths.len(),
+        a.outdir.display()
+    ))
+}
+
+/// `omnet query`: loads an artifact set and answers one inline query or a
+/// stdin batch, never re-running the profile induction.
+pub fn query(a: &QueryArgs) -> Result<String, CliError> {
+    let mut engine = Engine::load_dir(&a.artifacts).map_err(artifact_err)?;
+    if let Some(tp) = &a.trace {
+        let trace = load(tp)?;
+        engine = engine.with_trace(Arc::new(trace)).map_err(artifact_err)?;
+    }
+    if a.stdin {
+        if !a.tokens.is_empty() {
+            return Err(CliError::usage(
+                "--stdin and an inline query are mutually exclusive",
+            ));
         }
-        Some(p) => {
-            let arrival = tree.arrival(NodeId(a.dst));
-            let _ = writeln!(
-                out,
-                "earliest arrival: {} (delay {}), {} hops",
-                arrival,
-                arrival.since(t0),
-                p.hops()
-            );
-            let times = p.schedule(t0).expect("witness path is schedulable");
-            for (i, (c, at)) in p.contacts().iter().zip(times).enumerate() {
-                let _ = writeln!(
-                    out,
-                    "  hop {:>2}: {} -> {}  via contact [{} .. {}]  at {}",
-                    i + 1,
-                    p.nodes()[i],
-                    p.nodes()[i + 1],
-                    c.start(),
-                    c.end(),
-                    at
-                );
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut text).map_err(|e| {
+            CliError::io(
+                "cannot read queries",
+                Path::new("<stdin>"),
+                io::IoError::Io(e),
+            )
+        })?;
+        return Ok(query_batch(&engine, &text));
+    }
+    if a.tokens.is_empty() {
+        return Err(CliError::usage(
+            "expected a query (delivery|path|diameter|stats) or --stdin",
+        ));
+    }
+    let tokens: Vec<&str> = a.tokens.iter().map(String::as_str).collect();
+    let q = Query::parse_tokens(&tokens).map_err(query_err)?;
+    let resp = engine.answer(&q).map_err(query_err)?;
+    Ok(render::response(&resp))
+}
+
+/// Answers one query per line through the engine's executor-batched path,
+/// preserving line order. Failed lines render as `error: …` without
+/// aborting the batch.
+pub fn query_batch(engine: &Engine, text: &str) -> String {
+    enum Slot {
+        Answer(usize),
+        Bad(QueryError),
+    }
+    let mut queries = Vec::new();
+    let mut slots = Vec::new();
+    for line in text.lines() {
+        match Query::parse_line(line) {
+            Ok(None) => {}
+            Ok(Some(q)) => {
+                slots.push(Slot::Answer(queries.len()));
+                queries.push(q);
+            }
+            Err(e) => slots.push(Slot::Bad(e)),
+        }
+    }
+    let answers = engine.answer_batch(&queries);
+    let mut out = String::new();
+    for slot in slots {
+        match slot {
+            Slot::Answer(i) => match &answers[i] {
+                Ok(r) => out.push_str(&render::response(r)),
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                }
+            },
+            Slot::Bad(e) => {
+                let _ = writeln!(out, "error: {e}");
             }
         }
     }
-    Ok(out)
+    out
 }
 
 /// `omnet prune`.
@@ -836,6 +931,184 @@ mod tests {
         .unwrap();
         assert!(out.contains("snapshot at"), "{out}");
         assert!(out.contains("component"));
+    }
+
+    #[test]
+    fn delivery_reports_arrival_and_unreachable() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let out = delivery(&DeliveryArgs {
+            trace: p.clone(),
+            src: 0,
+            dst: 3,
+            at: 0.0,
+            hops: None,
+        })
+        .unwrap();
+        assert!(out.contains("delivery 0 -> 3"), "{out}");
+        assert!(out.contains("arrives"), "{out}");
+        let out = delivery(&DeliveryArgs {
+            trace: p,
+            src: 3,
+            dst: 1,
+            at: 900.0,
+            hops: Some(1),
+        })
+        .unwrap();
+        assert!(out.contains("unreachable"), "{out}");
+    }
+
+    fn precomputed_dir(trace: &Path, shards: u32) -> std::path::PathBuf {
+        let out = tempdir().join(format!(
+            "art-{shards}-{}",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let msg = precompute(&PrecomputeArgs {
+            trace: trace.to_path_buf(),
+            outdir: out.clone(),
+            shards,
+            store_levels: None,
+            max_levels: None,
+            dataset_key: Some("toy".into()),
+        })
+        .unwrap();
+        assert!(msg.contains("precomputed 4 source rows"), "{msg}");
+        out
+    }
+
+    #[test]
+    fn precompute_then_query_matches_direct_commands() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let art = precomputed_dir(&p, 2);
+        let q = |tokens: &[&str], trace: Option<&Path>| {
+            query(&QueryArgs {
+                artifacts: art.clone(),
+                tokens: tokens.iter().map(|s| s.to_string()).collect(),
+                stdin: false,
+                trace: trace.map(Path::to_path_buf),
+            })
+            .unwrap()
+        };
+        // Diameter answered from artifacts must equal the direct command.
+        let direct = diameter(&DiameterArgs {
+            trace: p.clone(),
+            eps: 0.01,
+            max_hops: 6,
+            internal_only: false,
+        })
+        .unwrap();
+        assert_eq!(q(&["diameter", "0.01", "6"], None), direct);
+        // Delivery likewise.
+        let direct = delivery(&DeliveryArgs {
+            trace: p.clone(),
+            src: 0,
+            dst: 3,
+            at: 0.0,
+            hops: Some(2),
+        })
+        .unwrap();
+        assert_eq!(q(&["delivery", "0", "3", "0", "2"], None), direct);
+        // Path with the trace attached reproduces the route byte-for-byte.
+        let direct = path(&PathArgs {
+            trace: p.clone(),
+            src: 0,
+            dst: 3,
+            start: 0.0,
+        })
+        .unwrap();
+        assert_eq!(q(&["path", "0", "3", "0"], Some(&p)), direct);
+        // Without the trace the same arrival is reported, route omitted.
+        let routeless = q(&["path", "0", "3", "0"], None);
+        assert!(routeless.contains("earliest arrival"), "{routeless}");
+        assert!(!routeless.contains("via contact"), "{routeless}");
+        // Stats describes the loaded set.
+        let stats = q(&["stats"], None);
+        assert!(stats.contains("dataset:            toy"), "{stats}");
+        assert!(stats.contains("shards loaded:      2"), "{stats}");
+    }
+
+    #[test]
+    fn query_batch_preserves_order_and_survives_bad_lines() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let art = precomputed_dir(&p, 3);
+        let engine = Engine::load_dir(&art).unwrap();
+        let out = query_batch(
+            &engine,
+            "# header comment\n\
+             delivery 0 3 0\n\
+             \n\
+             bogus query\n\
+             delivery 0 99 0\n\
+             path 1 3 0\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("delivery 0 -> 3"), "{out}");
+        assert!(lines[1].starts_with("error: query syntax"), "{out}");
+        assert!(lines[2].starts_with("error: node 99 out of range"), "{out}");
+        assert!(lines[3].starts_with("earliest arrival"), "{out}");
+    }
+
+    #[test]
+    fn query_rejects_conflicting_modes_and_bad_input() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let art = precomputed_dir(&p, 1);
+        let err = query(&QueryArgs {
+            artifacts: art.clone(),
+            tokens: vec![],
+            stdin: false,
+            trace: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = query(&QueryArgs {
+            artifacts: art,
+            tokens: vec!["frobnicate".into()],
+            stdin: false,
+            trace: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)), "{err}");
+        // A missing artifact directory is an I/O error (exit 5), not a panic.
+        let err = query(&QueryArgs {
+            artifacts: dir.join("no-such-artifacts"),
+            tokens: vec!["stats".into()],
+            stdin: false,
+            trace: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupted_artifact_is_a_typed_cli_error() {
+        let dir = tempdir();
+        let p = toy_trace_file(&dir);
+        let art = precomputed_dir(&p, 1);
+        let shard = std::fs::read_dir(&art)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&shard).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&shard, &bytes).unwrap();
+        let err = query(&QueryArgs {
+            artifacts: art,
+            tokens: vec!["stats".into()],
+            stdin: false,
+            trace: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Domain(_)), "{err}");
+        assert!(err.to_string().contains("artifact:"), "{err}");
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! omnet simulate  <trace> [...]                 buffered multi-message DTN simulation
 //! omnet components <trace> <t>                  contemporaneous connectivity snapshot
 //! omnet check     <trace> [--oracle]            structural invariants + differential oracles
+//! omnet delivery  <trace> <src> <dst> <t>       earliest delivery under a hop budget
+//! omnet precompute <trace> <outdir> [...]       trace -> sharded profile artifacts
+//! omnet query     <artifacts> [...]             typed queries over persisted artifacts
 //! ```
 
 #![forbid(unsafe_code)]
@@ -25,6 +28,7 @@
 pub mod args;
 pub mod commands;
 pub mod error;
+pub mod render;
 
 pub use args::{parse, Command, ParsedArgs};
 pub use error::CliError;
@@ -44,6 +48,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Simulate(a) => commands::simulate_cmd(&a),
         Command::Components(a) => commands::components(&a),
         Command::Check(a) => commands::check(&a),
+        Command::Delivery(a) => commands::delivery(&a),
+        Command::Precompute(a) => commands::precompute(&a),
+        Command::Query(a) => commands::query(&a),
     }
 }
 
@@ -67,6 +74,12 @@ USAGE:
                  [--buffer B] [--ttl-hops K] [--seed N]
   omnet components <trace> <t-secs>
   omnet check    <trace> [--oracle] [--starts N]
+  omnet delivery <trace> <src> <dst> <at-secs> [--hops K]
+  omnet precompute <trace> <outdir> [--shards N] [--store-levels K]
+                 [--max-levels K] [--dataset-key S]
+  omnet query    <artifacts> (<query...> | --stdin) [--trace FILE]
+                 queries: delivery <s> <d> <t> [K] | path <s> <d> <t>
+                          | diameter [eps [K]] [internal] | stats
 
 Traces are plain text: optional `# nodes/internal/window` headers, then one
 `a b start end` row per contact; `convert` also accepts Haggle/CRAWDAD-style

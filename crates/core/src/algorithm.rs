@@ -36,12 +36,14 @@
 
 use crate::delivery::{self, DeliveryFunction};
 use omnet_obs::Counter;
-use omnet_temporal::{Interval, LdEa, NodeId, Trace};
+use omnet_temporal::{invariant, Interval, LdEa, NodeId, Trace};
 use std::borrow::Cow;
+use std::fmt;
+use std::ops::Range;
 
 // Engine telemetry: always-on `omnet_obs` counters, accumulated in plain
-// locals inside [`SourceProfiles::compute_with`] and flushed with one
-// relaxed `fetch_add` each per source — the per-(pair, arc) hot path pays
+// locals inside the induction body and flushed with one relaxed
+// `fetch_add` each per source — the per-(pair, arc) hot path pays
 // nothing. Per-level `engine.level` events are additionally emitted when a
 // trace sink is enabled.
 /// Sources whose §4.4 induction ran to completion.
@@ -305,9 +307,9 @@ pub struct SourceProfiles {
 impl SourceProfiles {
     /// Runs the §4.4 induction for one source with a private scratch.
     ///
-    /// Batch callers (all sources, many traces) should prefer
-    /// [`SourceProfiles::compute_with`] and reuse one [`ProfileScratch`]
-    /// per thread.
+    /// Batch callers (many sources on one trace) should prefer
+    /// [`AllPairsProfiles::compute_range`], which parallelizes across
+    /// sources and pools one [`ProfileScratch`] per worker thread.
     pub fn compute(
         trace: &Trace,
         arcs: &Arcs,
@@ -315,17 +317,33 @@ impl SourceProfiles {
         opts: ProfileOptions,
     ) -> SourceProfiles {
         let mut scratch = ProfileScratch::default();
-        SourceProfiles::compute_with(trace, arcs, source, opts, &mut scratch)
+        SourceProfiles::induct(trace, arcs, source, opts, &mut scratch)
     }
 
     /// Runs the §4.4 induction for one source, reusing `scratch`'s buffers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "scratch pooling is an engine detail now; use `SourceProfiles::compute` \
+                for one source or `AllPairsProfiles::compute_range` for a batch"
+    )]
+    pub fn compute_with(
+        trace: &Trace,
+        arcs: &Arcs,
+        source: NodeId,
+        opts: ProfileOptions,
+        scratch: &mut ProfileScratch,
+    ) -> SourceProfiles {
+        SourceProfiles::induct(trace, arcs, source, opts, scratch)
+    }
+
+    /// The induction body shared by every public entry point.
     ///
     /// The hot path is allocation-free in the steady state: candidate
     /// summaries are appended to pooled per-destination buffers
     /// ([`DeliveryFunction::extend_into`]), deltas are compacted in place,
     /// and — under [`LevelStorage::Deltas`] — no per-level frontier clones
     /// are taken.
-    pub fn compute_with(
+    fn induct(
         trace: &Trace,
         arcs: &Arcs,
         source: NodeId,
@@ -585,7 +603,287 @@ impl SourceProfiles {
     pub fn stored_levels(&self) -> usize {
         self.levels.stored_levels()
     }
+
+    /// Number of nodes in the trace this row was computed for.
+    pub fn num_nodes(&self) -> usize {
+        self.unlimited.len()
+    }
+
+    /// Decomposes this row into its portable, storage-agnostic parts for
+    /// persistence.
+    ///
+    /// The parts hold level deltas regardless of the in-memory
+    /// [`LevelStorage`]: under [`LevelStorage::FullClones`] each stored
+    /// level is diffed against its predecessor first. The decomposition is
+    /// lossless up to frontier semantics — reassembling with
+    /// [`SourceProfiles::from_parts`] yields a row whose
+    /// [`SourceProfiles::profile`] answers are identical for every
+    /// `(dest, bound)` (Pareto union is insensitive to which dominated
+    /// pairs a delta happened to record).
+    pub fn to_parts(&self) -> SourceProfileParts {
+        let n = self.unlimited.len();
+        let levels: Vec<Vec<(u32, Box<[LdEa]>)>> = match &self.levels {
+            LevelStore::Delta(per_level) => per_level.clone(),
+            LevelStore::Full(v) => (1..v.len())
+                .map(|k| {
+                    let mut out: Vec<(u32, Box<[LdEa]>)> = Vec::new();
+                    for (d, (cur, prev)) in v[k].iter().zip(&v[k - 1]).enumerate() {
+                        let prev = prev.pairs();
+                        let diff: Vec<LdEa> = cur
+                            .pairs()
+                            .iter()
+                            .copied()
+                            .filter(|p| !prev.contains(p))
+                            .collect();
+                        if !diff.is_empty() {
+                            out.push((d as u32, diff.into_boxed_slice()));
+                        }
+                    }
+                    out
+                })
+                .collect(),
+        };
+        // Tail: unbounded-frontier pairs not present in any stored delta
+        // (levels past `store_levels`, or everything when no levels are
+        // stored). Every *stored* pair is weakly dominated by some final
+        // pair, so `stored ∪ tail` compacts back to exactly `unlimited`.
+        let mut stored: Vec<Vec<LdEa>> = vec![Vec::new(); n];
+        stored[self.source.index()].push(LdEa::EMPTY);
+        for level in &levels {
+            for (d, pairs) in level {
+                stored[*d as usize].extend_from_slice(pairs);
+            }
+        }
+        let mut tail: Vec<(u32, Box<[LdEa]>)> = Vec::new();
+        for (d, f) in self.unlimited.iter().enumerate() {
+            let extra: Vec<LdEa> = f
+                .pairs()
+                .iter()
+                .copied()
+                .filter(|p| !stored[d].contains(p))
+                .collect();
+            if !extra.is_empty() {
+                tail.push((d as u32, extra.into_boxed_slice()));
+            }
+        }
+        SourceProfileParts {
+            source: self.source,
+            num_nodes: n as u32,
+            converged_at: self.converged_at.min(u32::MAX as usize) as u32,
+            converged: self.converged,
+            levels,
+            tail,
+        }
+    }
+
+    /// Reassembles a row from parts (the artifact load path), validating
+    /// every run before trusting it.
+    ///
+    /// Rejects out-of-range nodes, unsorted destination runs, and runs that
+    /// are not valid Pareto frontiers with a typed [`ProfilePartsError`] —
+    /// corrupted input never yields a row that answers garbage. `storage`
+    /// chooses the in-memory snapshot representation to rebuild; it need
+    /// not match the representation the parts were taken from.
+    pub fn from_parts(
+        parts: SourceProfileParts,
+        storage: LevelStorage,
+    ) -> Result<SourceProfiles, ProfilePartsError> {
+        let n = parts.num_nodes as usize;
+        if parts.source.index() >= n {
+            return Err(ProfilePartsError::NodeOutOfRange {
+                node: parts.source.0,
+                num_nodes: parts.num_nodes,
+            });
+        }
+        let check_run =
+            |level: Option<u32>, run: &[(u32, Box<[LdEa]>)]| -> Result<(), ProfilePartsError> {
+                let mut prev: Option<u32> = None;
+                for (d, pairs) in run {
+                    if *d as usize >= n {
+                        return Err(ProfilePartsError::NodeOutOfRange {
+                            node: *d,
+                            num_nodes: parts.num_nodes,
+                        });
+                    }
+                    if prev.is_some_and(|p| p >= *d) {
+                        return Err(ProfilePartsError::UnsortedDestinations { level });
+                    }
+                    prev = Some(*d);
+                    if pairs.is_empty() || invariant::validate_frontier(pairs).is_err() {
+                        return Err(ProfilePartsError::InvalidFrontier { level, dest: *d });
+                    }
+                }
+                Ok(())
+            };
+        for (li, level) in parts.levels.iter().enumerate() {
+            check_run(Some(li as u32 + 1), level)?;
+        }
+        check_run(None, &parts.tail)?;
+
+        let src = parts.source.index();
+        // Unbounded frontier: Pareto union of every stored delta plus the
+        // tail (exact — see `to_parts`).
+        let mut acc: Vec<Vec<LdEa>> = vec![Vec::new(); n];
+        acc[src].push(LdEa::EMPTY);
+        for level in &parts.levels {
+            for (d, pairs) in level {
+                acc[*d as usize].extend_from_slice(pairs);
+            }
+        }
+        for (d, pairs) in &parts.tail {
+            acc[*d as usize].extend_from_slice(pairs);
+        }
+        let unlimited: Vec<DeliveryFunction> = acc
+            .iter()
+            .map(|pairs| DeliveryFunction::from_pairs(pairs.clone()))
+            .collect();
+
+        let levels = match storage {
+            LevelStorage::Deltas => LevelStore::Delta(parts.levels),
+            LevelStorage::FullClones => {
+                let mut cum: Vec<Vec<LdEa>> = vec![Vec::new(); n];
+                cum[src].push(LdEa::EMPTY);
+                let mut row: Vec<DeliveryFunction> = vec![DeliveryFunction::empty(); n];
+                row[src] = DeliveryFunction::identity();
+                let mut full: Vec<Vec<DeliveryFunction>> = vec![row];
+                for level in &parts.levels {
+                    for (d, pairs) in level {
+                        cum[*d as usize].extend_from_slice(pairs);
+                    }
+                    full.push(
+                        cum.iter()
+                            .map(|pairs| DeliveryFunction::from_pairs(pairs.clone()))
+                            .collect(),
+                    );
+                }
+                LevelStore::Full(full)
+            }
+        };
+        Ok(SourceProfiles {
+            source: parts.source,
+            levels,
+            unlimited,
+            converged_at: parts.converged_at as usize,
+            converged: parts.converged,
+        })
+    }
 }
+
+/// Portable decomposition of one [`SourceProfiles`] row — the level deltas
+/// and unbounded-frontier tail that the §4.4 induction produced — used as
+/// the interchange shape between the engine and persisted artifacts.
+///
+/// `levels[k-1]` holds the `(dest, pairs added at level k)` runs, ascending
+/// by destination; level 0 (identity at the source) is implicit. `tail`
+/// holds unbounded-frontier pairs not present in any stored level. See
+/// [`SourceProfiles::to_parts`] / [`SourceProfiles::from_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceProfileParts {
+    /// The source node of the row.
+    pub source: NodeId,
+    /// Number of nodes in the trace universe.
+    pub num_nodes: u32,
+    /// First level at which the induction reached its fixpoint.
+    pub converged_at: u32,
+    /// False if `max_levels` stopped the induction early.
+    pub converged: bool,
+    /// Per-level `(dest, added pairs)` runs, ascending by dest within each
+    /// level; `levels[k-1]` is induction level `k`.
+    pub levels: Vec<Vec<(u32, Box<[LdEa]>)>>,
+    /// Unbounded-frontier pairs beyond the stored levels, ascending by dest.
+    pub tail: Vec<(u32, Box<[LdEa]>)>,
+}
+
+/// Why [`SourceProfiles::from_parts`] or [`AllPairsProfiles::from_rows`]
+/// rejected persisted §4.4 profile data instead of reconstructing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProfilePartsError {
+    /// A source or destination index is outside the node universe.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The declared universe size.
+        num_nodes: u32,
+    },
+    /// A level (or the tail, when `level` is `None`) lists destinations out
+    /// of order or with duplicates.
+    UnsortedDestinations {
+        /// Induction level of the bad run; `None` for the tail.
+        level: Option<u32>,
+    },
+    /// A stored pair run is empty or not a strictly-increasing Pareto
+    /// frontier.
+    InvalidFrontier {
+        /// Induction level of the bad run; `None` for the tail.
+        level: Option<u32>,
+        /// Destination whose run is invalid.
+        dest: u32,
+    },
+    /// Rows handed to [`AllPairsProfiles::from_rows`] are not exactly the
+    /// sources `0..n` in ascending order.
+    RowOrder {
+        /// Position in the row vector.
+        index: u32,
+        /// The source that row claims.
+        source: u32,
+    },
+    /// A row was computed for a different universe size than its siblings.
+    RowWidth {
+        /// Position in the row vector.
+        index: u32,
+        /// Universe size implied by the row count.
+        expected: u32,
+        /// Universe size the row carries.
+        found: u32,
+    },
+}
+
+impl fmt::Display for ProfilePartsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfilePartsError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} outside universe of {num_nodes} nodes")
+            }
+            ProfilePartsError::UnsortedDestinations { level: Some(k) } => {
+                write!(f, "level {k} destinations unsorted or duplicated")
+            }
+            ProfilePartsError::UnsortedDestinations { level: None } => {
+                write!(f, "tail destinations unsorted or duplicated")
+            }
+            ProfilePartsError::InvalidFrontier {
+                level: Some(k),
+                dest,
+            } => {
+                write!(
+                    f,
+                    "level {k} run for destination {dest} is not a valid frontier"
+                )
+            }
+            ProfilePartsError::InvalidFrontier { level: None, dest } => {
+                write!(f, "tail run for destination {dest} is not a valid frontier")
+            }
+            ProfilePartsError::RowOrder { index, source } => {
+                write!(
+                    f,
+                    "row {index} claims source {source}; rows must be sources 0..n in order"
+                )
+            }
+            ProfilePartsError::RowWidth {
+                index,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "row {index} built for {found} nodes, expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfilePartsError {}
 
 /// All-pairs profiles: one [`SourceProfiles`] per node, computed in
 /// parallel (the "exhaustive algorithm" run of §4.4/§5).
@@ -595,20 +893,85 @@ pub struct AllPairsProfiles {
 }
 
 impl AllPairsProfiles {
-    /// Computes every source's profiles (parallel across sources, one
-    /// pooled [`ProfileScratch`] per worker thread).
+    /// Computes every source's profiles — equivalent to
+    /// [`AllPairsProfiles::compute_range`] over `0..num_nodes`.
     pub fn compute(trace: &Trace, opts: ProfileOptions) -> AllPairsProfiles {
+        AllPairsProfiles {
+            rows: AllPairsProfiles::compute_range(trace, opts, 0..trace.num_nodes()),
+        }
+    }
+
+    /// The options-taking batch entry point of the §4.4 induction: computes
+    /// the profile rows for the contiguous source range `sources`, parallel
+    /// across sources with one pooled [`ProfileScratch`] per worker thread.
+    ///
+    /// This is what `omnet precompute` shards over — each shard is an
+    /// independent `compute_range` call — and what
+    /// [`AllPairsProfiles::compute`] forwards to with the full range.
+    /// Emits one `engine.all_pairs` span per call.
+    ///
+    /// # Panics
+    /// If `sources` is not a subrange of `0..trace.num_nodes()`.
+    pub fn compute_range(
+        trace: &Trace,
+        opts: ProfileOptions,
+        sources: Range<u32>,
+    ) -> Vec<SourceProfiles> {
+        assert!(
+            sources.start <= sources.end && sources.end <= trace.num_nodes(),
+            "source range {sources:?} outside universe of {} nodes",
+            trace.num_nodes()
+        );
         let mut span = omnet_obs::span("engine.all_pairs")
             .with("nodes", trace.num_nodes())
-            .with("contacts", trace.num_contacts());
+            .with("contacts", trace.num_contacts())
+            .with("first_source", sources.start)
+            .with("num_sources", sources.len());
         let arcs = Arcs::of(trace);
-        let n = trace.num_nodes() as usize;
-        let rows = omnet_analysis::par_map_with(n, ProfileScratch::default, |scratch, s| {
-            SourceProfiles::compute_with(trace, &arcs, NodeId(s as u32), opts, scratch)
-        });
-        let all = AllPairsProfiles { rows };
-        span.record("max_useful_hops", all.max_useful_hops());
-        all
+        let base = sources.start;
+        let rows =
+            omnet_analysis::par_map_with(sources.len(), ProfileScratch::default, |scratch, i| {
+                SourceProfiles::induct(trace, &arcs, NodeId(base + i as u32), opts, scratch)
+            });
+        let max_hops = rows.iter().map(SourceProfiles::converged_at).max();
+        span.record("max_useful_hops", max_hops.unwrap_or(0));
+        rows
+    }
+
+    /// Read access to the per-source rows, ascending by source.
+    pub fn rows(&self) -> &[SourceProfiles] {
+        &self.rows
+    }
+
+    /// Consumes the profile set into its rows (e.g. for sharded
+    /// persistence).
+    pub fn into_rows(self) -> Vec<SourceProfiles> {
+        self.rows
+    }
+
+    /// Reassembles a profile set from rows — the inverse of
+    /// [`AllPairsProfiles::into_rows`], used when loading persisted shards.
+    ///
+    /// Validates that the rows are exactly the sources `0..n` in ascending
+    /// order and all agree on the universe size.
+    pub fn from_rows(rows: Vec<SourceProfiles>) -> Result<AllPairsProfiles, ProfilePartsError> {
+        let n = rows.len() as u32;
+        for (i, r) in rows.iter().enumerate() {
+            if r.source().0 != i as u32 {
+                return Err(ProfilePartsError::RowOrder {
+                    index: i as u32,
+                    source: r.source().0,
+                });
+            }
+            if r.num_nodes() as u32 != n {
+                return Err(ProfilePartsError::RowWidth {
+                    index: i as u32,
+                    expected: n,
+                    found: r.num_nodes() as u32,
+                });
+            }
+        }
+        Ok(AllPairsProfiles { rows })
     }
 
     /// The profiles from `source`.
@@ -919,7 +1282,7 @@ mod tests {
         let mut scratch = ProfileScratch::new();
         let opts = ProfileOptions::default();
         for s in 0..4u32 {
-            let pooled = SourceProfiles::compute_with(&t1, &arcs1, NodeId(s), opts, &mut scratch);
+            let pooled = SourceProfiles::induct(&t1, &arcs1, NodeId(s), opts, &mut scratch);
             let fresh = SourceProfiles::compute(&t1, &arcs1, NodeId(s), opts);
             for d in 0..4u32 {
                 assert_eq!(
@@ -930,12 +1293,173 @@ mod tests {
         }
         // Smaller trace after a larger one: stale buffers beyond n must not
         // contribute.
-        let pooled = SourceProfiles::compute_with(&t2, &arcs2, NodeId(0), opts, &mut scratch);
+        let pooled = SourceProfiles::induct(&t2, &arcs2, NodeId(0), opts, &mut scratch);
         let fresh = SourceProfiles::compute(&t2, &arcs2, NodeId(0), opts);
         assert_eq!(
             pooled.profile(NodeId(1), HopBound::Unlimited).pairs(),
             fresh.profile(NodeId(1), HopBound::Unlimited).pairs()
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_compute_with_forwards() {
+        let t = line_trace();
+        let arcs = Arcs::of(&t);
+        let mut scratch = ProfileScratch::new();
+        let opts = ProfileOptions::default();
+        let old = SourceProfiles::compute_with(&t, &arcs, NodeId(0), opts, &mut scratch);
+        let new = SourceProfiles::compute(&t, &arcs, NodeId(0), opts);
+        for d in 0..4u32 {
+            assert_eq!(
+                old.profile(NodeId(d), HopBound::Unlimited).pairs(),
+                new.profile(NodeId(d), HopBound::Unlimited).pairs()
+            );
+        }
+    }
+
+    #[test]
+    fn compute_range_matches_full_compute() {
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 5.0, 15.0)
+            .contact_secs(0, 2, 12.0, 20.0)
+            .contact_secs(2, 3, 14.0, 40.0)
+            .contact_secs(1, 3, 2.0, 3.0)
+            .build();
+        let opts = ProfileOptions::default();
+        let all = AllPairsProfiles::compute(&t, opts);
+        // Arbitrary shard split 0..2, 2..3, 3..4 reassembles to the same set.
+        let mut rows = AllPairsProfiles::compute_range(&t, opts, 0..2);
+        rows.extend(AllPairsProfiles::compute_range(&t, opts, 2..3));
+        rows.extend(AllPairsProfiles::compute_range(&t, opts, 3..4));
+        let glued = AllPairsProfiles::from_rows(rows).expect("rows are 0..n in order");
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                for k in [
+                    HopBound::AtMost(1),
+                    HopBound::AtMost(3),
+                    HopBound::Unlimited,
+                ] {
+                    assert_eq!(
+                        all.profile(NodeId(s), NodeId(d), k).pairs(),
+                        glued.profile(NodeId(s), NodeId(d), k).pairs(),
+                        "{s}->{d} under {k:?}"
+                    );
+                }
+            }
+        }
+        // Empty ranges are fine.
+        assert!(AllPairsProfiles::compute_range(&t, opts, 2..2).is_empty());
+    }
+
+    #[test]
+    fn parts_roundtrip_every_knob_combo() {
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 5.0, 15.0)
+            .contact_secs(0, 2, 12.0, 20.0)
+            .contact_secs(2, 3, 14.0, 40.0)
+            .contact_secs(0, 1, 100.0, 110.0)
+            .contact_secs(1, 3, 105.0, 130.0)
+            .build();
+        let arcs = Arcs::of(&t);
+        // Include a low store_levels so the tail is exercised.
+        let mut combos = knob_combos();
+        combos.push(ProfileOptions::builder().store_levels(1).build());
+        combos.push(
+            ProfileOptions::builder()
+                .store_levels(0)
+                .level_storage(LevelStorage::FullClones)
+                .build(),
+        );
+        for opts in combos {
+            for s in 0..4u32 {
+                let orig = SourceProfiles::compute(&t, &arcs, NodeId(s), opts);
+                for rebuilt_as in [LevelStorage::Deltas, LevelStorage::FullClones] {
+                    let back = SourceProfiles::from_parts(orig.to_parts(), rebuilt_as)
+                        .expect("own parts are valid");
+                    assert_eq!(back.source(), orig.source());
+                    assert_eq!(back.converged_at(), orig.converged_at());
+                    assert_eq!(back.converged(), orig.converged());
+                    assert_eq!(back.stored_levels(), orig.stored_levels());
+                    assert_eq!(back.num_nodes(), orig.num_nodes());
+                    for d in 0..4u32 {
+                        for k in 0..=orig.stored_levels() + 2 {
+                            assert_eq!(
+                                back.profile(NodeId(d), HopBound::AtMost(k)).pairs(),
+                                orig.profile(NodeId(d), HopBound::AtMost(k)).pairs(),
+                                "{s}->{d} at k={k} with {opts:?} rebuilt as {rebuilt_as:?}"
+                            );
+                        }
+                        assert_eq!(
+                            back.profile(NodeId(d), HopBound::Unlimited).pairs(),
+                            orig.profile(NodeId(d), HopBound::Unlimited).pairs()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_input() {
+        let t = line_trace();
+        let arcs = Arcs::of(&t);
+        let good = SourceProfiles::compute(&t, &arcs, NodeId(0), ProfileOptions::default());
+
+        let mut bad = good.to_parts();
+        bad.source = NodeId(99);
+        assert!(matches!(
+            SourceProfiles::from_parts(bad, LevelStorage::Deltas),
+            Err(ProfilePartsError::NodeOutOfRange { node: 99, .. })
+        ));
+
+        let mut bad = good.to_parts();
+        if let Some(level) = bad.levels.first_mut() {
+            level.reverse();
+            if level.len() < 2 {
+                // Single-run level cannot be unsorted; force a duplicate.
+                let dup = level[0].clone();
+                level.push(dup);
+            }
+        }
+        assert!(matches!(
+            SourceProfiles::from_parts(bad, LevelStorage::Deltas),
+            Err(ProfilePartsError::UnsortedDestinations { level: Some(1) })
+        ));
+
+        let mut bad = good.to_parts();
+        if let Some((_, pairs)) = bad.levels[0].first_mut() {
+            // A doubled pair is weakly dominated — not a strict frontier.
+            let mut v = pairs.to_vec();
+            v.push(v[0]);
+            *pairs = v.into_boxed_slice();
+        }
+        assert!(matches!(
+            SourceProfiles::from_parts(bad, LevelStorage::Deltas),
+            Err(ProfilePartsError::InvalidFrontier { level: Some(1), .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_misordered_rows() {
+        let t = line_trace();
+        let opts = ProfileOptions::default();
+        let mut rows = AllPairsProfiles::compute(&t, opts).into_rows();
+        rows.swap(1, 2);
+        assert!(matches!(
+            AllPairsProfiles::from_rows(rows),
+            Err(ProfilePartsError::RowOrder {
+                index: 1,
+                source: 2
+            })
+        ));
+        let short = AllPairsProfiles::compute_range(&t, opts, 0..2);
+        assert!(matches!(
+            AllPairsProfiles::from_rows(short),
+            Err(ProfilePartsError::RowWidth { .. })
+        ));
     }
 
     #[test]

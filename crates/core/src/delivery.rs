@@ -57,9 +57,33 @@ impl DeliveryFunction {
         f
     }
 
+    /// Builds from pairs that must *already* be a valid frontier — the
+    /// deserialization counterpart of [`DeliveryFunction::from_pairs`] that
+    /// validates instead of compacting, so corrupted persisted data is
+    /// rejected rather than silently repaired.
+    pub fn from_frontier(
+        pairs: Vec<LdEa>,
+    ) -> Result<DeliveryFunction, invariant::InvariantViolation> {
+        invariant::validate_frontier(&pairs)?;
+        Ok(DeliveryFunction { pairs })
+    }
+
     /// The frontier pairs, `LD` and `EA` both strictly increasing.
     pub fn pairs(&self) -> &[LdEa] {
         &self.pairs
+    }
+
+    /// Consumes the function into its frontier pairs (the serialization
+    /// hook: what an artifact writes is exactly this vector).
+    pub fn into_pairs(self) -> Vec<LdEa> {
+        self.pairs
+    }
+
+    /// The frontier pair that realizes [`DeliveryFunction::delivery`] at
+    /// `t` — the summary an optimal path for a message created at `t`
+    /// follows — or `None` when no path remains.
+    pub fn pair_at(&self, t: Time) -> Option<LdEa> {
+        self.pairs.iter().find(|p| p.ld >= t).copied()
     }
 
     /// Number of optimal paths represented (the paper's measure of how many

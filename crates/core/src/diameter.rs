@@ -93,22 +93,7 @@ impl SuccessCurves {
         opts: &CurveOptions,
         windows: &[Interval],
     ) -> SuccessCurves {
-        assert!(!opts.bounds.is_empty(), "need at least one hop class");
-        assert!(!opts.grid.is_empty(), "need a non-empty delay grid");
-        assert!(
-            opts.grid.windows(2).all(|w| w[0] <= w[1]),
-            "delay grid must be ascending"
-        );
-        assert!(!windows.is_empty(), "need at least one start-time window");
-        let total_len: f64 = windows.iter().map(|w| w.duration().as_secs()).sum();
-        assert!(
-            total_len > 0.0,
-            "start-time windows must have positive length"
-        );
-        let weights: Vec<f64> = windows
-            .iter()
-            .map(|w| w.duration().as_secs() / total_len)
-            .collect();
+        let weights = validated_weights(opts, windows);
         let arcs = Arcs::of(trace);
         let node_limit = if opts.internal_pairs_only {
             trace.num_internal()
@@ -116,32 +101,67 @@ impl SuccessCurves {
             trace.num_nodes()
         };
         let nodes: Vec<NodeId> = (0..node_limit).map(NodeId).collect();
+
+        // One partial sum matrix per source, reduced at the end. Induction
+        // and aggregation stay fused per source so a row's profiles never
+        // outlive its partial.
+        let partials = omnet_analysis::par_map(nodes.len(), |si| {
+            let prof = SourceProfiles::compute(trace, &arcs, nodes[si], opts.profiles);
+            source_partial(&prof, &nodes, opts, windows, &weights)
+        });
+        SuccessCurves::reduce(opts, partials, nodes.len())
+    }
+
+    /// Aggregates the curves from already-computed profile rows — the
+    /// artifact-backed query path, which must never re-run the §4.4
+    /// induction (`opts.profiles` is therefore ignored).
+    ///
+    /// `rows` must hold the rows for sources `0..node_limit` in ascending
+    /// order, where `node_limit` is `num_internal` under
+    /// `opts.internal_pairs_only` and the rows' full universe otherwise;
+    /// destinations range over the same `0..node_limit`. Produces exactly
+    /// what [`SuccessCurves::compute_windowed`] would for the trace the
+    /// rows came from.
+    ///
+    /// # Panics
+    /// If `rows` does not cover `0..node_limit` in ascending source order.
+    pub fn from_profiles(
+        rows: &[&SourceProfiles],
+        opts: &CurveOptions,
+        windows: &[Interval],
+        num_internal: u32,
+    ) -> SuccessCurves {
+        let weights = validated_weights(opts, windows);
+        let num_nodes = rows.first().map_or(0, |r| r.num_nodes() as u32);
+        let node_limit = if opts.internal_pairs_only {
+            num_internal.min(num_nodes)
+        } else {
+            num_nodes
+        };
+        assert!(
+            rows.len() as u32 >= node_limit,
+            "need rows for sources 0..{node_limit}, have {}",
+            rows.len()
+        );
+        for (i, r) in rows[..node_limit as usize].iter().enumerate() {
+            assert_eq!(
+                r.source().0,
+                i as u32,
+                "rows must be sources 0..{node_limit} in ascending order"
+            );
+        }
+        let nodes: Vec<NodeId> = (0..node_limit).map(NodeId).collect();
+        let partials = omnet_analysis::par_map(nodes.len(), |si| {
+            source_partial(rows[si], &nodes, opts, windows, &weights)
+        });
+        SuccessCurves::reduce(opts, partials, nodes.len())
+    }
+
+    /// Sums per-source partials and normalizes by the ordered-pair count.
+    fn reduce(opts: &CurveOptions, partials: Vec<Vec<f64>>, n: usize) -> SuccessCurves {
         let nb = opts.bounds.len();
         let ng = opts.grid.len();
-
-        // One partial sum matrix per source, reduced at the end.
-        let partials = omnet_analysis::par_map(nodes.len(), |si| {
-            let s = nodes[si];
-            let prof = SourceProfiles::compute(trace, &arcs, s, opts.profiles);
-            let mut acc = vec![0.0f64; nb * ng];
-            for &d in &nodes {
-                if d == s {
-                    continue;
-                }
-                for (bi, &bound) in opts.bounds.iter().enumerate() {
-                    let f = prof.profile(d, bound);
-                    for (w, &weight) in windows.iter().zip(&weights) {
-                        let curve = f.success_curve(*w, &opts.grid);
-                        for (gi, v) in curve.into_iter().enumerate() {
-                            acc[bi * ng + gi] += weight * v;
-                        }
-                    }
-                }
-            }
-            acc
-        });
-
-        let pairs = nodes.len().saturating_mul(nodes.len().saturating_sub(1));
+        let pairs = n.saturating_mul(n.saturating_sub(1));
         let mut curves = vec![vec![0.0f64; ng]; nb];
         for acc in partials {
             for bi in 0..nb {
@@ -244,6 +264,56 @@ impl SuccessCurves {
             .map(|i| self.diameter_at(epsilon, i))
             .collect()
     }
+}
+
+/// Validates the curve request and returns the per-window length weights.
+fn validated_weights(opts: &CurveOptions, windows: &[Interval]) -> Vec<f64> {
+    assert!(!opts.bounds.is_empty(), "need at least one hop class");
+    assert!(!opts.grid.is_empty(), "need a non-empty delay grid");
+    assert!(
+        opts.grid.windows(2).all(|w| w[0] <= w[1]),
+        "delay grid must be ascending"
+    );
+    assert!(!windows.is_empty(), "need at least one start-time window");
+    let total_len: f64 = windows.iter().map(|w| w.duration().as_secs()).sum();
+    assert!(
+        total_len > 0.0,
+        "start-time windows must have positive length"
+    );
+    windows
+        .iter()
+        .map(|w| w.duration().as_secs() / total_len)
+        .collect()
+}
+
+/// One source's contribution to the curves: the length-weighted success
+/// measure of every `(dest, bound, window, grid point)`, flattened as
+/// `acc[bound * grid_len + grid_index]`.
+fn source_partial(
+    prof: &SourceProfiles,
+    nodes: &[NodeId],
+    opts: &CurveOptions,
+    windows: &[Interval],
+    weights: &[f64],
+) -> Vec<f64> {
+    let ng = opts.grid.len();
+    let s = prof.source();
+    let mut acc = vec![0.0f64; opts.bounds.len() * ng];
+    for &d in nodes {
+        if d == s {
+            continue;
+        }
+        for (bi, &bound) in opts.bounds.iter().enumerate() {
+            let f = prof.profile(d, bound);
+            for (w, &weight) in windows.iter().zip(weights) {
+                let curve = f.success_curve(*w, &opts.grid);
+                for (gi, v) in curve.into_iter().enumerate() {
+                    acc[bi * ng + gi] += weight * v;
+                }
+            }
+        }
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -439,6 +509,24 @@ mod tests {
         let dead_long = Interval::secs(100.0, 400.0);
         let quarter = SuccessCurves::compute_windowed(&t, &o, &[live, dead_long]);
         assert!((quarter.curve(HopBound::Unlimited).unwrap()[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_profiles_matches_compute_bitwise() {
+        let t = star_trace();
+        let o = opts(4);
+        let direct = SuccessCurves::compute(&t, &o);
+        let rows =
+            crate::algorithm::AllPairsProfiles::compute_range(&t, o.profiles, 0..t.num_nodes());
+        let refs: Vec<&SourceProfiles> = rows.iter().collect();
+        let loaded = SuccessCurves::from_profiles(&refs, &o, &[t.span()], t.num_internal());
+        assert_eq!(loaded.pairs(), direct.pairs());
+        for &b in direct.bounds() {
+            // Same accumulation order on both paths — results are bitwise
+            // identical, which is what the artifact query path promises.
+            assert_eq!(loaded.curve(b), direct.curve(b), "curve for {b:?}");
+        }
+        assert_eq!(loaded.diameter(0.01), direct.diameter(0.01));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod witness;
 
 pub use algorithm::{
     AllPairsProfiles, ArcPruning, Arcs, HopBound, LevelStorage, ProfileOptions,
-    ProfileOptionsBuilder, ProfileScratch, SourceProfiles,
+    ProfileOptionsBuilder, ProfilePartsError, ProfileScratch, SourceProfileParts, SourceProfiles,
 };
 pub use delivery::DeliveryFunction;
 pub use diameter::{day_time_windows, CurveOptions, SuccessCurves};
@@ -79,7 +79,8 @@ pub use witness::{optimal_journeys, route_string, witness_for_pair};
 pub mod prelude {
     pub use crate::algorithm::{
         AllPairsProfiles, ArcPruning, Arcs, HopBound, LevelStorage, ProfileOptions,
-        ProfileOptionsBuilder, ProfileScratch, SourceProfiles,
+        ProfileOptionsBuilder, ProfilePartsError, ProfileScratch, SourceProfileParts,
+        SourceProfiles,
     };
     pub use crate::delivery::DeliveryFunction;
     pub use crate::diameter::{day_time_windows, CurveOptions, SuccessCurves};

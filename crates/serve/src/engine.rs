@@ -1,0 +1,710 @@
+//! The engine: loads state once, answers many queries.
+
+use crate::query::{
+    DeliveryAnswer, DiameterAnswer, PathAnswer, PathHop, Query, QueryError, QueryResponse,
+    StatsAnswer,
+};
+use omnet_artifact::{load_set, ArtifactError, ArtifactMeta, ArtifactSet};
+use omnet_core::{
+    earliest_arrival, Arcs, CurveOptions, HopBound, ProfileOptions, SourceProfiles, SuccessCurves,
+};
+use omnet_temporal::{Dur, Interval, NodeId, Time, Trace};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Where answers come from.
+enum Backend {
+    /// A persisted artifact set; rows were reconstructed at load time and
+    /// the §4.4 induction never runs on this path.
+    Shards(ArtifactSet),
+    /// An in-memory trace; rows are computed on first use per source and
+    /// memoized, so interactive one-shot commands stay cheap.
+    Lazy {
+        trace: Arc<Trace>,
+        arcs: Arcs,
+        memo: Mutex<HashMap<u32, Arc<SourceProfiles>>>,
+    },
+}
+
+/// A loaded query engine over one dataset.
+///
+/// Construct with [`Engine::load_dir`] (artifact-backed) or
+/// [`Engine::from_trace`] (trace-backed); answer with [`Engine::answer`] or
+/// [`Engine::answer_batch`].
+pub struct Engine {
+    meta: ArtifactMeta,
+    backend: Backend,
+    /// Present on trace-backed engines, and on artifact-backed ones after
+    /// [`Engine::with_trace`]; enables concrete route reconstruction for
+    /// [`Query::Path`].
+    trace: Option<Arc<Trace>>,
+}
+
+/// A row handle that is either borrowed from a loaded shard or shared out
+/// of the lazy memo.
+enum Row<'a> {
+    Borrowed(&'a SourceProfiles),
+    Shared(Arc<SourceProfiles>),
+}
+
+impl Row<'_> {
+    fn get(&self) -> &SourceProfiles {
+        match self {
+            Row::Borrowed(r) => r,
+            Row::Shared(r) => r,
+        }
+    }
+}
+
+impl Engine {
+    /// Loads every `*.omna` shard under `dir` into an artifact-backed
+    /// engine. Emits one `serve.load` span; the underlying loads verify
+    /// every checksum and frontier, so a corrupted or version-bumped
+    /// artifact is rejected here, never answered from.
+    pub fn load_dir(dir: &Path) -> Result<Engine, ArtifactError> {
+        let mut span = omnet_obs::span("serve.load").with("dir", dir.display().to_string());
+        let set = load_set(dir)?;
+        span.record("shards", set.shards.len());
+        span.record("rows", set.num_rows());
+        crate::LOADS.inc();
+        Ok(Engine {
+            meta: set.meta.clone(),
+            backend: Backend::Shards(set),
+            trace: None,
+        })
+    }
+
+    /// Wraps an in-memory trace; rows are computed lazily with `opts`.
+    /// `dataset_key` labels the engine in [`Query::Stats`] answers.
+    pub fn from_trace(trace: Arc<Trace>, opts: ProfileOptions, dataset_key: &str) -> Engine {
+        let meta = ArtifactMeta {
+            dataset_key: dataset_key.to_string(),
+            num_nodes: trace.num_nodes(),
+            num_internal: trace.num_internal(),
+            window: trace.span(),
+            options: opts,
+        };
+        let arcs = Arcs::of(&trace);
+        Engine {
+            meta,
+            backend: Backend::Lazy {
+                trace: Arc::clone(&trace),
+                arcs,
+                memo: Mutex::new(HashMap::new()),
+            },
+            trace: Some(trace),
+        }
+    }
+
+    /// Attaches the source trace to an artifact-backed engine so
+    /// [`Query::Path`] can reconstruct concrete contact chains. The trace
+    /// must be the one the artifacts were precomputed from; node counts
+    /// are cross-checked.
+    pub fn with_trace(mut self, trace: Arc<Trace>) -> Result<Engine, ArtifactError> {
+        if trace.num_nodes() != self.meta.num_nodes {
+            return Err(ArtifactError::SetInconsistent {
+                context: format!(
+                    "trace has {} nodes but artifacts were built over {}",
+                    trace.num_nodes(),
+                    self.meta.num_nodes
+                ),
+            });
+        }
+        self.trace = Some(trace);
+        Ok(self)
+    }
+
+    /// The engine's dataset identity and engine options.
+    pub fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    /// Answers one query. Emits one `serve.query` span per call and bumps
+    /// the `serve.queries` / `serve.query_errors` counters.
+    pub fn answer(&self, q: &Query) -> Result<QueryResponse, QueryError> {
+        let mut span = omnet_obs::span("serve.query").with("kind", kind(q));
+        crate::QUERIES.inc();
+        let result = self.dispatch(q);
+        span.record("ok", result.is_ok());
+        if result.is_err() {
+            crate::QUERY_ERRORS.inc();
+        }
+        result
+    }
+
+    /// Answers a batch on the work-stealing executor, preserving input
+    /// order. Each query still gets its own `serve.query` span.
+    pub fn answer_batch(&self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
+        omnet_analysis::par_map(queries.len(), |i| self.answer(&queries[i]))
+    }
+
+    fn dispatch(&self, q: &Query) -> Result<QueryResponse, QueryError> {
+        match *q {
+            Query::Delivery {
+                src,
+                dst,
+                at,
+                bound,
+            } => self
+                .delivery(src, dst, at, bound)
+                .map(QueryResponse::Delivery),
+            Query::Path { src, dst, at } => self.path(src, dst, at).map(QueryResponse::Path),
+            Query::Diameter {
+                eps,
+                max_hops,
+                internal_only,
+            } => self
+                .diameter(eps, max_hops, internal_only)
+                .map(QueryResponse::Diameter),
+            Query::Stats => Ok(QueryResponse::Stats(self.stats())),
+        }
+    }
+
+    fn check_node(&self, node: u32) -> Result<(), QueryError> {
+        if node >= self.meta.num_nodes {
+            return Err(QueryError::NodeOutOfRange {
+                node,
+                num_nodes: self.meta.num_nodes,
+            });
+        }
+        Ok(())
+    }
+
+    /// The profile row of `source`, from the loaded shards or the lazy
+    /// memo (computing and caching it on first use).
+    fn row(&self, source: u32) -> Result<Row<'_>, QueryError> {
+        match &self.backend {
+            Backend::Shards(set) => set
+                .row(source)
+                .map(Row::Borrowed)
+                .ok_or(QueryError::ShardMissing { source }),
+            Backend::Lazy { trace, arcs, memo } => {
+                {
+                    let cache = memo.lock().unwrap_or_else(|p| p.into_inner());
+                    if let Some(row) = cache.get(&source) {
+                        return Ok(Row::Shared(Arc::clone(row)));
+                    }
+                }
+                // Computed outside the lock: concurrent batch queries for
+                // distinct sources proceed in parallel (a duplicated
+                // same-source computation is benign — last insert wins
+                // with an identical row).
+                let row = Arc::new(SourceProfiles::compute(
+                    trace,
+                    arcs,
+                    NodeId(source),
+                    self.meta.options,
+                ));
+                let mut cache = memo.lock().unwrap_or_else(|p| p.into_inner());
+                Ok(Row::Shared(Arc::clone(cache.entry(source).or_insert(row))))
+            }
+        }
+    }
+
+    fn delivery(
+        &self,
+        src: u32,
+        dst: u32,
+        at: Time,
+        bound: HopBound,
+    ) -> Result<DeliveryAnswer, QueryError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        let row = self.row(src)?;
+        let f = row.get().profile(NodeId(dst), bound);
+        let arrival = f.delivery(at);
+        Ok(DeliveryAnswer {
+            src,
+            dst,
+            at,
+            bound,
+            arrival,
+            delay: f.delay(at),
+            reachable: arrival != Time::INF,
+        })
+    }
+
+    fn path(&self, src: u32, dst: u32, at: Time) -> Result<PathAnswer, QueryError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src == dst {
+            return Err(QueryError::SameNode);
+        }
+        if let Some(trace) = &self.trace {
+            return Ok(path_from_trace(trace, src, dst, at));
+        }
+        // Artifact-only: arrival and hop class from the row; no concrete
+        // route without the trace.
+        let row = self.row(src)?;
+        let prof = row.get();
+        let arrival = prof.profile(NodeId(dst), HopBound::Unlimited).delivery(at);
+        if arrival == Time::INF {
+            return Ok(unreachable_path(src, dst, at));
+        }
+        let mut hops = prof.converged_at();
+        for k in 1..=prof.stored_levels() {
+            if prof.profile(NodeId(dst), HopBound::AtMost(k)).delivery(at) == arrival {
+                hops = k;
+                break;
+            }
+        }
+        Ok(PathAnswer {
+            src,
+            dst,
+            at,
+            reachable: true,
+            arrival,
+            delay: arrival.since(at),
+            hops,
+            route: None,
+        })
+    }
+
+    fn diameter(
+        &self,
+        eps: f64,
+        max_hops: usize,
+        internal_only: bool,
+    ) -> Result<DiameterAnswer, QueryError> {
+        if !(0.0..1.0).contains(&eps) {
+            return Err(QueryError::BadParameter {
+                message: "eps must lie in [0, 1)".into(),
+            });
+        }
+        if max_hops == 0 {
+            return Err(QueryError::BadParameter {
+                message: "max-hops must be positive".into(),
+            });
+        }
+        // Same grid construction as direct computation over the trace, so
+        // both backends evaluate the identical delay budgets.
+        let horizon = self.meta.window.duration().as_secs().max(240.0);
+        let grid: Vec<Dur> = omnet_analysis::log_grid(120.0_f64.min(horizon / 2.0), horizon, 16)
+            .into_iter()
+            .map(Dur::secs)
+            .collect();
+        let mut opts = CurveOptions::standard(max_hops, grid);
+        opts.internal_pairs_only = internal_only;
+        let curves = match &self.backend {
+            Backend::Shards(set) => {
+                let limit = if internal_only {
+                    self.meta.num_internal.min(self.meta.num_nodes)
+                } else {
+                    self.meta.num_nodes
+                };
+                let rows = set
+                    .rows_prefix(limit)
+                    .ok_or_else(|| QueryError::ShardMissing {
+                        source: set.first_missing(limit).unwrap_or(limit),
+                    })?;
+                // Exactness guard: a hop class beyond what a row stores is
+                // answered by its unlimited profile, which is only exact
+                // once the row converged within its stored levels.
+                for r in &rows {
+                    if r.stored_levels() < max_hops && r.converged_at() > r.stored_levels() {
+                        return Err(QueryError::HopsBeyondArtifact {
+                            requested: max_hops,
+                            stored: r.stored_levels(),
+                        });
+                    }
+                }
+                SuccessCurves::from_profiles(
+                    &rows,
+                    &opts,
+                    &[self.meta.window],
+                    self.meta.num_internal,
+                )
+            }
+            Backend::Lazy { trace, .. } => {
+                SuccessCurves::compute_windowed(trace, &opts, &[self.meta.window])
+            }
+        };
+        Ok(DiameterAnswer {
+            eps,
+            max_hops,
+            pairs: curves.pairs(),
+            grid: curves.grid().to_vec(),
+            diameter: curves.diameter(eps),
+            per_delay: curves.diameter_curve(eps),
+        })
+    }
+
+    fn stats(&self) -> StatsAnswer {
+        let (shards, rows, max_useful_hops) = match &self.backend {
+            Backend::Shards(set) => (
+                set.shards.len(),
+                set.num_rows(),
+                set.shards
+                    .iter()
+                    .flat_map(|s| s.rows.iter())
+                    .map(SourceProfiles::converged_at)
+                    .max(),
+            ),
+            Backend::Lazy { memo, .. } => {
+                let cache = memo.lock().unwrap_or_else(|p| p.into_inner());
+                (
+                    0,
+                    cache.len(),
+                    cache.values().map(|r| r.converged_at()).max(),
+                )
+            }
+        };
+        StatsAnswer {
+            dataset_key: self.meta.dataset_key.clone(),
+            num_nodes: self.meta.num_nodes,
+            num_internal: self.meta.num_internal,
+            window: self.meta.window,
+            options: self.meta.options,
+            shards,
+            rows,
+            max_useful_hops,
+        }
+    }
+}
+
+fn kind(q: &Query) -> &'static str {
+    match q {
+        Query::Delivery { .. } => "delivery",
+        Query::Path { .. } => "path",
+        Query::Diameter { .. } => "diameter",
+        Query::Stats => "stats",
+    }
+}
+
+fn unreachable_path(src: u32, dst: u32, at: Time) -> PathAnswer {
+    PathAnswer {
+        src,
+        dst,
+        at,
+        reachable: false,
+        arrival: Time::INF,
+        delay: Dur::INF,
+        hops: 0,
+        route: None,
+    }
+}
+
+/// The Dijkstra-witness path answer — identical semantics to the original
+/// `omnet path` command, including the concrete contact chain.
+fn path_from_trace(trace: &Trace, src: u32, dst: u32, at: Time) -> PathAnswer {
+    let tree = earliest_arrival(trace, NodeId(src), at);
+    let Some(p) = tree.path_to(trace, NodeId(dst)) else {
+        return unreachable_path(src, dst, at);
+    };
+    let arrival = tree.arrival(NodeId(dst));
+    let route = p.schedule(at).map(|times| {
+        p.contacts()
+            .iter()
+            .zip(times)
+            .enumerate()
+            .map(|(i, (c, t))| PathHop {
+                from: p.nodes()[i],
+                to: p.nodes()[i + 1],
+                window: Interval::new(c.start(), c.end()),
+                at: t,
+            })
+            .collect()
+    });
+    PathAnswer {
+        src,
+        dst,
+        at,
+        reachable: true,
+        arrival,
+        delay: arrival.since(at),
+        hops: p.hops(),
+        route,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnet_core::AllPairsProfiles;
+    use omnet_temporal::TraceBuilder;
+    use std::path::PathBuf;
+
+    fn toy() -> Trace {
+        TraceBuilder::new()
+            .num_nodes(5)
+            .internal(4)
+            .contact_secs(0, 1, 0.0, 120.0)
+            .contact_secs(1, 2, 100.0, 260.0)
+            .contact_secs(2, 3, 400.0, 520.0)
+            .contact_secs(0, 3, 800.0, 920.0)
+            .contact_secs(0, 1, 600.0, 720.0)
+            .contact_secs(3, 4, 450.0, 470.0)
+            .build()
+    }
+
+    fn meta_of(t: &Trace, opts: ProfileOptions) -> ArtifactMeta {
+        ArtifactMeta {
+            dataset_key: "toy".into(),
+            num_nodes: t.num_nodes(),
+            num_internal: t.num_internal(),
+            window: t.span(),
+            options: opts,
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("omnet-serve-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn shards_engine(t: &Trace, opts: ProfileOptions, shards: u32) -> Engine {
+        let meta = meta_of(t, opts);
+        let rows = AllPairsProfiles::compute(t, opts).into_rows();
+        let dir = tmp("eng");
+        omnet_artifact::write_set(&dir, "toy", &meta, &rows, shards).unwrap();
+        Engine::load_dir(&dir).unwrap()
+    }
+
+    #[test]
+    fn artifact_and_lazy_backends_agree() {
+        let t = toy();
+        let opts = ProfileOptions::default();
+        let from_shards = shards_engine(&t, opts, 2)
+            .with_trace(Arc::new(t.clone()))
+            .unwrap();
+        let lazy = Engine::from_trace(Arc::new(t.clone()), opts, "toy");
+        let mut queries = vec![Query::Diameter {
+            eps: 0.01,
+            max_hops: 6,
+            internal_only: false,
+        }];
+        for s in 0..t.num_nodes() {
+            for d in 0..t.num_nodes() {
+                queries.push(Query::Delivery {
+                    src: s,
+                    dst: d,
+                    at: Time::secs(50.0),
+                    bound: HopBound::AtMost(2),
+                });
+                if s != d {
+                    queries.push(Query::Path {
+                        src: s,
+                        dst: d,
+                        at: Time::secs(0.0),
+                    });
+                }
+            }
+        }
+        for q in &queries {
+            assert_eq!(
+                from_shards.answer(q).unwrap(),
+                lazy.answer(q).unwrap(),
+                "backends diverged on {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_matches_singles() {
+        let t = toy();
+        let engine = shards_engine(&t, ProfileOptions::default(), 3);
+        let queries: Vec<Query> = (0..t.num_nodes())
+            .flat_map(|s| {
+                (0..t.num_nodes()).map(move |d| Query::Delivery {
+                    src: s,
+                    dst: d,
+                    at: Time::secs(s as f64 * 10.0),
+                    bound: HopBound::Unlimited,
+                })
+            })
+            .collect();
+        let batch = engine.answer_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(got.as_ref().unwrap(), &engine.answer(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn path_routes_need_the_trace() {
+        let t = toy();
+        let opts = ProfileOptions::default();
+        let q = Query::Path {
+            src: 0,
+            dst: 3,
+            at: Time::secs(0.0),
+        };
+        let bare = shards_engine(&t, opts, 1);
+        let QueryResponse::Path(no_trace) = bare.answer(&q).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert!(no_trace.reachable);
+        assert!(no_trace.route.is_none());
+        let with = shards_engine(&t, opts, 1)
+            .with_trace(Arc::new(t.clone()))
+            .unwrap();
+        let QueryResponse::Path(routed) = with.answer(&q).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert_eq!(routed.arrival, no_trace.arrival);
+        assert_eq!(routed.hops, no_trace.hops);
+        let route = routed.route.expect("trace attached");
+        assert_eq!(route.len(), routed.hops);
+        assert_eq!(route[0].from, NodeId(0));
+        // Unreachable direction: node 4's only contact is long gone.
+        let QueryResponse::Path(nope) = with
+            .answer(&Query::Path {
+                src: 4,
+                dst: 0,
+                at: Time::secs(500.0),
+            })
+            .unwrap()
+        else {
+            panic!("wrong variant")
+        };
+        assert!(!nope.reachable && nope.route.is_none());
+    }
+
+    #[test]
+    fn typed_errors_cover_bad_requests() {
+        let t = toy();
+        let engine = shards_engine(&t, ProfileOptions::default(), 1);
+        assert!(matches!(
+            engine.answer(&Query::Delivery {
+                src: 99,
+                dst: 0,
+                at: Time::secs(0.0),
+                bound: HopBound::Unlimited
+            }),
+            Err(QueryError::NodeOutOfRange { node: 99, .. })
+        ));
+        assert!(matches!(
+            engine.answer(&Query::Path {
+                src: 1,
+                dst: 1,
+                at: Time::secs(0.0)
+            }),
+            Err(QueryError::SameNode)
+        ));
+        assert!(matches!(
+            engine.answer(&Query::Diameter {
+                eps: 1.5,
+                max_hops: 4,
+                internal_only: false
+            }),
+            Err(QueryError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_set_yields_shard_missing() {
+        let t = toy();
+        let meta = meta_of(&t, ProfileOptions::default());
+        let rows = AllPairsProfiles::compute(&t, meta.options).into_rows();
+        let dir = tmp("gap");
+        let paths = omnet_artifact::write_set(&dir, "toy", &meta, &rows, 5).unwrap();
+        std::fs::remove_file(&paths[2]).unwrap();
+        let engine = Engine::load_dir(&dir).unwrap();
+        // Source 2's shard is gone; source 0 still answers.
+        assert!(engine
+            .answer(&Query::Delivery {
+                src: 0,
+                dst: 3,
+                at: Time::secs(0.0),
+                bound: HopBound::Unlimited
+            })
+            .is_ok());
+        assert!(matches!(
+            engine.answer(&Query::Delivery {
+                src: 2,
+                dst: 3,
+                at: Time::secs(0.0),
+                bound: HopBound::Unlimited
+            }),
+            Err(QueryError::ShardMissing { source: 2 })
+        ));
+        assert!(matches!(
+            engine.answer(&Query::Diameter {
+                eps: 0.01,
+                max_hops: 4,
+                internal_only: false
+            }),
+            Err(QueryError::ShardMissing { source: 2 })
+        ));
+    }
+
+    #[test]
+    fn shallow_artifact_rejects_deep_diameter() {
+        let t = toy();
+        let opts = ProfileOptions::builder().store_levels(1).build();
+        let engine = shards_engine(&t, opts, 1);
+        let err = engine
+            .answer(&Query::Diameter {
+                eps: 0.01,
+                max_hops: 6,
+                internal_only: false,
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, QueryError::HopsBeyondArtifact { requested: 6, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stats_reports_coverage() {
+        let t = toy();
+        let engine = shards_engine(&t, ProfileOptions::default(), 2);
+        let QueryResponse::Stats(s) = engine.answer(&Query::Stats).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert_eq!(s.num_nodes, 5);
+        assert_eq!(s.num_internal, 4);
+        assert_eq!(s.shards, 2);
+        assert_eq!(s.rows, 5);
+        assert!(s.max_useful_hops.is_some());
+        // The lazy engine starts empty and fills as it answers.
+        let lazy = Engine::from_trace(Arc::new(t), ProfileOptions::default(), "toy");
+        let QueryResponse::Stats(s0) = lazy.answer(&Query::Stats).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert_eq!((s0.shards, s0.rows), (0, 0));
+        lazy.answer(&Query::Delivery {
+            src: 0,
+            dst: 1,
+            at: Time::secs(0.0),
+            bound: HopBound::Unlimited,
+        })
+        .unwrap();
+        let QueryResponse::Stats(s1) = lazy.answer(&Query::Stats).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert_eq!(s1.rows, 1);
+    }
+
+    #[test]
+    fn diameter_matches_direct_computation_bitwise() {
+        let t = toy();
+        let opts = ProfileOptions::default();
+        let engine = shards_engine(&t, opts, 2);
+        let QueryResponse::Diameter(a) = engine
+            .answer(&Query::Diameter {
+                eps: 0.01,
+                max_hops: 6,
+                internal_only: true,
+            })
+            .unwrap()
+        else {
+            panic!("wrong variant")
+        };
+        // Direct path: exactly what `SuccessCurves::compute` produces.
+        let horizon = t.span().duration().as_secs().max(240.0);
+        let grid: Vec<Dur> = omnet_analysis::log_grid(120.0_f64.min(horizon / 2.0), horizon, 16)
+            .into_iter()
+            .map(Dur::secs)
+            .collect();
+        let copts = CurveOptions::standard(6, grid);
+        let curves = SuccessCurves::compute(&t, &copts);
+        assert_eq!(a.diameter, curves.diameter(0.01));
+        assert_eq!(a.pairs, curves.pairs());
+        assert_eq!(a.grid, curves.grid());
+        assert_eq!(a.per_delay, curves.diameter_curve(0.01));
+    }
+}

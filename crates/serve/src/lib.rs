@@ -1,0 +1,35 @@
+//! Query engine over delivery-profile state: the typed request/response
+//! layer every consumer (the `omnet` CLI, batch scripts, tests) goes
+//! through instead of hand-wiring profile computations.
+//!
+//! Two backends answer the same [`Query`] grammar:
+//!
+//! - **Artifact-backed** ([`Engine::load_dir`]): loads a persisted shard set
+//!   written by `omnet-artifact` and answers without ever re-running the
+//!   §4.4 induction — no `engine.all_pairs` span is emitted on this path.
+//! - **Trace-backed** ([`Engine::from_trace`]): computes source rows lazily
+//!   from an in-memory trace and memoizes them, so interactive commands
+//!   (`omnet path`, `omnet delivery`, `omnet diameter`) share the exact
+//!   same answering code as the artifact path.
+//!
+//! Batches go through [`Engine::answer_batch`], which fans queries out on
+//! the work-stealing executor (`omnet_analysis::par_map`) while preserving
+//! input order.
+//!
+//! Observability: `serve.load` / `serve.query` spans, plus `serve.queries`,
+//! `serve.query_errors` and `serve.loads` counters.
+
+#![deny(missing_docs)]
+
+mod engine;
+mod query;
+
+pub use engine::Engine;
+pub use query::{
+    DeliveryAnswer, DiameterAnswer, PathAnswer, PathHop, Query, QueryError, QueryResponse,
+    StatsAnswer,
+};
+
+pub(crate) static QUERIES: omnet_obs::Counter = omnet_obs::Counter::new("serve.queries");
+pub(crate) static QUERY_ERRORS: omnet_obs::Counter = omnet_obs::Counter::new("serve.query_errors");
+pub(crate) static LOADS: omnet_obs::Counter = omnet_obs::Counter::new("serve.loads");

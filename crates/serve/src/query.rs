@@ -1,0 +1,432 @@
+//! The typed query API: request grammar, structured answers, typed errors.
+
+use omnet_core::{HopBound, ProfileOptions};
+use omnet_temporal::{Dur, Interval, NodeId, Time};
+use std::fmt;
+
+/// One request against an [`crate::Engine`].
+///
+/// The same grammar backs the `omnet query` line protocol
+/// ([`Query::parse_line`]) and direct construction from other commands.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Query {
+    /// When does a message from `src` created at `at` reach `dst` within
+    /// the hop budget?
+    Delivery {
+        /// Source node id.
+        src: u32,
+        /// Destination node id.
+        dst: u32,
+        /// Message creation time.
+        at: Time,
+        /// Hop budget of the forwarding scheme.
+        bound: HopBound,
+    },
+    /// The earliest-arrival route of one `(src, dst, at)` triple.
+    Path {
+        /// Source node id.
+        src: u32,
+        /// Destination node id.
+        dst: u32,
+        /// Message creation time.
+        at: Time,
+    },
+    /// The (1−ε)-diameter and its per-delay breakdown (§4.1).
+    Diameter {
+        /// ε of the (1−ε)-diameter; must lie in `[0, 1)`.
+        eps: f64,
+        /// Largest hop class evaluated.
+        max_hops: usize,
+        /// Restrict sources/destinations to internal devices.
+        internal_only: bool,
+    },
+    /// Metadata of the loaded state: dataset, window, shard coverage.
+    Stats,
+}
+
+/// A structured answer; one variant per [`Query`] variant.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueryResponse {
+    /// Answer to [`Query::Delivery`].
+    Delivery(DeliveryAnswer),
+    /// Answer to [`Query::Path`].
+    Path(PathAnswer),
+    /// Answer to [`Query::Diameter`].
+    Diameter(DiameterAnswer),
+    /// Answer to [`Query::Stats`].
+    Stats(StatsAnswer),
+}
+
+/// Earliest delivery of one `(src, dst)` pair under a hop budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryAnswer {
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+    /// Message creation time the query asked about.
+    pub at: Time,
+    /// Hop budget the query asked about.
+    pub bound: HopBound,
+    /// Earliest arrival time ([`Time::INF`] when unreachable).
+    pub arrival: Time,
+    /// `arrival - at` ([`Dur::INF`] when unreachable).
+    pub delay: Dur,
+    /// Whether the message is deliverable at all.
+    pub reachable: bool,
+}
+
+/// One hop of a reconstructed earliest-arrival route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathHop {
+    /// Forwarding device.
+    pub from: NodeId,
+    /// Receiving device.
+    pub to: NodeId,
+    /// The contact interval used.
+    pub window: Interval,
+    /// When the transfer happens.
+    pub at: Time,
+}
+
+/// Earliest-arrival route of one query triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathAnswer {
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+    /// Message creation time.
+    pub at: Time,
+    /// Whether any journey reaches the destination.
+    pub reachable: bool,
+    /// Earliest arrival ([`Time::INF`] when unreachable).
+    pub arrival: Time,
+    /// `arrival - at`.
+    pub delay: Dur,
+    /// Hop count of the optimal journey (hop *class* when answered from an
+    /// artifact without the trace attached).
+    pub hops: usize,
+    /// The concrete contact chain; `None` when the engine has no trace to
+    /// reconstruct a witness from (artifact-only backend).
+    pub route: Option<Vec<PathHop>>,
+}
+
+/// The (1−ε)-diameter and its supporting curve data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiameterAnswer {
+    /// ε the query asked about.
+    pub eps: f64,
+    /// Largest hop class evaluated.
+    pub max_hops: usize,
+    /// Ordered pairs averaged over.
+    pub pairs: usize,
+    /// The delay grid the curves were evaluated on.
+    pub grid: Vec<Dur>,
+    /// The (1−ε)-diameter, `None` when it exceeds `max_hops`.
+    pub diameter: Option<usize>,
+    /// Per-delay-constraint diameter (Fig-12 style), aligned with `grid`.
+    pub per_delay: Vec<Option<usize>>,
+}
+
+/// Metadata of the engine's loaded state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsAnswer {
+    /// Dataset key recorded at precompute time (or the trace label).
+    pub dataset_key: String,
+    /// Universe size.
+    pub num_nodes: u32,
+    /// Internal (fully logged) devices.
+    pub num_internal: u32,
+    /// Observation window of the underlying trace.
+    pub window: Interval,
+    /// Profile-engine options the rows were computed with.
+    pub options: ProfileOptions,
+    /// Loaded shard count (0 for a trace-backed engine).
+    pub shards: usize,
+    /// Source rows currently materialized.
+    pub rows: usize,
+    /// Largest `converged_at` over loaded rows; `None` when no rows are
+    /// materialized yet.
+    pub max_useful_hops: Option<usize>,
+}
+
+/// A typed query failure. Never a garbage answer: every malformed input,
+/// out-of-range id, or coverage gap maps to one of these.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The query line/tokens did not parse.
+    Parse {
+        /// What was wrong.
+        message: String,
+    },
+    /// A node id is not below the universe size.
+    NodeOutOfRange {
+        /// The offending id.
+        node: u32,
+        /// The universe size.
+        num_nodes: u32,
+    },
+    /// Source equals destination where a proper pair is required.
+    SameNode,
+    /// The loaded artifact set has no shard covering this source.
+    ShardMissing {
+        /// The uncovered source id.
+        source: u32,
+    },
+    /// A parameter parsed but lies outside its domain.
+    BadParameter {
+        /// What was wrong.
+        message: String,
+    },
+    /// The artifact stores fewer hop classes than the query needs for an
+    /// exact answer; re-precompute with a larger `--store-levels`.
+    HopsBeyondArtifact {
+        /// Hop classes the query evaluates.
+        requested: usize,
+        /// Hop classes the artifact can answer exactly.
+        stored: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { message } => write!(f, "query syntax: {message}"),
+            QueryError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range: ids must be below {num_nodes}")
+            }
+            QueryError::SameNode => f.write_str("source equals destination"),
+            QueryError::ShardMissing { source } => {
+                write!(f, "no loaded shard covers source {source}")
+            }
+            QueryError::BadParameter { message } => f.write_str(message),
+            QueryError::HopsBeyondArtifact { requested, stored } => write!(
+                f,
+                "query needs {requested} hop classes but the artifact stores only {stored}; \
+                 re-run precompute with --store-levels {requested} or higher"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+fn parse_node(tok: &str, what: &str) -> Result<u32, QueryError> {
+    tok.parse().map_err(|_| QueryError::Parse {
+        message: format!("invalid {what} id '{tok}'"),
+    })
+}
+
+fn parse_time(tok: &str, what: &str) -> Result<Time, QueryError> {
+    let secs: f64 = tok.parse().map_err(|_| QueryError::Parse {
+        message: format!("invalid {what} '{tok}'"),
+    })?;
+    if !secs.is_finite() {
+        return Err(QueryError::Parse {
+            message: format!("{what} must be finite, got '{tok}'"),
+        });
+    }
+    Ok(Time::secs(secs))
+}
+
+impl Query {
+    /// Parses one line of the `omnet query --stdin` protocol. Blank lines
+    /// and `#` comments yield `Ok(None)`.
+    ///
+    /// Grammar (whitespace-separated):
+    ///
+    /// ```text
+    /// delivery <src> <dst> <at-secs> [<max-hops>]
+    /// path     <src> <dst> <at-secs>
+    /// diameter [<eps> [<max-hops>]] [internal]
+    /// stats
+    /// ```
+    pub fn parse_line(line: &str) -> Result<Option<Query>, QueryError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        Query::parse_tokens(&tokens).map(Some)
+    }
+
+    /// Parses a tokenized query (the `omnet query <dir> <tokens...>` form).
+    pub fn parse_tokens(tokens: &[&str]) -> Result<Query, QueryError> {
+        let Some((&kind, rest)) = tokens.split_first() else {
+            return Err(QueryError::Parse {
+                message: "empty query".into(),
+            });
+        };
+        match kind {
+            "delivery" => match rest {
+                [src, dst, at] => Ok(Query::Delivery {
+                    src: parse_node(src, "src")?,
+                    dst: parse_node(dst, "dst")?,
+                    at: parse_time(at, "creation time")?,
+                    bound: HopBound::Unlimited,
+                }),
+                [src, dst, at, hops] => Ok(Query::Delivery {
+                    src: parse_node(src, "src")?,
+                    dst: parse_node(dst, "dst")?,
+                    at: parse_time(at, "creation time")?,
+                    bound: HopBound::AtMost(hops.parse().map_err(|_| QueryError::Parse {
+                        message: format!("invalid hop budget '{hops}'"),
+                    })?),
+                }),
+                _ => Err(QueryError::Parse {
+                    message: "expected: delivery <src> <dst> <at-secs> [<max-hops>]".into(),
+                }),
+            },
+            "path" => match rest {
+                [src, dst, at] => Ok(Query::Path {
+                    src: parse_node(src, "src")?,
+                    dst: parse_node(dst, "dst")?,
+                    at: parse_time(at, "creation time")?,
+                }),
+                _ => Err(QueryError::Parse {
+                    message: "expected: path <src> <dst> <at-secs>".into(),
+                }),
+            },
+            "diameter" => {
+                let (rest, internal_only) = match rest.split_last() {
+                    Some((&"internal", head)) => (head, true),
+                    _ => (rest, false),
+                };
+                let (eps, max_hops) = match rest {
+                    [] => (0.01, 10),
+                    [eps] => (
+                        eps.parse().map_err(|_| QueryError::Parse {
+                            message: format!("invalid eps '{eps}'"),
+                        })?,
+                        10,
+                    ),
+                    [eps, hops] => (
+                        eps.parse().map_err(|_| QueryError::Parse {
+                            message: format!("invalid eps '{eps}'"),
+                        })?,
+                        hops.parse().map_err(|_| QueryError::Parse {
+                            message: format!("invalid max-hops '{hops}'"),
+                        })?,
+                    ),
+                    _ => {
+                        return Err(QueryError::Parse {
+                            message: "expected: diameter [<eps> [<max-hops>]] [internal]".into(),
+                        })
+                    }
+                };
+                Ok(Query::Diameter {
+                    eps,
+                    max_hops,
+                    internal_only,
+                })
+            }
+            "stats" => {
+                if rest.is_empty() {
+                    Ok(Query::Stats)
+                } else {
+                    Err(QueryError::Parse {
+                        message: "stats takes no arguments".into(),
+                    })
+                }
+            }
+            other => Err(QueryError::Parse {
+                message: format!("unknown query '{other}' (delivery|path|diameter|stats)"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_form() {
+        assert_eq!(
+            Query::parse_line("delivery 0 3 120").unwrap().unwrap(),
+            Query::Delivery {
+                src: 0,
+                dst: 3,
+                at: Time::secs(120.0),
+                bound: HopBound::Unlimited
+            }
+        );
+        assert_eq!(
+            Query::parse_line("delivery 0 3 120 2").unwrap().unwrap(),
+            Query::Delivery {
+                src: 0,
+                dst: 3,
+                at: Time::secs(120.0),
+                bound: HopBound::AtMost(2)
+            }
+        );
+        assert_eq!(
+            Query::parse_line("path 1 2 0.5").unwrap().unwrap(),
+            Query::Path {
+                src: 1,
+                dst: 2,
+                at: Time::secs(0.5)
+            }
+        );
+        assert_eq!(
+            Query::parse_line("diameter").unwrap().unwrap(),
+            Query::Diameter {
+                eps: 0.01,
+                max_hops: 10,
+                internal_only: false
+            }
+        );
+        assert_eq!(
+            Query::parse_line("diameter 0.05 4 internal")
+                .unwrap()
+                .unwrap(),
+            Query::Diameter {
+                eps: 0.05,
+                max_hops: 4,
+                internal_only: true
+            }
+        );
+        assert_eq!(Query::parse_line("stats").unwrap().unwrap(), Query::Stats);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_skip() {
+        assert_eq!(Query::parse_line("").unwrap(), None);
+        assert_eq!(Query::parse_line("   ").unwrap(), None);
+        assert_eq!(Query::parse_line("# a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "delivery 0 3",
+            "delivery x 3 0",
+            "delivery 0 3 nan",
+            "delivery 0 3 inf",
+            "path 0 1",
+            "diameter nope",
+            "diameter 0.1 2 3 4",
+            "stats now",
+            "frobnicate",
+        ] {
+            let err = Query::parse_line(bad).unwrap_err();
+            assert!(matches!(err, QueryError::Parse { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn errors_render_actionably() {
+        let e = QueryError::HopsBeyondArtifact {
+            requested: 8,
+            stored: 4,
+        };
+        assert!(e.to_string().contains("--store-levels 8"));
+        assert!(QueryError::ShardMissing { source: 7 }
+            .to_string()
+            .contains("source 7"));
+    }
+}

@@ -13,7 +13,7 @@ use std::path::{Path, PathBuf};
 
 /// The library crates whose sources are linted.
 pub const LIB_CRATES: &[&str] = &[
-    "temporal", "core", "random", "mobility", "flooding", "analysis", "obs",
+    "temporal", "core", "random", "mobility", "flooding", "analysis", "obs", "artifact", "serve",
 ];
 
 /// Crates whose public items must cite a paper section (`§`) in docs.
