@@ -203,12 +203,13 @@ fn run_gate() {
     let micro_new = time_best_ms(reps, || omnet_analysis::par_map(micro_n, work));
 
     let ids = GATE_IDS.join("+");
+    let peak_rss = omnet_bench::gate::peak_rss_json();
     let json = format!(
         "{{\n  \"pr\": 4,\n  \"bench\": \"executor\",\n  \
          \"metric\": \"quick-mode {ids} end-to-end: sequential + cache cleared per experiment \
          (pre-PR shape, frozen crossbeam-scope par_map dispatch measured separately) vs \
          run_experiments with jobs lanes + shared substrate cache; best of {reps}\",\n  \
-         \"threads\": {threads},\n  \"jobs\": {jobs},\n  \
+         \"threads\": {threads},\n  \"jobs\": {jobs},\n  \"peak_rss_bytes\": {peak_rss},\n  \
          \"end_to_end\": {{\"old_ms\": {old_ms:.1}, \"new_ms\": {new_ms:.1}, \"speedup\": {speedup:.3}}},\n  \
          \"dispatch_1024_items\": {{\"scoped_per_call_ms\": {micro_old:.3}, \
          \"persistent_pool_ms\": {micro_new:.3}}}\n}}\n"

@@ -251,13 +251,14 @@ fn run_gate() {
         .collect::<Vec<_>>()
         .join("/");
     let threads = omnet_analysis::executor::global().threads();
+    let peak_rss = omnet_bench::gate::peak_rss_json();
     let json = format!(
         "{{\n  \"pr\": 5,\n  \"bench\": \"obs_overhead\",\n  \
          \"metric\": \"AllPairsProfiles::compute wall-clock, best of {reps_desc} \
          interleaved rounds, default options; instrumented engine (sink \
          disabled / sink to io::sink) vs frozen pre-obs engine\",\n  \
          \"contract\": \"disabled-mode overhead <= {contract:.0}%\",\n  \
-         \"threads\": {threads},\n  \
+         \"threads\": {threads},\n  \"peak_rss_bytes\": {peak_rss},\n  \
          \"worst_disabled_overhead_pct\": {worst:.3},\n  \
          \"pass\": {pass},\n  \
          \"presets\": [\n{}\n  ]\n}}\n",

@@ -216,11 +216,12 @@ fn run_gate() {
         ));
     }
     let threads = omnet_analysis::executor::global().threads();
+    let peak_rss = omnet_bench::gate::peak_rss_json();
     let json = format!(
         "{{\n  \"pr\": 2,\n  \"bench\": \"profile_engine\",\n  \
          \"metric\": \"AllPairsProfiles::compute wall-clock, best of {reps}, \
          default options (TimeIndexed + Deltas) vs frozen pre-PR inner loop\",\n  \
-         \"threads\": {threads},\n  \
+         \"threads\": {threads},\n  \"peak_rss_bytes\": {peak_rss},\n  \
          \"presets\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );

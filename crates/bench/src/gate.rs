@@ -1,0 +1,66 @@
+//! Shared helpers for the wall-clock perf gates under `benches/`.
+//!
+//! Every gate bench writes a `BENCH_pr<N>.json` at the repository root; the
+//! helpers here keep the measurement columns consistent across PRs —
+//! in particular the memory column, so every gate artifact records how much
+//! resident memory the run actually touched.
+
+/// Peak resident-set size of this process in bytes, best effort.
+///
+/// On Linux this reads the `VmHWM` (high-water mark) line of
+/// `/proc/self/status`, which the kernel maintains for the whole process
+/// lifetime — a bench that runs several presets therefore reports the
+/// maximum across everything run *so far*, not a per-preset figure.
+/// Sample it after each phase and the deltas attribute the peaks. Returns
+/// `None` on platforms without procfs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// The peak-RSS column as a JSON value: the byte count, or `null` where
+/// [`peak_rss_bytes`] is unsupported — so gate artifacts keep a uniform
+/// schema across platforms.
+pub fn peak_rss_json() -> String {
+    match peak_rss_bytes() {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn linux_reports_a_positive_peak() {
+        let hwm = peak_rss_bytes().expect("procfs should be readable on linux");
+        // any running process has at least a page resident
+        assert!(hwm > 4096, "implausible peak {hwm}");
+        assert_eq!(peak_rss_json(), hwm.to_string());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_is_monotone_under_allocation() {
+        let before = peak_rss_bytes().unwrap();
+        // touch 32 MiB so the high-water mark cannot be below that
+        let block = vec![7u8; 32 << 20];
+        assert!(block.iter().map(|&b| b as u64).sum::<u64>() > 0);
+        let after = peak_rss_bytes().unwrap();
+        assert!(after >= before, "HWM regressed: {before} -> {after}");
+    }
+
+    #[test]
+    fn json_value_is_well_formed() {
+        let v = peak_rss_json();
+        assert!(v == "null" || v.parse::<u64>().is_ok(), "bad value {v}");
+    }
+}

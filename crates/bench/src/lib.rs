@@ -11,6 +11,7 @@
 
 pub mod artifacts;
 pub mod experiments;
+pub mod gate;
 pub mod harness;
 pub mod substrate;
 

@@ -20,23 +20,34 @@
 //!
 //! # Engine hot path
 //!
-//! Three engine-level optimizations keep the induction allocation-free and
-//! pruned (all behind [`ProfileOptions`] knobs, differentially tested
+//! The engine-level optimizations keep the induction allocation-free,
+//! pruned, and shaped for large `N` (the knobs are differentially tested
 //! against [`SourceProfiles::compute_naive`]):
 //!
-//! * **time-indexed arc pruning** — [`Arcs`] keeps each node's out-arcs
-//!   sorted by interval end, so one `partition_point` on a delta's earliest
-//!   arrival skips every contact that ended before the summary could board;
-//! * **pooled scratch buffers** — per-destination candidate and delta
-//!   buffers live in a [`ProfileScratch`] reused across levels and (via the
-//!   per-worker state of `omnet_analysis::par_map_with`) across sources;
+//! * **flat CSR arc index** — [`Arcs`] packs all directed arcs into one
+//!   contiguous array grouped by tail node with a `row_offsets` table
+//!   (built through [`omnet_temporal::Csr`]), so `leaving`/`boardable` are
+//!   offset slices with no per-node pointer chase, and walking delta nodes
+//!   in ascending id walks arc memory forward;
+//! * **time-indexed arc pruning** — each CSR row is sorted by interval
+//!   end, so one `partition_point` on a delta's earliest arrival skips
+//!   every contact that ended before the summary could board;
+//! * **arena/bitset frontiers** — each level's delta pairs live in one
+//!   pooled [`ProfileScratch`] arena with per-destination ranges, and
+//!   word-packed dirty/reached bitsets keep every per-level loop
+//!   proportional to the destinations that actually changed, never to the
+//!   node count;
 //! * **delta level storage** — stored hop-class snapshots keep only the
 //!   per-level frontier additions and reconstruct `AtMost(k)` queries on
-//!   demand, cutting snapshot memory by roughly the convergence depth.
+//!   demand, cutting snapshot memory by roughly the convergence depth;
+//! * **streaming all-pairs** — [`AllPairsProfiles::map_range`] hands each
+//!   source's fixpoint to a visitor as a borrowed [`ProfileView`] and
+//!   recycles the frontiers immediately, so a 10⁵-node all-pairs pass
+//!   never materializes all `n²` delivery functions at once.
 
 use crate::delivery::{self, DeliveryFunction};
 use omnet_obs::Counter;
-use omnet_temporal::{invariant, Interval, LdEa, NodeId, Trace};
+use omnet_temporal::{invariant, ContactId, Csr, Interval, LdEa, NodeId, Trace};
 use std::borrow::Cow;
 use std::fmt;
 use std::ops::Range;
@@ -53,10 +64,18 @@ static LEVELS: Counter = Counter::new("engine.levels");
 /// Arcs skipped by the time-indexed boardability `partition_point`.
 static ARCS_TIME_PRUNED: Counter = Counter::new("engine.arcs_time_pruned");
 /// Boardable arcs skipped exactly because the destination frontier
-/// already covered their `(ld, ea)` rectangle.
+/// already dominated the best `(ld, ea)` corner any of their candidates
+/// could reach.
 static ARCS_COVER_SKIPPED: Counter = Counter::new("engine.arcs_cover_skipped");
 /// `ProfileScratch` resets that reused previously grown buffers.
 static SCRATCH_REUSES: Counter = Counter::new("engine.scratch_reuses");
+/// Destinations whose candidate buffer was written by an extension step,
+/// summed over levels and sources — how sparse the per-level touched set
+/// actually is compared to `levels × n`.
+static FRONTIER_TOUCHED: Counter = Counter::new("engine.frontier_touched");
+/// High-water mark of the pooled per-level delta arena, in `LdEa` pairs
+/// (a `record_max` gauge, not a sum).
+static ARENA_HWM: Counter = Counter::new("engine.arena_hwm");
 
 /// A maximum-hop constraint for path queries (the hop classes of §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,62 +208,129 @@ impl ProfileOptionsBuilder {
 }
 
 /// Directed arc view of a trace's contacts (the "edges" the §4.4 induction
-/// concatenates on the right), grouped by tail node and sorted by interval
-/// end, reused across per-source computations.
+/// concatenates on the right), stored as one flat CSR table: all arcs in a
+/// single contiguous array grouped by tail node and sorted by interval end
+/// within each row, with a `row_offsets` table mapping a node to its arc
+/// range — no per-node heap indirection. Built once per trace and shared
+/// across per-source computations (and, via [`Arcs::leaving_contacts`],
+/// with the brute-force oracle and the naive spec).
 ///
 /// The end-sorted order is what makes [`ArcPruning::TimeIndexed`] a binary
 /// search: arcs whose interval ended before a summary's earliest arrival
-/// form a prefix.
+/// form a prefix of the row.
 #[derive(Debug, Clone)]
 pub struct Arcs {
-    from: Vec<Vec<(u32, Interval)>>,
+    /// `num_nodes + 1` offsets into `arcs`/`contact_ids`, non-decreasing.
+    row_offsets: Vec<u32>,
+    /// All arcs as `(head, interval)`, grouped by tail, end-sorted per row.
+    arcs: Vec<(u32, Interval)>,
+    /// The contact each arc was expanded from (column parallel to `arcs`).
+    contact_ids: Vec<ContactId>,
 }
 
 impl Arcs {
-    /// Expands each undirected contact into its two directed arcs.
+    /// Expands each undirected contact into its two directed arcs and packs
+    /// them into the CSR index: one counting-sort pass through
+    /// [`omnet_temporal::Csr`], then an end-sort within each row. Row order
+    /// ties are broken by contact id so the parallel contact column is
+    /// deterministic even when duplicate contacts produce identical
+    /// `(end, start, head)` keys.
     pub fn of(trace: &Trace) -> Arcs {
         let n = trace.num_nodes() as usize;
-        let mut from: Vec<Vec<(u32, Interval)>> = vec![Vec::new(); n];
-        for c in trace.contacts() {
-            from[c.a.index()].push((c.b.0, c.interval));
-            from[c.b.index()].push((c.a.0, c.interval));
+        let mut csr = Csr::build(
+            n,
+            trace.contacts().iter().enumerate().flat_map(|(i, c)| {
+                [
+                    (c.a.0, (c.b.0, c.interval, i as u32)),
+                    (c.b.0, (c.a.0, c.interval, i as u32)),
+                ]
+            }),
+        );
+        csr.sort_rows_by_key(|&(head, iv, cid)| (iv.end, iv.start, head, cid));
+        let (row_offsets, entries) = csr.into_parts();
+        let mut arcs = Vec::with_capacity(entries.len());
+        let mut contact_ids = Vec::with_capacity(entries.len());
+        for (head, iv, cid) in entries {
+            arcs.push((head, iv));
+            contact_ids.push(ContactId(cid));
         }
-        for list in &mut from {
-            list.sort_unstable_by_key(|a| (a.1.end, a.1.start, a.0));
+        Arcs {
+            row_offsets,
+            arcs,
+            contact_ids,
         }
-        Arcs { from }
     }
 
     /// Arcs leaving `node` as `(head, interval)` pairs, ascending by
-    /// interval end.
+    /// interval end — one offset-delimited slice of the flat arc array.
     pub fn leaving(&self, node: NodeId) -> &[(u32, Interval)] {
-        &self.from[node.index()]
+        &self.arcs[self.row_range(node)]
+    }
+
+    /// The contacts the arcs of [`Arcs::leaving`] were expanded from, in
+    /// the same order — the parallel column that lets sequence enumeration
+    /// (`bruteforce`) walk the shared index instead of rebuilding its own
+    /// adjacency.
+    pub fn leaving_contacts(&self, node: NodeId) -> &[ContactId] {
+        &self.contact_ids[self.row_range(node)]
     }
 
     /// The suffix of [`Arcs::leaving`] that a summary arriving at `ea` can
     /// still board: arcs with `interval.end >= ea` (§4.3, fact (iv)).
     pub fn boardable(&self, node: NodeId, ea: omnet_temporal::Time) -> &[(u32, Interval)] {
-        let all = &self.from[node.index()];
+        let all = self.leaving(node);
         &all[all.partition_point(|&(_, iv)| iv.end < ea)..]
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.from.len()
+        self.row_offsets.len() - 1
+    }
+
+    /// Total number of directed arcs (twice the contact count).
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    fn row_range(&self, node: NodeId) -> Range<usize> {
+        self.row_offsets[node.index()] as usize..self.row_offsets[node.index() + 1] as usize
     }
 }
 
-/// Reusable working memory of the §4.4 induction: per-destination candidate
-/// and delta buffers that survive across levels and, when threaded through
-/// `omnet_analysis::par_map_with`, across sources — so the steady-state hot
+/// Reusable working memory of the §4.4 induction, shaped for large `N`:
+/// pooled per-destination frontier and candidate slots, one contiguous
+/// `LdEa` arena holding the current level's delta runs, and word-packed
+/// dirty/reached bitsets. Every per-level loop — extension, absorption,
+/// bookkeeping — is proportional to the destinations whose frontier
+/// actually changed, never to the node count, and the steady-state hot
 /// path allocates nothing per (pair, arc) visit.
 #[derive(Debug, Default)]
 pub struct ProfileScratch {
+    /// Pooled per-destination frontiers (the induction's `cur` row).
+    cur: Vec<DeliveryFunction>,
     /// Candidate summaries produced by the extension step, per destination.
     cands: Vec<Vec<LdEa>>,
-    /// Frontier pairs newly added at the current level, per destination
-    /// (each a valid compacted frontier).
-    delta: Vec<Vec<LdEa>>,
+    /// The current level's delta pairs: one contiguous run per entry of
+    /// `delta_index` (each run a valid compacted frontier).
+    arena: Vec<LdEa>,
+    /// `(dest, start, end)` runs into `arena`, ascending by dest.
+    delta_index: Vec<(u32, u32, u32)>,
+    /// Word-packed dirty bits: destination received candidates this level.
+    dirty: Vec<u64>,
+    /// Destinations marked dirty this level (sorted before absorption).
+    touched: Vec<u32>,
+    /// Word-packed reached bits: destination frontier is non-empty.
+    reached_words: Vec<u64>,
+    /// Destinations with a non-empty frontier, in first-reached order.
+    reached: Vec<u32>,
+    /// Reusable absorb output buffer.
+    added: Vec<LdEa>,
+    /// Reusable merge buffer for `DeliveryFunction::absorb_compacted`.
+    merge: Vec<LdEa>,
+    /// True while an induction is running: a reset observing it recovers
+    /// from a mid-flight panic with a full wipe instead of trusting the
+    /// sparse end-of-run cleanup that never happened.
+    in_flight: bool,
 }
 
 impl ProfileScratch {
@@ -253,19 +339,64 @@ impl ProfileScratch {
         ProfileScratch::default()
     }
 
-    /// Clears all buffers and ensures capacity for `n` destinations.
+    /// Grows the pooled buffers to `n` destinations. Relies on the previous
+    /// run's sparse cleanup (every slot it touched was cleared on the way
+    /// out) unless that run panicked mid-flight.
     fn reset(&mut self, n: usize) {
         if !self.cands.is_empty() {
             SCRATCH_REUSES.inc();
         }
+        if self.in_flight {
+            for f in &mut self.cur {
+                f.clear();
+            }
+            for b in &mut self.cands {
+                b.clear();
+            }
+            self.dirty.fill(0);
+            self.reached_words.fill(0);
+            self.touched.clear();
+            self.reached.clear();
+        }
+        self.cur
+            .resize_with(n.max(self.cur.len()), DeliveryFunction::empty);
         self.cands.resize_with(n.max(self.cands.len()), Vec::new);
-        self.delta.resize_with(n.max(self.delta.len()), Vec::new);
-        for b in &mut self.cands {
-            b.clear();
+        let words = n.div_ceil(64);
+        self.dirty.resize(words.max(self.dirty.len()), 0);
+        self.reached_words
+            .resize(words.max(self.reached_words.len()), 0);
+        self.arena.clear();
+        self.delta_index.clear();
+        self.in_flight = true;
+    }
+
+    /// Sparse end-of-run cleanup for the streaming path: clears exactly the
+    /// slots the finished induction populated, leaving their capacity for
+    /// the next source.
+    fn finish(&mut self) {
+        for &d in &self.reached {
+            self.cur[d as usize].clear();
+            self.reached_words[(d >> 6) as usize] &= !(1u64 << (d & 63));
         }
-        for b in &mut self.delta {
-            b.clear();
+        self.reached.clear();
+        self.arena.clear();
+        self.delta_index.clear();
+        self.in_flight = false;
+    }
+
+    /// Moves the first `n` frontier slots out for a materialized
+    /// [`SourceProfiles`] row (the pooled slots revert to fresh empties)
+    /// and performs the same end-of-run cleanup as [`ProfileScratch::finish`].
+    fn take_rows(&mut self, n: usize) -> Vec<DeliveryFunction> {
+        let rows: Vec<DeliveryFunction> = self.cur[..n].iter_mut().map(std::mem::take).collect();
+        for &d in &self.reached {
+            self.reached_words[(d >> 6) as usize] &= !(1u64 << (d & 63));
         }
+        self.reached.clear();
+        self.arena.clear();
+        self.delta_index.clear();
+        self.in_flight = false;
+        rows
     }
 }
 
@@ -287,6 +418,15 @@ impl LevelStore {
             LevelStore::Delta(v) => v.len(),
         }
     }
+}
+
+/// What [`SourceProfiles::induct_core`] leaves behind besides the frontiers
+/// themselves (which stay in the scratch for the caller to materialize or
+/// visit in place).
+struct InductionFixpoint {
+    levels: LevelStore,
+    converged_at: usize,
+    converged: bool,
 }
 
 /// Delivery functions from one source to every destination, per hop class
@@ -336,13 +476,9 @@ impl SourceProfiles {
         SourceProfiles::induct(trace, arcs, source, opts, scratch)
     }
 
-    /// The induction body shared by every public entry point.
-    ///
-    /// The hot path is allocation-free in the steady state: candidate
-    /// summaries are appended to pooled per-destination buffers
-    /// ([`DeliveryFunction::extend_into`]), deltas are compacted in place,
-    /// and — under [`LevelStorage::Deltas`] — no per-level frontier clones
-    /// are taken.
+    /// The materializing induction entry point: runs
+    /// [`SourceProfiles::induct_core`], then moves the pooled frontier
+    /// slots out into an owned row.
     fn induct(
         trace: &Trace,
         arcs: &Arcs,
@@ -351,18 +487,69 @@ impl SourceProfiles {
         scratch: &mut ProfileScratch,
     ) -> SourceProfiles {
         let n = trace.num_nodes() as usize;
+        let fix = SourceProfiles::induct_core(trace, arcs, source, opts, scratch);
+        let unlimited = scratch.take_rows(n);
+        SourceProfiles {
+            source,
+            levels: fix.levels,
+            unlimited,
+            converged_at: fix.converged_at,
+            converged: fix.converged,
+        }
+    }
+
+    /// The induction body shared by every entry point, materializing or
+    /// streaming. On return the fixpoint frontiers live in `scratch.cur`
+    /// (with `scratch.reached` listing the non-empty ones); the caller
+    /// either takes them ([`ProfileScratch::take_rows`]) or visits them in
+    /// place and recycles ([`ProfileScratch::finish`]).
+    ///
+    /// The hot path is allocation-free in the steady state and touches only
+    /// changing destinations: each level extends the previous level's arena
+    /// runs through the CSR arc index in ascending-destination order
+    /// (forward memory walk), marks written candidate buffers in a dirty
+    /// bitset, then absorbs exactly the touched destinations — sorted so
+    /// delta runs stay ascending — via the merge-based
+    /// [`DeliveryFunction::absorb_compacted`].
+    fn induct_core(
+        trace: &Trace,
+        arcs: &Arcs,
+        source: NodeId,
+        opts: ProfileOptions,
+        scratch: &mut ProfileScratch,
+    ) -> InductionFixpoint {
+        let n = trace.num_nodes() as usize;
         assert_eq!(arcs.num_nodes(), n, "arcs built for a different trace");
         assert!(source.index() < n, "source outside the node universe");
 
-        let mut cur: Vec<DeliveryFunction> = vec![DeliveryFunction::empty(); n];
-        cur[source.index()] = DeliveryFunction::identity();
         scratch.reset(n);
-        scratch.delta[source.index()].push(LdEa::EMPTY);
+        let ProfileScratch {
+            cur,
+            cands,
+            arena,
+            delta_index,
+            dirty,
+            touched,
+            reached_words,
+            reached,
+            added,
+            merge,
+            ..
+        } = scratch;
+
+        // Level 0: the source reaches itself with the empty-sequence
+        // summary, which is also the first delta run.
+        let src = source.index();
+        cur[src] = DeliveryFunction::identity();
+        reached_words[src >> 6] |= 1u64 << (src & 63);
+        reached.push(source.0);
+        arena.push(LdEa::EMPTY);
+        delta_index.push((source.0, 0, 1));
 
         let mut full_levels: Vec<Vec<DeliveryFunction>> = Vec::new();
         let mut delta_levels: Vec<Vec<(u32, Box<[LdEa]>)>> = Vec::new();
         if opts.level_storage == LevelStorage::FullClones {
-            full_levels.push(cur.clone());
+            full_levels.push(cur[..n].to_vec());
         }
         let mut converged_at = opts.max_levels;
         let mut converged = false;
@@ -371,71 +558,111 @@ impl SourceProfiles {
         let mut levels_run = 0u64;
         let mut time_pruned = 0u64;
         let mut cover_skipped = 0u64;
+        let mut frontier_touched = 0u64;
+        let mut arena_hwm = arena.len() as u64;
 
-        let ProfileScratch { cands, delta } = scratch;
         for k in 1..=opts.max_levels {
             levels_run += 1;
-            // Extension: concatenate every level-(k-1) delta with every arc
-            // its summaries can still board.
-            for (m, d) in delta.iter().enumerate() {
-                if d.is_empty() {
-                    continue;
-                }
-                let node = NodeId(m as u32);
+            // Extension: concatenate every level-(k-1) delta run with every
+            // arc its summaries can still board. Runs ascend by destination,
+            // so the CSR rows are visited in ascending memory order.
+            for &(m, lo, hi) in delta_index.iter() {
+                let d = &arena[lo as usize..hi as usize];
+                let node = NodeId(m);
                 // `d` is a compacted frontier, so its first pair carries the
                 // minimum EA — the boardability threshold for the whole
                 // delta.
                 match opts.arc_pruning {
                     ArcPruning::Exhaustive => {
                         for &(to, iv) in arcs.leaving(node) {
-                            delivery::extend_frontier_into(d, iv, &mut cands[to as usize]);
+                            let t = to as usize;
+                            if dirty[t >> 6] & (1u64 << (t & 63)) == 0 {
+                                dirty[t >> 6] |= 1u64 << (t & 63);
+                                touched.push(to);
+                            }
+                            delivery::extend_frontier_into(d, iv, &mut cands[t]);
                         }
                     }
                     ArcPruning::TimeIndexed => {
                         let boardable = arcs.boardable(node, d[0].ea);
                         time_pruned += (arcs.leaving(node).len() - boardable.len()) as u64;
+                        let min_ea = d[0].ea;
+                        let max_ld = d[d.len() - 1].ld;
                         for &(to, iv) in boardable {
-                            // Every candidate this arc can produce has
-                            // `ld <= iv.end` and `ea >= iv.start`; if the
-                            // destination frontier already covers that
-                            // rectangle, the whole arc is dead (exact skip).
-                            if cur[to as usize].covers(iv) {
+                            let t = to as usize;
+                            // Every candidate this arc can produce is
+                            // weakly dominated by the batch corner
+                            // `(min(max LD, end), max(min EA, start))`; if
+                            // the destination frontier dominates even the
+                            // corner, the whole arc is dead (exact skip,
+                            // strictly stronger than testing the arc
+                            // rectangle alone).
+                            let corner = LdEa {
+                                ld: max_ld.min(iv.end),
+                                ea: min_ea.max(iv.start),
+                            };
+                            if cur[t].dominates_point(corner.ld, corner.ea) {
                                 cover_skipped += 1;
                                 continue;
                             }
-                            delivery::extend_frontier_into(d, iv, &mut cands[to as usize]);
+                            // Region-structured extension with the
+                            // dominance filter fused in: candidates the
+                            // frontier already dominates never reach the
+                            // absorb step (the added set is unchanged).
+                            let before = cands[t].len();
+                            delivery::extend_frontier_filtered_into(
+                                d,
+                                iv,
+                                cur[t].pairs(),
+                                &mut cands[t],
+                            );
+                            if cands[t].len() > before && dirty[t >> 6] & (1u64 << (t & 63)) == 0 {
+                                dirty[t >> 6] |= 1u64 << (t & 63);
+                                touched.push(to);
+                            }
                         }
                     }
                 }
             }
-            // Absorption: fold candidates into the frontiers, recording what
-            // genuinely extended them as the next delta.
-            let mut changed = false;
-            for d_idx in 0..n {
-                if cands[d_idx].is_empty() {
-                    delta[d_idx].clear();
+            // Absorption: fold candidates into the frontiers of exactly the
+            // touched destinations, recording what genuinely extended them
+            // as the next level's arena runs. Touched ids are sorted so the
+            // runs ascend by destination (the Deltas store binary-searches
+            // them, and determinism requires a canonical order).
+            touched.sort_unstable();
+            frontier_touched += touched.len() as u64;
+            arena.clear();
+            delta_index.clear();
+            for &t in touched.iter() {
+                let ti = t as usize;
+                dirty[ti >> 6] &= !(1u64 << (t & 63));
+                cur[ti].absorb_compacted(&mut cands[ti], added, merge);
+                cands[ti].clear();
+                if added.is_empty() {
                     continue;
                 }
-                cur[d_idx].absorb_into(&cands[d_idx], &mut delta[d_idx]);
-                cands[d_idx].clear();
-                if delta[d_idx].is_empty() {
-                    continue;
+                let lo = arena.len() as u32;
+                arena.extend_from_slice(added);
+                delta_index.push((t, lo, arena.len() as u32));
+                if reached_words[ti >> 6] & (1u64 << (t & 63)) == 0 {
+                    reached_words[ti >> 6] |= 1u64 << (t & 63);
+                    reached.push(t);
                 }
-                delivery::compact_frontier_in_place(&mut delta[d_idx]);
-                changed = true;
             }
+            touched.clear();
+            arena_hwm = arena_hwm.max(arena.len() as u64);
+            let changed = !delta_index.is_empty();
             if omnet_obs::enabled() {
                 // One record per induction level: how much the frontier
-                // grew (delta pairs) and how big it now is. The O(n) sums
-                // run only with an active trace sink.
-                let delta_pairs: usize = delta.iter().map(Vec::len).sum();
-                let frontier_pairs: usize = cur.iter().map(DeliveryFunction::len).sum();
+                // grew (delta pairs) and how big it now is. The reached-set
+                // sum runs only with an active trace sink.
+                let frontier_pairs: usize = reached.iter().map(|&d| cur[d as usize].len()).sum();
                 omnet_obs::event(
                     "engine.level",
                     &[
                         ("source", source.0.into()),
                         ("level", k.into()),
-                        ("delta_pairs", delta_pairs.into()),
+                        ("delta_pairs", arena.len().into()),
                         ("frontier_pairs", frontier_pairs.into()),
                     ],
                 );
@@ -447,13 +674,16 @@ impl SourceProfiles {
             }
             if k <= opts.store_levels {
                 match opts.level_storage {
-                    LevelStorage::FullClones => full_levels.push(cur.clone()),
+                    LevelStorage::FullClones => full_levels.push(cur[..n].to_vec()),
                     LevelStorage::Deltas => delta_levels.push(
-                        delta
+                        delta_index
                             .iter()
-                            .enumerate()
-                            .filter(|(_, d)| !d.is_empty())
-                            .map(|(d_idx, d)| (d_idx as u32, d.clone().into_boxed_slice()))
+                            .map(|&(t, lo, hi)| {
+                                (
+                                    t,
+                                    arena[lo as usize..hi as usize].to_vec().into_boxed_slice(),
+                                )
+                            })
                             .collect(),
                     ),
                 }
@@ -464,15 +694,15 @@ impl SourceProfiles {
         LEVELS.add(levels_run);
         ARCS_TIME_PRUNED.add(time_pruned);
         ARCS_COVER_SKIPPED.add(cover_skipped);
+        FRONTIER_TOUCHED.add(frontier_touched);
+        ARENA_HWM.record_max(arena_hwm);
 
         let levels = match opts.level_storage {
             LevelStorage::FullClones => LevelStore::Full(full_levels),
             LevelStorage::Deltas => LevelStore::Delta(delta_levels),
         };
-        SourceProfiles {
-            source,
+        InductionFixpoint {
             levels,
-            unlimited: cur,
             converged_at,
             converged,
         }
@@ -504,6 +734,7 @@ impl SourceProfiles {
         let mut converged_at = opts.max_levels;
         let mut converged = false;
 
+        let mut ext: Vec<LdEa> = Vec::new();
         for k in 1..=opts.max_levels {
             let prev = cur.clone();
             let mut changed = false;
@@ -512,7 +743,9 @@ impl SourceProfiles {
                     continue;
                 }
                 for &(to, iv) in arcs.leaving(NodeId(m as u32)) {
-                    for p in row.extend_with(iv) {
+                    ext.clear();
+                    row.extend_into(iv, &mut ext);
+                    for &p in &ext {
                         if cur[to as usize].insert(p) {
                             changed = true;
                         }
@@ -885,6 +1118,63 @@ impl fmt::Display for ProfilePartsError {
 
 impl std::error::Error for ProfilePartsError {}
 
+/// A borrowed view of one source's §4.4 fixpoint, handed to the visitor of
+/// [`AllPairsProfiles::map_range`].
+///
+/// The unbounded delivery frontiers live in the worker's pooled
+/// [`ProfileScratch`] and are recycled as soon as the visitor returns, so a
+/// streaming all-pairs pass over 10⁵ nodes never materializes all `n²`
+/// frontiers at once. Hop-class snapshots are not exposed here — use the
+/// materializing [`AllPairsProfiles::compute_range`] when `AtMost(k)`
+/// queries are needed.
+#[derive(Debug)]
+pub struct ProfileView<'a> {
+    source: NodeId,
+    frontiers: &'a [DeliveryFunction],
+    reached: &'a [u32],
+    converged_at: usize,
+    converged: bool,
+}
+
+impl ProfileView<'_> {
+    /// The source node of this row.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Number of nodes in the trace universe.
+    pub fn num_nodes(&self) -> usize {
+        self.frontiers.len()
+    }
+
+    /// The unbounded (flooding-optimal) delivery function to `dest`.
+    pub fn frontier(&self, dest: NodeId) -> &DeliveryFunction {
+        &self.frontiers[dest.index()]
+    }
+
+    /// Destinations with a non-empty unbounded frontier (the source always
+    /// included), ascending by node id.
+    pub fn reached(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.reached.iter().map(|&d| NodeId(d))
+    }
+
+    /// Number of reached destinations (including the source itself).
+    pub fn num_reached(&self) -> usize {
+        self.reached.len()
+    }
+
+    /// The level after which nothing changed (see
+    /// [`SourceProfiles::converged_at`]).
+    pub fn converged_at(&self) -> usize {
+        self.converged_at
+    }
+
+    /// False when `max_levels` stopped the induction early.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+}
+
 /// All-pairs profiles: one [`SourceProfiles`] per node, computed in
 /// parallel (the "exhaustive algorithm" run of §4.4/§5).
 #[derive(Debug, Clone)]
@@ -936,6 +1226,66 @@ impl AllPairsProfiles {
         let max_hops = rows.iter().map(SourceProfiles::converged_at).max();
         span.record("max_useful_hops", max_hops.unwrap_or(0));
         rows
+    }
+
+    /// The streaming batch entry point of the §4.4 induction: computes each
+    /// source's fixpoint in the contiguous range `sources` (parallel across
+    /// sources, one pooled [`ProfileScratch`] per worker) and hands it to
+    /// `visit` as a borrowed [`ProfileView`] whose frontiers are recycled as
+    /// soon as the visitor returns.
+    ///
+    /// This is the large-N shape of the all-pairs run: memory stays at
+    /// `O(workers × live frontier)` instead of `O(n²)` pairs, so a 10⁵-node
+    /// trace is a streaming pass rather than a materialization. Results are
+    /// returned in source order. Level snapshots are computed but dropped —
+    /// pass `store_levels(0)` to skip that work entirely when only the
+    /// fixpoint matters.
+    ///
+    /// # Panics
+    /// If `sources` is not a subrange of `0..trace.num_nodes()`.
+    pub fn map_range<T, F>(
+        trace: &Trace,
+        opts: ProfileOptions,
+        sources: Range<u32>,
+        visit: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ProfileView<'_>) -> T + Sync,
+    {
+        assert!(
+            sources.start <= sources.end && sources.end <= trace.num_nodes(),
+            "source range {sources:?} outside universe of {} nodes",
+            trace.num_nodes()
+        );
+        let mut span = omnet_obs::span("engine.all_pairs")
+            .with("nodes", trace.num_nodes())
+            .with("contacts", trace.num_contacts())
+            .with("first_source", sources.start)
+            .with("num_sources", sources.len())
+            .with("streaming", 1u32);
+        let arcs = Arcs::of(trace);
+        let n = trace.num_nodes() as usize;
+        let base = sources.start;
+        let results =
+            omnet_analysis::par_map_with(sources.len(), ProfileScratch::default, |scratch, i| {
+                let source = NodeId(base + i as u32);
+                let fix = SourceProfiles::induct_core(trace, &arcs, source, opts, scratch);
+                scratch.reached.sort_unstable();
+                let view = ProfileView {
+                    source,
+                    frontiers: &scratch.cur[..n],
+                    reached: &scratch.reached,
+                    converged_at: fix.converged_at,
+                    converged: fix.converged,
+                };
+                let out = (fix.converged_at, visit(view));
+                scratch.finish();
+                out
+            });
+        let max_hops = results.iter().map(|(c, _)| *c).max();
+        span.record("max_useful_hops", max_hops.unwrap_or(0));
+        results.into_iter().map(|(_, t)| t).collect()
     }
 
     /// Read access to the per-source rows, ascending by source.
@@ -1067,6 +1417,122 @@ mod tests {
         assert_eq!(arcs.boardable(NodeId(0), Time::secs(15.0)).len(), 2);
         assert_eq!(arcs.boardable(NodeId(0), Time::secs(30.0)).len(), 2);
         assert_eq!(arcs.boardable(NodeId(0), Time::secs(61.0)).len(), 0);
+    }
+
+    #[test]
+    fn arcs_contact_column_maps_back_to_contacts() {
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 50.0, 60.0)
+            .contact_secs(0, 2, 0.0, 10.0)
+            .contact_secs(1, 2, 20.0, 30.0)
+            .contact_secs(0, 1, 50.0, 60.0) // duplicate contact: ids must stay distinct
+            .build();
+        let arcs = Arcs::of(&t);
+        assert_eq!(arcs.num_arcs(), 2 * t.num_contacts());
+        for m in 0..t.num_nodes() {
+            let node = NodeId(m);
+            let row = arcs.leaving(node);
+            let cids = arcs.leaving_contacts(node);
+            assert_eq!(row.len(), cids.len());
+            for (&(head, iv), &cid) in row.iter().zip(cids) {
+                let c = t.contact(cid);
+                assert_eq!(c.interval, iv);
+                // The arc tail/head are the contact endpoints.
+                assert!(
+                    (c.a.0 == m && c.b.0 == head) || (c.b.0 == m && c.a.0 == head),
+                    "arc ({m}->{head}) not an endpoint pair of {c:?}"
+                );
+            }
+        }
+        // Duplicate (end, start, head) keys: the id column lists both
+        // contacts, in id order.
+        let dup_ids: Vec<u32> = arcs
+            .leaving_contacts(NodeId(0))
+            .iter()
+            .zip(arcs.leaving(NodeId(0)))
+            .filter(|(_, &(head, _))| head == 1)
+            .map(|(cid, _)| cid.0)
+            .collect();
+        assert_eq!(dup_ids.len(), 2);
+        assert!(dup_ids[0] < dup_ids[1]);
+    }
+
+    /// Regression: sparse / non-contiguous node ids (declared universe
+    /// larger than the touched ids) must index correctly through the CSR
+    /// offsets — empty rows for the gaps, engine equal to the naive spec.
+    #[test]
+    fn sparse_node_ids_route_through_shared_arcs() {
+        let t = TraceBuilder::new()
+            .num_nodes(10)
+            .contact_secs(0, 5, 0.0, 10.0)
+            .contact_secs(5, 9, 20.0, 30.0)
+            .build();
+        let arcs = Arcs::of(&t);
+        assert_eq!(arcs.num_nodes(), 10);
+        for gap in [1u32, 2, 3, 4, 6, 7, 8] {
+            assert!(arcs.leaving(NodeId(gap)).is_empty());
+            assert!(arcs.leaving_contacts(NodeId(gap)).is_empty());
+        }
+        for opts in knob_combos() {
+            for s in [0u32, 3, 5, 9] {
+                let fast = SourceProfiles::compute(&t, &arcs, NodeId(s), opts);
+                let naive = SourceProfiles::compute_naive(&t, &arcs, NodeId(s), opts);
+                for d in 0..10u32 {
+                    assert_eq!(
+                        fast.profile(NodeId(d), HopBound::Unlimited).pairs(),
+                        naive.profile(NodeId(d), HopBound::Unlimited).pairs(),
+                        "{s}->{d} with {opts:?}"
+                    );
+                }
+            }
+        }
+        let p = AllPairsProfiles::compute(&t, ProfileOptions::default());
+        let f = p.profile(NodeId(0), NodeId(9), HopBound::Unlimited);
+        assert_eq!(f.delivery(Time::ZERO), Time::secs(20.0));
+    }
+
+    #[test]
+    fn map_range_views_match_materialized_rows() {
+        let t = TraceBuilder::new()
+            .contact_secs(0, 1, 0.0, 10.0)
+            .contact_secs(1, 2, 5.0, 15.0)
+            .contact_secs(0, 2, 12.0, 20.0)
+            .contact_secs(2, 3, 14.0, 40.0)
+            .contact_secs(1, 3, 2.0, 3.0)
+            .build();
+        for opts in knob_combos() {
+            let rows = AllPairsProfiles::compute_range(&t, opts, 0..4);
+            let streamed = AllPairsProfiles::map_range(&t, opts, 0..4, |view| {
+                let frontiers: Vec<Vec<LdEa>> = (0..view.num_nodes())
+                    .map(|d| view.frontier(NodeId(d as u32)).pairs().to_vec())
+                    .collect();
+                let reached: Vec<u32> = view.reached().map(|d| d.0).collect();
+                (
+                    view.source().0,
+                    frontiers,
+                    reached,
+                    view.converged_at(),
+                    view.converged(),
+                )
+            });
+            assert_eq!(streamed.len(), rows.len());
+            for (row, (src, frontiers, reached, conv_at, conv)) in rows.iter().zip(&streamed) {
+                assert_eq!(row.source().0, *src);
+                assert_eq!(row.converged_at(), *conv_at);
+                assert_eq!(row.converged(), *conv);
+                let expect_reached: Vec<u32> = (0..4u32)
+                    .filter(|&d| !row.profile(NodeId(d), HopBound::Unlimited).is_empty())
+                    .collect();
+                assert_eq!(reached, &expect_reached, "source {src} with {opts:?}");
+                for d in 0..4u32 {
+                    assert_eq!(
+                        frontiers[d as usize].as_slice(),
+                        row.profile(NodeId(d), HopBound::Unlimited).pairs(),
+                        "{src}->{d} with {opts:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! contacts; intended only for tests and property checks against
 //! [`crate::algorithm`].
 
+use crate::algorithm::Arcs;
 use crate::delivery::DeliveryFunction;
 use omnet_temporal::{ContactSeq, LdEa, NodeId, Trace};
 
@@ -13,21 +14,45 @@ use omnet_temporal::{ContactSeq, LdEa, NodeId, Trace};
 /// hops. A contact may appear at most once per sequence (revisiting the same
 /// contact can never improve a summary, and excluding it keeps the search
 /// finite); node revisits are allowed.
+///
+/// Builds a throwaway [`Arcs`] index; callers enumerating many pairs on one
+/// trace should build it once and use [`enumerate_sequences_with`].
 pub fn enumerate_sequences(
     trace: &Trace,
     source: NodeId,
     dest: NodeId,
     max_hops: usize,
 ) -> Vec<ContactSeq> {
+    enumerate_sequences_with(trace, &Arcs::of(trace), source, dest, max_hops)
+}
+
+/// [`enumerate_sequences`] against a prebuilt shared arc index: the DFS
+/// only tries the contacts incident to the sequence's current device (the
+/// CSR row plus its parallel contact-id column) instead of rescanning the
+/// whole contact multiset at every depth — the same structure the §4.4
+/// engine indexes.
+pub fn enumerate_sequences_with(
+    trace: &Trace,
+    arcs: &Arcs,
+    source: NodeId,
+    dest: NodeId,
+    max_hops: usize,
+) -> Vec<ContactSeq> {
+    assert_eq!(
+        arcs.num_nodes(),
+        trace.num_nodes() as usize,
+        "arcs built for a different trace"
+    );
     let mut out = Vec::new();
     let mut used = vec![false; trace.num_contacts()];
     let seq = ContactSeq::at(source);
-    dfs(trace, &seq, dest, max_hops, &mut used, &mut out);
+    dfs(trace, arcs, &seq, dest, max_hops, &mut used, &mut out);
     out
 }
 
 fn dfs(
     trace: &Trace,
+    arcs: &Arcs,
     seq: &ContactSeq,
     dest: NodeId,
     budget: usize,
@@ -37,16 +62,20 @@ fn dfs(
     if budget == 0 {
         return;
     }
-    for (i, c) in trace.contacts().iter().enumerate() {
+    // Only contacts incident to the current device can extend the sequence
+    // (Eq. 2 requires the carried device to participate), so the shared arc
+    // index's row for that device is an exhaustive candidate list.
+    for &cid in arcs.leaving_contacts(seq.destination()) {
+        let i = cid.0 as usize;
         if used[i] {
             continue;
         }
-        if let Some(next) = seq.extended(c) {
+        if let Some(next) = seq.extended(trace.contact(cid)) {
             if next.destination() == dest {
                 out.push(next.clone());
             }
             used[i] = true;
-            dfs(trace, &next, dest, budget - 1, used, out);
+            dfs(trace, arcs, &next, dest, budget - 1, used, out);
             used[i] = false;
         }
     }

@@ -146,9 +146,23 @@ impl DeliveryFunction {
         true
     }
 
+    /// Empties the function in place, retaining the pair buffer's capacity.
+    ///
+    /// This is the pooling hook for scratch storage that reuses
+    /// `DeliveryFunction` slots across §4.4 induction runs: a cleared slot
+    /// is indistinguishable from [`DeliveryFunction::empty`] but its next
+    /// growth is allocation-free.
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+    }
+
     /// Absorbs a batch of candidate summaries; returns those that genuinely
     /// extended the frontier (used for delta propagation in the §4.4
     /// induction).
+    ///
+    /// Cold-path convenience: allocates a fresh `Vec` per call. The engine
+    /// hot path uses [`DeliveryFunction::absorb_compacted`]; prefer
+    /// [`DeliveryFunction::absorb_into`] wherever a buffer can be reused.
     pub fn absorb(&mut self, candidates: &[LdEa]) -> Vec<LdEa> {
         let mut added = Vec::new();
         self.absorb_into(candidates, &mut added);
@@ -167,6 +181,78 @@ impl DeliveryFunction {
         }
     }
 
+    /// Batch absorb for the §4.4 induction's arena frontiers: compacts the
+    /// candidate buffer to its Pareto frontier in place, refills `added`
+    /// with the compacted candidates that are not (weakly) dominated by the
+    /// current frontier, and rebuilds `self` as the Pareto union via one
+    /// linear merge through the scratch buffer `merged`.
+    ///
+    /// Equivalent to [`DeliveryFunction::absorb_into`] followed by
+    /// [`compact_frontier_in_place`] on `added` — dropping a candidate that
+    /// is dominated by a same-level sibling is exact because concatenation
+    /// with an arc (fact (iv)) is monotone: the dominating pair's extension
+    /// dominates the dominated pair's extension. Unlike the insert-based
+    /// path this costs `O(c·log c + f)` per call instead of one binary
+    /// search plus splice per surviving candidate.
+    pub fn absorb_compacted(
+        &mut self,
+        cands: &mut Vec<LdEa>,
+        added: &mut Vec<LdEa>,
+        merged: &mut Vec<LdEa>,
+    ) {
+        compact_frontier_in_place(cands);
+        added.clear();
+        // Both `self.pairs` and `cands` ascend in (ld, ea); a candidate is
+        // weakly dominated iff the first frontier pair with `ld >= c.ld`
+        // (minimal `ea` among those) has `ea <= c.ea` — the same test as
+        // `insert`, evaluated by a merged walk.
+        let mut i = 0;
+        for &c in cands.iter() {
+            while i < self.pairs.len() && self.pairs[i].ld < c.ld {
+                i += 1;
+            }
+            if i < self.pairs.len() && self.pairs[i].ea <= c.ea {
+                continue;
+            }
+            added.push(c);
+        }
+        if added.is_empty() {
+            return;
+        }
+        // Pareto union of two frontiers where no survivor is dominated by
+        // the old frontier (filtered above) but old pairs may be dominated
+        // by survivors: scan both descending by (ld, ea), keep a pair iff
+        // its `ea` strictly improves, collapsing equal-`ld` groups exactly
+        // like `compact_sorted`.
+        merged.clear();
+        let mut a = self.pairs.len();
+        let mut b = added.len();
+        let mut best_ea = Time::INF;
+        while a > 0 || b > 0 {
+            let take_old = b == 0
+                || (a > 0
+                    && (self.pairs[a - 1].ld, self.pairs[a - 1].ea)
+                        > (added[b - 1].ld, added[b - 1].ea));
+            let p = if take_old {
+                a -= 1;
+                self.pairs[a]
+            } else {
+                b -= 1;
+                added[b]
+            };
+            if p.ea < best_ea {
+                best_ea = p.ea;
+                if merged.last().is_some_and(|l| l.ld == p.ld) {
+                    merged.pop();
+                }
+                merged.push(p);
+            }
+        }
+        merged.reverse();
+        std::mem::swap(&mut self.pairs, merged);
+        invariant::enforce(|| invariant::validate_frontier(&self.pairs));
+    }
+
     /// True when this frontier dominates every summary a contact on `iv`
     /// could contribute (§4.3, fact (iv)): any such candidate has
     /// `ld <= iv.end` and `ea >= iv.start`, so one pair with
@@ -174,8 +260,20 @@ impl DeliveryFunction {
     /// `ld >= iv.end` form a suffix whose minimum EA is its first element,
     /// so the test is a single binary search.
     pub fn covers(&self, iv: Interval) -> bool {
-        let i = self.pairs.partition_point(|q| q.ld < iv.end);
-        i < self.pairs.len() && self.pairs[i].ea <= iv.start
+        self.dominates_point(iv.end, iv.start)
+    }
+
+    /// Whether some frontier pair weakly dominates `(ld, ea)` — departs no
+    /// earlier and arrives no later. The induction uses this on the *best
+    /// corner* of a candidate batch (max LD, min EA): if even the corner is
+    /// dominated, every real candidate in the batch is too, and the whole
+    /// batch can be skipped without materializing it (§4.4 — an exact
+    /// pruning, strictly stronger than testing the arc rectangle alone).
+    pub fn dominates_point(&self, ld: Time, ea: Time) -> bool {
+        // Both coordinates ascend, so the first pair with `q.ld >= ld`
+        // carries the minimum EA among all such pairs.
+        let i = self.pairs.partition_point(|q| q.ld < ld);
+        i < self.pairs.len() && self.pairs[i].ea <= ea
     }
 
     /// Merges another delivery function into this one (Pareto union).
@@ -193,6 +291,10 @@ impl DeliveryFunction {
     /// Only pairs with `EA ≤ iv.end` extend (fact (iv)); each maps to
     /// `(min(LD, iv.end), max(EA, iv.start))`, and the collapsed groups are
     /// re-compacted. The output is itself a valid frontier.
+    ///
+    /// Cold-path convenience: allocates a fresh `Vec` per call. Hot paths
+    /// (the engine and the naive spec alike) use
+    /// [`DeliveryFunction::extend_into`] with a reused buffer.
     pub fn extend_with(&self, iv: Interval) -> Vec<LdEa> {
         let mut out = Vec::new();
         extend_frontier_into(&self.pairs, iv, &mut out);
@@ -348,6 +450,104 @@ pub fn extend_frontier_into(pairs: &[LdEa], iv: Interval, out: &mut Vec<LdEa>) {
                 // c.ea > last.ea: c is dominated; skip it.
             }
             _ => out.push(c),
+        }
+    }
+    invariant::enforce(|| invariant::validate_frontier(&out[start..]));
+}
+
+/// Whether some pair of the frontier slice `filt` weakly dominates `c`
+/// (slice-level counterpart of [`DeliveryFunction::dominates_point`]).
+#[inline]
+fn slice_dominates(filt: &[LdEa], c: LdEa) -> bool {
+    let i = filt.partition_point(|q| q.ld < c.ld);
+    i < filt.len() && filt[i].ea <= c.ea
+}
+
+/// The neighbour-dedup rule of [`extend_frontier_into`], restricted to the
+/// pairs pushed since `start`: an equal-EA neighbour is superseded by the
+/// later (larger-LD) pair, an equal-LD neighbour dominates the later
+/// (larger-EA) pair.
+#[inline]
+fn dedup_push(out: &mut Vec<LdEa>, start: usize, c: LdEa) {
+    match out.last() {
+        Some(last) if out.len() > start && last.ea == c.ea => {
+            let i = out.len() - 1;
+            out[i] = c;
+        }
+        Some(last) if out.len() > start && last.ld == c.ld => {}
+        _ => out.push(c),
+    }
+}
+
+/// [`extend_frontier_into`] (the §4.4 arc-extension step) with the mapped
+/// run's three-region structure made explicit and a dominance filter
+/// against `filt` (the destination's current frontier) fused into every
+/// emission.
+///
+/// Because both coordinates of `pairs` strictly ascend, the boardable
+/// prefix `ea <= iv.end` of the mapped run `p -> (min(LD, te), max(EA,
+/// tb))` splits into three regions:
+///
+/// * a **head** (`ea < tb`) whose images all share `ea = tb` and collapse
+///   under the dedup rule to the last pair alone;
+/// * an unchanged **middle** (`tb <= ea`, `ld < te`) copied verbatim;
+/// * a **tail** (`ld >= te`) whose images all share `ld = te` and collapse
+///   to the first pair alone.
+///
+/// Only the middle is iterated; head and tail cost `O(log |pairs|)` each.
+/// That asymmetry is what makes this the induction's hot-path extension:
+/// late-level delta runs are tail-heavy, and the plain
+/// [`extend_frontier_into`] walks every collapsed tail pair just to keep
+/// one of them.
+///
+/// Emissions already weakly dominated by a pair of `filt` are dropped at
+/// push time (the middle reuses one forward-only filter cursor, since
+/// mapped LDs ascend). Dropping them is exact for the induction's
+/// absorb step: a dominated candidate can never join the frontier, and any
+/// candidate it would have superseded in the dedup is dominated by the
+/// same `filt` pair, hence also dropped. The surviving candidates
+/// therefore absorb to exactly the same frontier — with the same added
+/// pairs — as the unfiltered run; only the candidate *traffic* shrinks.
+pub fn extend_frontier_filtered_into(
+    pairs: &[LdEa],
+    iv: Interval,
+    filt: &[LdEa],
+    out: &mut Vec<LdEa>,
+) {
+    let te = iv.end;
+    let tb = iv.start;
+    let n = pairs.partition_point(|p| p.ea <= te);
+    if n == 0 {
+        return;
+    }
+    let run = &pairs[..n];
+    let a_end = run.partition_point(|p| p.ea < tb);
+    let c_idx = a_end + run[a_end..].partition_point(|p| p.ld < te);
+    let start = out.len();
+    if a_end > 0 {
+        let c = LdEa {
+            ld: run[a_end - 1].ld.min(te),
+            ea: tb,
+        };
+        if !slice_dominates(filt, c) {
+            dedup_push(out, start, c);
+        }
+    }
+    let mut fi = 0usize;
+    for &p in &run[a_end..c_idx] {
+        fi += filt[fi..].partition_point(|q| q.ld < p.ld);
+        if fi < filt.len() && filt[fi].ea <= p.ea {
+            continue;
+        }
+        dedup_push(out, start, p);
+    }
+    if c_idx < n {
+        let c = LdEa {
+            ld: te,
+            ea: run[c_idx].ea.max(tb),
+        };
+        if !slice_dominates(filt, c) {
+            dedup_push(out, start, c);
         }
     }
     invariant::enforce(|| invariant::validate_frontier(&out[start..]));
@@ -641,5 +841,59 @@ mod tests {
         let mut f = DeliveryFunction::from_pairs([pair(10.0, 5.0)]);
         let added = f.absorb(&[pair(8.0, 6.0), pair(20.0, 15.0)]);
         assert_eq!(added, vec![pair(20.0, 15.0)]);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_empties() {
+        let mut f = DeliveryFunction::from_pairs([pair(10.0, 5.0), pair(20.0, 15.0)]);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f, DeliveryFunction::empty());
+        assert!(f.insert(pair(3.0, 1.0)));
+        assert_eq!(f.pairs(), &[pair(3.0, 1.0)]);
+    }
+
+    /// `absorb_compacted`'s delta must equal the insert-based
+    /// `absorb_into` + `compact_frontier_in_place` pipeline, and the
+    /// resulting frontier must match pair for pair.
+    #[test]
+    fn absorb_compacted_matches_insert_based_absorb() {
+        let frontiers: Vec<Vec<LdEa>> = vec![
+            vec![],
+            vec![LdEa::EMPTY],
+            vec![pair(10.0, 5.0)],
+            vec![pair(10.0, 5.0), pair(20.0, 15.0), pair(40.0, 30.0)],
+        ];
+        let batches: Vec<Vec<LdEa>> = vec![
+            vec![],
+            vec![pair(10.0, 5.0)],                  // duplicate of existing
+            vec![pair(8.0, 6.0), pair(20.0, 15.0)], // dominated + duplicate
+            vec![pair(25.0, 3.0)],                  // dominates most of the frontier
+            vec![pair(12.0, 7.0), pair(12.0, 9.0)], // same-level domination
+            vec![pair(50.0, 45.0), pair(15.0, 14.0), pair(15.0, 2.0)],
+            vec![pair(10.0, 4.0), pair(10.0, 4.0)], // exact same-level duplicates
+        ];
+        for base in &frontiers {
+            for batch in &batches {
+                let mut reference = DeliveryFunction::from_pairs(base.iter().copied());
+                let mut ref_added = Vec::new();
+                reference.absorb_into(batch, &mut ref_added);
+                compact_frontier_in_place(&mut ref_added);
+
+                let mut subject = DeliveryFunction::from_pairs(base.iter().copied());
+                let mut cands = batch.clone();
+                let mut added = Vec::new();
+                let mut merged = Vec::new();
+                subject.absorb_compacted(&mut cands, &mut added, &mut merged);
+
+                assert_eq!(added, ref_added, "delta mismatch: {base:?} + {batch:?}");
+                assert_eq!(
+                    subject.pairs(),
+                    reference.pairs(),
+                    "frontier mismatch: {base:?} + {batch:?}"
+                );
+                assert!(subject.check_invariant());
+            }
+        }
     }
 }

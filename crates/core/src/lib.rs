@@ -51,7 +51,8 @@ pub mod witness;
 
 pub use algorithm::{
     AllPairsProfiles, ArcPruning, Arcs, HopBound, LevelStorage, ProfileOptions,
-    ProfileOptionsBuilder, ProfilePartsError, ProfileScratch, SourceProfileParts, SourceProfiles,
+    ProfileOptionsBuilder, ProfilePartsError, ProfileScratch, ProfileView, SourceProfileParts,
+    SourceProfiles,
 };
 pub use delivery::DeliveryFunction;
 pub use diameter::{day_time_windows, CurveOptions, SuccessCurves};
@@ -79,7 +80,7 @@ pub use witness::{optimal_journeys, route_string, witness_for_pair};
 pub mod prelude {
     pub use crate::algorithm::{
         AllPairsProfiles, ArcPruning, Arcs, HopBound, LevelStorage, ProfileOptions,
-        ProfileOptionsBuilder, ProfilePartsError, ProfileScratch, SourceProfileParts,
+        ProfileOptionsBuilder, ProfilePartsError, ProfileScratch, ProfileView, SourceProfileParts,
         SourceProfiles,
     };
     pub use crate::delivery::DeliveryFunction;

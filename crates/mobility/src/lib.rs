@@ -23,12 +23,14 @@
 
 pub mod duration;
 pub mod generator;
+pub mod hierarchy;
 pub mod presets;
 pub mod schedule;
 pub mod social;
 
 pub use duration::DurationModel;
 pub use generator::{GatheringSpec, MobilitySpec};
+pub use hierarchy::HierarchicalSpec;
 pub use presets::Dataset;
 pub use schedule::Schedule;
 pub use social::SocialStructure;

@@ -64,6 +64,24 @@ impl Counter {
         self.add(1);
     }
 
+    /// Raises the value to at least `v` (relaxed `fetch_max`). Registers
+    /// the counter on first use.
+    ///
+    /// This turns a counter slot into a high-water-mark gauge (e.g. the
+    /// engine's frontier-arena peak): concurrent `record_max` calls from
+    /// many workers converge on the global maximum. Don't mix `add` and
+    /// `record_max` on one counter — the registry snapshot would be neither
+    /// a sum nor a maximum.
+    #[inline]
+    pub fn record_max(&'static self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+        // Same loom rationale as `add`: registration is compiled out.
+        #[cfg(not(loom))]
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+    }
+
     /// Current value (relaxed).
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -115,6 +133,21 @@ mod tests {
             1,
             "registered exactly once: {snap:?}"
         );
+    }
+
+    // Registration is compiled out under `--cfg loom` (see `add`).
+    #[cfg(not(loom))]
+    #[test]
+    fn record_max_is_a_high_water_mark() {
+        static PEAK: Counter = Counter::new("test.peak");
+        PEAK.record_max(7);
+        PEAK.record_max(3);
+        assert_eq!(PEAK.get(), 7);
+        PEAK.record_max(12);
+        assert_eq!(PEAK.get(), 12);
+        assert!(counters()
+            .iter()
+            .any(|(n, v)| *n == "test.peak" && *v == 12));
     }
 
     #[test]

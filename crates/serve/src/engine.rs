@@ -19,7 +19,10 @@ enum Backend {
     /// the §4.4 induction never runs on this path.
     Shards(ArtifactSet),
     /// An in-memory trace; rows are computed on first use per source and
-    /// memoized, so interactive one-shot commands stay cheap.
+    /// memoized, so interactive one-shot commands stay cheap. The flat CSR
+    /// arc index is built once here and shared by every memoized per-source
+    /// induction — the same [`Arcs`] the engine, the naive spec, and the
+    /// brute-force oracle all walk.
     Lazy {
         trace: Arc<Trace>,
         arcs: Arcs,

@@ -18,7 +18,9 @@
 //! * [`io`] — plain-text trace (de)serialization and a lenient
 //!   Haggle/CRAWDAD-style importer;
 //! * [`connectivity`] — contemporaneous snapshot components (the
-//!   "almost-simultaneously connected" analysis of §3.2.3).
+//!   "almost-simultaneously connected" analysis of §3.2.3);
+//! * [`csr`] — flat compressed-sparse-row tables, the large-N storage
+//!   layout behind the engine's arc index.
 //!
 //! The delay-optimal path machinery built *on top of* these types lives in
 //! `omnet-core`.
@@ -28,6 +30,7 @@
 
 pub mod connectivity;
 pub mod contact;
+pub mod csr;
 pub mod invariant;
 pub mod io;
 pub mod node;
@@ -39,6 +42,7 @@ pub mod trace;
 pub mod transform;
 
 pub use contact::{Contact, ContactId, Interval};
+pub use csr::Csr;
 pub use invariant::InvariantViolation;
 pub use io::IoError;
 pub use node::NodeId;

@@ -441,6 +441,37 @@ mod tests {
     }
 
     #[test]
+    fn new_hot_path_modules_are_in_scope() {
+        // The PR-8 hot-path modules (the CSR table in temporal, the
+        // hierarchical generator in mobility) must be linted automatically:
+        // LIB_CRATES scans whole src/ trees, so a planted panic in either
+        // file has to surface without any rules.rs change.
+        let root = scratch(
+            "hot-path-scope",
+            &[
+                (
+                    "crates/temporal/src/csr.rs",
+                    "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+                ),
+                (
+                    "crates/mobility/src/hierarchy.rs",
+                    "fn g() { panic!(\"boom\") }\n",
+                ),
+            ],
+        );
+        let v = run_all(&root);
+        for file in [
+            "crates/temporal/src/csr.rs",
+            "crates/mobility/src/hierarchy.rs",
+        ] {
+            assert!(
+                v.iter().any(|v| v.rule == "no-panic" && v.file == file),
+                "planted panic in {file} not caught: {v:?}"
+            );
+        }
+    }
+
+    #[test]
     fn unwrap_in_tests_is_exempt() {
         let root = scratch(
             "test-exempt",

@@ -13,8 +13,8 @@
 //! `strict-invariants` job.
 
 use omnet_core::{
-    cross_check, ArcPruning, Arcs, CrossCheckOptions, HopBound, LevelStorage, ProfileOptions,
-    SourceProfiles,
+    cross_check, AllPairsProfiles, ArcPruning, Arcs, CrossCheckOptions, HopBound, LevelStorage,
+    ProfileOptions, SourceProfiles,
 };
 use omnet_temporal::invariant::{self, InvariantViolation};
 use omnet_temporal::{Contact, ContactSeq, NodeId, Time, Trace, TraceBuilder};
@@ -301,6 +301,120 @@ proptest! {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    /// The flat CSR arc index is row-for-row identical to the per-node-Vec
+    /// reference it replaced: same `leaving` rows (sorted by interval end),
+    /// a contact-id column that maps every arc back to its generating
+    /// contact, and the same `boardable` suffix at every interesting
+    /// threshold (±∞ and every contact endpoint, exactly and perturbed).
+    #[test]
+    fn csr_arc_index_matches_per_node_vec_reference(trace in trace_strategy()) {
+        let arcs = Arcs::of(&trace);
+        let n = trace.num_nodes();
+        prop_assert_eq!(arcs.num_nodes(), n as usize);
+        prop_assert_eq!(arcs.num_arcs(), 2 * trace.num_contacts());
+
+        // the replaced nested-Vec build, reconstructed contact by contact
+        let mut reference: Vec<Vec<(u32, omnet_temporal::Interval, u32)>> =
+            vec![Vec::new(); n as usize];
+        for (i, c) in trace.contacts().iter().enumerate() {
+            reference[c.a.index()].push((c.b.0, c.interval, i as u32));
+            reference[c.b.index()].push((c.a.0, c.interval, i as u32));
+        }
+        for row in &mut reference {
+            row.sort_unstable_by_key(|&(head, iv, cid)| (iv.end, iv.start, head, cid));
+        }
+
+        let mut thresholds = vec![Time::NEG_INF, Time::INF, Time::ZERO];
+        for c in trace.contacts() {
+            for t in [c.start(), c.end()] {
+                thresholds.push(t);
+                thresholds.push(t + omnet_temporal::Dur::secs(0.125));
+                thresholds.push(t - omnet_temporal::Dur::secs(0.125));
+            }
+        }
+
+        for node in trace.nodes() {
+            let row = arcs.leaving(node);
+            let cids = arcs.leaving_contacts(node);
+            let expect = &reference[node.index()];
+            prop_assert_eq!(row.len(), expect.len(), "row length at {}", node);
+            prop_assert_eq!(cids.len(), expect.len(), "cid column at {}", node);
+            for (i, (&(head, iv), &cid)) in row.iter().zip(cids).enumerate() {
+                prop_assert_eq!((head, iv, cid.0), expect[i], "arc {} of {}", i, node);
+                let c = trace.contact(cid);
+                prop_assert_eq!(c.interval, iv);
+                prop_assert!(
+                    (c.a == node && c.b.0 == head) || (c.b == node && c.a.0 == head),
+                    "contact id column points at a non-incident contact"
+                );
+            }
+            for &ea in &thresholds {
+                let fast = arcs.boardable(node, ea);
+                let cut = expect.partition_point(|&(_, iv, _)| iv.end < ea);
+                prop_assert_eq!(
+                    fast.len(),
+                    expect.len() - cut,
+                    "boardable at {:?} from {}",
+                    ea,
+                    node
+                );
+                if let Some(&(head, iv)) = fast.first() {
+                    prop_assert_eq!((head, iv), (expect[cut].0, expect[cut].1));
+                }
+            }
+        }
+    }
+
+    /// The streaming all-pairs walk (`map_range`, frontiers borrowed from
+    /// worker scratch and recycled) observes exactly what the materializing
+    /// path returns, for every knob combination: same unbounded frontiers,
+    /// same reached sets, same convergence metadata.
+    #[test]
+    fn streamed_views_match_materialized_profiles(trace in trace_strategy()) {
+        let n = trace.num_nodes();
+        for opts in knob_combos() {
+            let streamed = AllPairsProfiles::map_range(&trace, opts, 0..n, |view| {
+                let frontiers: Vec<Vec<omnet_temporal::LdEa>> = (0..n)
+                    .map(|d| view.frontier(NodeId(d)).pairs().to_vec())
+                    .collect();
+                let reached: Vec<NodeId> = view.reached().collect();
+                (
+                    view.source(),
+                    frontiers,
+                    reached,
+                    view.converged_at(),
+                    view.converged(),
+                )
+            });
+            let materialized = AllPairsProfiles::compute(&trace, opts);
+            prop_assert_eq!(streamed.len(), n as usize);
+            for (s, (source, frontiers, reached, converged_at, converged)) in
+                streamed.into_iter().enumerate()
+            {
+                let row = materialized.from_source(NodeId(s as u32));
+                prop_assert_eq!(source, NodeId(s as u32));
+                prop_assert_eq!(converged_at, row.converged_at(), "source {}", s);
+                prop_assert_eq!(converged, row.converged(), "source {}", s);
+                let mut expect_reached = Vec::new();
+                for d in 0..n {
+                    let expect = row.profile(NodeId(d), HopBound::Unlimited);
+                    prop_assert_eq!(
+                        frontiers[d as usize].as_slice(),
+                        expect.pairs(),
+                        "{}->{} with {:?}",
+                        s,
+                        d,
+                        opts
+                    );
+                    if !expect.is_empty() {
+                        expect_reached.push(NodeId(d));
+                    }
+                }
+                prop_assert_eq!(reached, expect_reached, "reached set of {}", s);
             }
         }
     }
