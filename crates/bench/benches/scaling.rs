@@ -12,7 +12,9 @@
 //!    `AllPairsProfiles::map_range` (materializing 10⁵ × 10⁵ frontiers is
 //!    hundreds of gigabytes; the streaming visitor keeps memory at
 //!    O(workers × one source's frontiers)). The gate requires completion
-//!    within the wall-clock budget, and records peak RSS for both phases.
+//!    within the wall-clock budget, and records peak RSS for both phases
+//!    (the RSS high-water mark is reset before each gate so the two
+//!    figures attribute memory per gate, not per process lifetime).
 //!
 //! Run with:
 //!
@@ -20,7 +22,7 @@
 //! cargo bench -p omnet-bench --bench scaling
 //! ```
 
-use omnet_bench::gate::peak_rss_bytes;
+use omnet_bench::gate::{peak_rss_bytes, reset_peak_rss};
 use omnet_core::{AllPairsProfiles, ProfileOptions};
 use omnet_mobility::{Dataset, HierarchicalSpec};
 use omnet_temporal::transform::internal_only;
@@ -230,6 +232,9 @@ fn main() {
     // --- gate 1: speedup on the densest calibrated preset -----------------
     println!("\nscaling gate 1: infocom06_2day, pre-PR8 vs CSR+arena engine");
     let trace = internal_only(&Dataset::Infocom06.generate_days(2.0, 99));
+    // per-gate RSS attribution: drop the lifetime high-water mark so the
+    // sample after this gate reflects this gate alone (best effort)
+    reset_peak_rss();
     let pre_ms = time_best_ms(reps, || {
         prepr8::all_pairs(&trace, ProfileOptions::default())
     });
@@ -255,6 +260,7 @@ fn main() {
 
     // --- gate 2: full all-pairs at 10^5 nodes, streamed -------------------
     println!("\nscaling gate 2: large_community_100k full all-pairs (streamed)");
+    reset_peak_rss();
     let spec = HierarchicalSpec::large_community(100_000);
     let t0 = Instant::now();
     let big = spec.generate(99);

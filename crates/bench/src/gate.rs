@@ -8,10 +8,12 @@
 /// Peak resident-set size of this process in bytes, best effort.
 ///
 /// On Linux this reads the `VmHWM` (high-water mark) line of
-/// `/proc/self/status`, which the kernel maintains for the whole process
-/// lifetime — a bench that runs several presets therefore reports the
-/// maximum across everything run *so far*, not a per-preset figure.
-/// Sample it after each phase and the deltas attribute the peaks. Returns
+/// `/proc/self/status`. The kernel maintains the mark for the whole
+/// process lifetime, so a bench that runs several gates in one process
+/// would record the same (global) maximum in every gate. To attribute a
+/// peak to one gate, call [`reset_peak_rss`] immediately before it and
+/// sample here immediately after; where the reset is unsupported, the
+/// value degrades to the lifetime mark (still an upper bound). Returns
 /// `None` on platforms without procfs.
 pub fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -22,6 +24,18 @@ pub fn peak_rss_bytes() -> Option<u64> {
         }
     }
     None
+}
+
+/// Resets the process peak-RSS high-water mark so the next
+/// [`peak_rss_bytes`] read reflects only allocation *since this call* —
+/// the per-gate measurement protocol for multi-gate bench binaries.
+///
+/// On Linux, writing `"5"` to `/proc/self/clear_refs` asks the kernel to
+/// reset `VmHWM` (and `VmPeak`) to the current usage. Returns whether the
+/// reset took effect; callers should treat `false` as "the subsequent
+/// reading is a lifetime upper bound, not a per-gate figure".
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
 /// The peak-RSS column as a JSON value: the byte count, or `null` where
@@ -56,6 +70,21 @@ mod tests {
         assert!(block.iter().map(|&b| b as u64).sum::<u64>() > 0);
         let after = peak_rss_bytes().unwrap();
         assert!(after >= before, "HWM regressed: {before} -> {after}");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reset_drops_the_mark_to_current_usage() {
+        // inflate the mark well above steady-state usage...
+        let block = vec![3u8; 64 << 20];
+        assert!(block.iter().map(|&b| b as u64).sum::<u64>() > 0);
+        drop(block);
+        let before = peak_rss_bytes().unwrap();
+        if reset_peak_rss() {
+            // ...then a successful reset may only lower (never raise) it
+            let after = peak_rss_bytes().unwrap();
+            assert!(after <= before, "reset raised HWM: {before} -> {after}");
+        }
     }
 
     #[test]

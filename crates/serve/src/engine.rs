@@ -5,10 +5,11 @@ use crate::query::{
     StatsAnswer,
 };
 use omnet_artifact::{load_set, ArtifactError, ArtifactMeta, ArtifactSet};
+use omnet_core::incremental::{record_external_delta, row_may_use, ContactDelta};
 use omnet_core::{
     earliest_arrival, Arcs, CurveOptions, HopBound, ProfileOptions, SourceProfiles, SuccessCurves,
 };
-use omnet_temporal::{Dur, Interval, NodeId, Time, Trace};
+use omnet_temporal::{Contact, ContactId, Dur, Interval, NodeId, Time, Trace, TraceOverlay};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -331,6 +332,91 @@ impl Engine {
             diameter: curves.diameter(eps),
             per_delay: curves.diameter_curve(eps),
         })
+    }
+
+    /// Applies a contact delta to a trace-backed engine (§6 removal
+    /// methodology / streaming contact ingestion): rebuilds the substrate
+    /// through a [`TraceOverlay`], rebuilds the CSR arc index, and drops
+    /// exactly the memoized rows the delta can affect — the boardability
+    /// test the incremental engine uses
+    /// ([`row_may_use`](omnet_core::incremental::row_may_use)), exact for
+    /// appends and sound for removals (a row whose earliest arrivals
+    /// cannot board a contact never used it). Dropped rows recompute
+    /// lazily on next use; retained rows stay byte-identical answers.
+    ///
+    /// Removal keys address the **current** trace's contact ids (the
+    /// engine compacts on every delta). Returns the number of memoized
+    /// rows invalidated. Artifact-backed engines are immutable and answer
+    /// [`QueryError::BadParameter`] — rebuild and reload the shards
+    /// instead.
+    pub fn apply_delta(&mut self, delta: &ContactDelta) -> Result<usize, QueryError> {
+        let Backend::Lazy { trace, arcs, memo } = &mut self.backend else {
+            return Err(QueryError::BadParameter {
+                message: "deltas need a trace-backed engine; artifact sets are immutable — \
+                          rebuild and reload the shards instead"
+                    .into(),
+            });
+        };
+        let m = trace.num_contacts();
+        let window = trace.span();
+        for &k in &delta.remove {
+            if k.0 as usize >= m {
+                return Err(QueryError::BadParameter {
+                    message: format!(
+                        "remove key {} out of range: the trace has {m} contacts",
+                        k.0
+                    ),
+                });
+            }
+        }
+        for c in &delta.append {
+            if c.a.0 >= self.meta.num_nodes || c.b.0 >= self.meta.num_nodes {
+                return Err(QueryError::BadParameter {
+                    message: format!(
+                        "appended contact endpoint outside the {}-node universe",
+                        self.meta.num_nodes
+                    ),
+                });
+            }
+            if !(window.start <= c.start() && c.end() <= window.end) {
+                return Err(QueryError::BadParameter {
+                    message: "appended contact lies outside the observation window".into(),
+                });
+            }
+        }
+
+        let mut span = omnet_obs::span("serve.delta")
+            .with("appended", delta.append.len())
+            .with("removed", delta.remove.len());
+
+        // Contacts the delta touches — the memo invalidation probes.
+        let mut touched: Vec<Contact> = delta.append.clone();
+        let mut overlay = TraceOverlay::new(Trace::clone(trace));
+        let mut removed = 0usize;
+        for &k in &delta.remove {
+            if overlay.remove(k) {
+                removed += 1;
+                touched.push(*trace.contact(ContactId(k.0)));
+            }
+        }
+        for &c in &delta.append {
+            overlay.append(c);
+        }
+        let (merged, _keys) = overlay.materialize();
+
+        let cache = memo.get_mut().unwrap_or_else(|p| p.into_inner());
+        let before = cache.len();
+        cache.retain(|_, row| !touched.iter().any(|c| row_may_use(row, c)));
+        let dropped = before - cache.len();
+
+        let new_trace = Arc::new(merged);
+        *arcs = Arcs::of(&new_trace);
+        *trace = Arc::clone(&new_trace);
+        self.trace = Some(new_trace);
+
+        record_external_delta(delta.append.len(), removed, dropped);
+        span.record("rows_invalidated", dropped);
+        Ok(dropped)
     }
 
     fn stats(&self) -> StatsAnswer {
@@ -680,6 +766,76 @@ mod tests {
             panic!("wrong variant")
         };
         assert_eq!(s1.rows, 1);
+    }
+
+    #[test]
+    fn apply_delta_keeps_lazy_engine_exact() {
+        use omnet_temporal::ContactKey;
+        let t = toy();
+        let opts = ProfileOptions::default();
+        let mut lazy = Engine::from_trace(Arc::new(t.clone()), opts, "toy");
+        // Memoize every row, then edit the substrate underneath them.
+        for s in 0..t.num_nodes() {
+            lazy.answer(&Query::Delivery {
+                src: s,
+                dst: 0,
+                at: Time::secs(0.0),
+                bound: HopBound::Unlimited,
+            })
+            .unwrap();
+        }
+        let delta = ContactDelta {
+            remove: vec![ContactKey(1)],
+            append: vec![Contact::secs(1, 2, 300.0, 340.0)],
+        };
+        let dropped = lazy.apply_delta(&delta).unwrap();
+        assert!(dropped > 0, "the 1—2 relay is used by memoized rows");
+        // Every answer must now match a from-scratch engine over the
+        // edited trace — including Path, which reads the rebuilt trace.
+        let mut ov = TraceOverlay::new(t.clone());
+        ov.remove(ContactKey(1));
+        ov.append(Contact::secs(1, 2, 300.0, 340.0));
+        let (reference, _) = ov.materialize();
+        let fresh = Engine::from_trace(Arc::new(reference), opts, "toy");
+        let mut queries = vec![Query::Diameter {
+            eps: 0.01,
+            max_hops: 6,
+            internal_only: false,
+        }];
+        for s in 0..t.num_nodes() {
+            for d in 0..t.num_nodes() {
+                queries.push(Query::Delivery {
+                    src: s,
+                    dst: d,
+                    at: Time::secs(50.0),
+                    bound: HopBound::Unlimited,
+                });
+                if s != d {
+                    queries.push(Query::Path {
+                        src: s,
+                        dst: d,
+                        at: Time::secs(0.0),
+                    });
+                }
+            }
+        }
+        for q in &queries {
+            assert_eq!(
+                lazy.answer(q).unwrap(),
+                fresh.answer(q).unwrap(),
+                "post-delta engine diverged on {q:?}"
+            );
+        }
+        // Typed errors: bad removal keys, and artifact-backed immutability.
+        assert!(matches!(
+            lazy.apply_delta(&ContactDelta::remove_only([ContactKey(999)])),
+            Err(QueryError::BadParameter { .. })
+        ));
+        let mut shards = shards_engine(&t, opts, 1);
+        assert!(matches!(
+            shards.apply_delta(&delta),
+            Err(QueryError::BadParameter { .. })
+        ));
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! * [`connectivity`] — contemporaneous snapshot components (the
 //!   "almost-simultaneously connected" analysis of §3.2.3);
 //! * [`csr`] — flat compressed-sparse-row tables, the large-N storage
-//!   layout behind the engine's arc index.
+//!   layout behind the engine's arc index;
+//! * [`overlay`] — tombstone/append delta overlay over an immutable trace,
+//!   the substrate of the incremental profile engine.
 //!
 //! The delay-optimal path machinery built *on top of* these types lives in
 //! `omnet-core`.
@@ -34,6 +36,7 @@ pub mod csr;
 pub mod invariant;
 pub mod io;
 pub mod node;
+pub mod overlay;
 pub mod patterns;
 pub mod sequence;
 pub mod stats;
@@ -46,6 +49,7 @@ pub use csr::Csr;
 pub use invariant::InvariantViolation;
 pub use io::IoError;
 pub use node::NodeId;
+pub use overlay::{ContactKey, TraceOverlay};
 pub use sequence::{ContactSeq, LdEa};
 pub use time::{Dur, Time};
 pub use trace::{Adjacency, Trace, TraceBuilder};

@@ -1,0 +1,329 @@
+//! Delta overlay over an immutable [`Trace`]: tombstones + append tail.
+//!
+//! The §6 experiments and the incremental §4.4 engine both edit the contact
+//! substrate — removal sweeps tombstone contacts, live traces append them —
+//! but [`Trace`] is deliberately immutable (every consumer relies on its
+//! canonical sorted form). A [`TraceOverlay`] keeps one immutable base
+//! trace plus a word-packed tombstone bitset and an append tail, merged
+//! into a fresh canonical [`Trace`] on demand and compacted into a new base
+//! when the overlay grows stale.
+//!
+//! Every contact — base or appended — is addressed by a [`ContactKey`] that
+//! stays valid across edits and materializations (unlike a
+//! [`crate::ContactId`], which is an index into one particular trace's
+//! sorted contact vector and is renumbered by any edit). The
+//! [`TraceOverlay::materialize`] key column translates between the two
+//! worlds.
+
+use crate::contact::{Contact, ContactId};
+use crate::trace::Trace;
+
+/// A stable handle to one contact of a [`TraceOverlay`] (§6 removal
+/// methodology / incremental engine deltas).
+///
+/// Keys `0..base_len` are the base trace's [`ContactId`]s; appended
+/// contacts get the next keys in append order. A key survives tombstoning
+/// (removal) and materialization; [`TraceOverlay::compact`] renumbers keys
+/// and reports the mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContactKey(pub u32);
+
+impl ContactKey {
+    /// The key of a base-trace contact (§6): base keys coincide with the
+    /// base trace's contact ids.
+    pub fn from_base(id: ContactId) -> ContactKey {
+        ContactKey(id.0)
+    }
+}
+
+/// Tombstone bitset + append tail over an immutable base [`Trace`] — the
+/// mutable face of the §6 contact-removal methodology and the substrate of
+/// the incremental §4.4 engine.
+///
+/// Edits are O(1); [`TraceOverlay::materialize`] merges the live contacts
+/// back into a canonical [`Trace`] (plus the parallel [`ContactKey`]
+/// column) in one stable sort, and [`TraceOverlay::compact`] folds the
+/// overlay into a fresh base once tombstones or the tail dominate.
+#[derive(Debug, Clone)]
+pub struct TraceOverlay {
+    base: Trace,
+    /// Tombstone bitset over `0..num_keys()` (base contacts then tail).
+    dead: Vec<u64>,
+    /// Appended contacts, keyed `base_len + i` in append order.
+    tail: Vec<Contact>,
+    /// Number of set bits in `dead`.
+    num_dead: usize,
+}
+
+impl TraceOverlay {
+    /// Wraps `base` with no edits: every base contact live, empty tail.
+    /// The overlay preserves the base's node universe and observation
+    /// window (§6 — transformed traces stay comparable to the original).
+    pub fn new(base: Trace) -> TraceOverlay {
+        let words = base.num_contacts().div_ceil(64);
+        TraceOverlay {
+            base,
+            dead: vec![0; words],
+            tail: Vec::new(),
+            num_dead: 0,
+        }
+    }
+
+    /// The immutable base trace (§6): live base contacts are this trace's
+    /// contacts minus the tombstoned keys.
+    pub fn base(&self) -> &Trace {
+        &self.base
+    }
+
+    /// Total keys ever issued: base contacts plus appends, dead or alive
+    /// (§6). Valid keys are `0..num_keys()`.
+    pub fn num_keys(&self) -> usize {
+        self.base.num_contacts() + self.tail.len()
+    }
+
+    /// Number of live (non-tombstoned) contacts (§6).
+    pub fn num_live(&self) -> usize {
+        self.num_keys() - self.num_dead
+    }
+
+    /// Number of tombstoned contacts (§6.1 — contacts removed so far).
+    pub fn num_tombstoned(&self) -> usize {
+        self.num_dead
+    }
+
+    /// True when `key` is issued and not tombstoned (§6).
+    pub fn is_live(&self, key: ContactKey) -> bool {
+        let k = key.0 as usize;
+        k < self.num_keys() && self.dead[k >> 6] & (1u64 << (k & 63)) == 0
+    }
+
+    /// The contact behind `key` (live or tombstoned); `None` when the key
+    /// was never issued (§6).
+    pub fn get(&self, key: ContactKey) -> Option<Contact> {
+        let k = key.0 as usize;
+        let base_len = self.base.num_contacts();
+        if k < base_len {
+            Some(*self.base.contact(ContactId(key.0)))
+        } else {
+            self.tail.get(k - base_len).copied()
+        }
+    }
+
+    /// Appends a contact, returning its stable key (§6 / incremental
+    /// engine append deltas).
+    ///
+    /// # Panics
+    /// If an endpoint is outside the base's node universe, if the interval
+    /// leaves the base's observation window, or if the key space (`u32`)
+    /// is exhausted.
+    pub fn append(&mut self, c: Contact) -> ContactKey {
+        assert!(
+            c.b.0 < self.base.num_nodes(),
+            "appended contact endpoint outside node universe"
+        );
+        let span = self.base.span();
+        assert!(
+            span.start <= c.start() && c.end() <= span.end,
+            "appended contact outside the observation window"
+        );
+        let key = self.num_keys();
+        assert!(key < u32::MAX as usize, "contact key space exhausted");
+        self.tail.push(c);
+        if self.dead.len() * 64 < self.num_keys() {
+            self.dead.push(0);
+        }
+        ContactKey(key as u32)
+    }
+
+    /// Tombstones `key` (§6.1 contact removal). Returns `true` when the
+    /// contact was live — `false` means it was already tombstoned, and the
+    /// overlay is unchanged (removal is idempotent).
+    ///
+    /// # Panics
+    /// If `key` was never issued.
+    pub fn remove(&mut self, key: ContactKey) -> bool {
+        let k = key.0 as usize;
+        assert!(k < self.num_keys(), "contact key {k} was never issued");
+        let bit = 1u64 << (k & 63);
+        if self.dead[k >> 6] & bit != 0 {
+            return false;
+        }
+        self.dead[k >> 6] |= bit;
+        self.num_dead += 1;
+        true
+    }
+
+    /// Iterates the live contacts with their keys: base contacts in base
+    /// order, then the tail in append order (§6).
+    pub fn live(&self) -> impl Iterator<Item = (ContactKey, Contact)> + '_ {
+        self.base
+            .contacts()
+            .iter()
+            .copied()
+            .chain(self.tail.iter().copied())
+            .enumerate()
+            .filter(move |&(k, _)| self.dead[k >> 6] & (1u64 << (k & 63)) == 0)
+            .map(|(k, c)| (ContactKey(k as u32), c))
+    }
+
+    /// Merges the live contacts into a canonical [`Trace`] plus the
+    /// parallel key column: `keys[i]` is the stable key of contact
+    /// `ContactId(i)` of the returned trace (§6 / incremental engine).
+    ///
+    /// The trace is byte-identical to
+    /// `base.with_contacts(live contacts in key order)` — in particular,
+    /// a removal-only overlay materializes exactly the trace the §6.1
+    /// batch transform ([`crate::transform::remove_random`]) builds for
+    /// the same kept set.
+    pub fn materialize(&self) -> (Trace, Vec<ContactKey>) {
+        let mut tagged: Vec<(Contact, ContactKey)> = self.live().map(|(k, c)| (c, k)).collect();
+        // Stable sort by the Trace canonical key: `with_contacts` re-sorts
+        // with the same stable key, so the pre-sorted vector passes through
+        // unchanged and the key column stays aligned with the contacts.
+        tagged.sort_by_key(|&(c, _)| (c.start(), c.end(), c.a, c.b));
+        let contacts: Vec<Contact> = tagged.iter().map(|&(c, _)| c).collect();
+        let keys: Vec<ContactKey> = tagged.iter().map(|&(_, k)| k).collect();
+        (self.base.with_contacts(contacts), keys)
+    }
+
+    /// Folds the overlay into a fresh base: the materialized trace becomes
+    /// the new base, tombstones and tail reset, and keys are renumbered to
+    /// `0..num_live()` (§6).
+    ///
+    /// Returns the renumbering as the old-key column of the new base:
+    /// `old[i]` is the pre-compaction key of new key `i`. Keys tombstoned
+    /// before compaction are retired and never reissued by this overlay's
+    /// new numbering.
+    pub fn compact(&mut self) -> Vec<ContactKey> {
+        let (trace, old_keys) = self.materialize();
+        *self = TraceOverlay::new(trace);
+        old_keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::Interval;
+    use crate::trace::TraceBuilder;
+    use crate::transform::remove_random;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy() -> Trace {
+        TraceBuilder::new()
+            .num_nodes(4)
+            .internal(3)
+            .window(Interval::secs(0.0, 1000.0))
+            .contact_secs(0, 1, 0.0, 120.0)
+            .contact_secs(1, 2, 100.0, 160.0)
+            .contact_secs(0, 2, 400.0, 1000.0)
+            .contact_secs(0, 3, 500.0, 520.0)
+            .build()
+    }
+
+    #[test]
+    fn fresh_overlay_materializes_the_base() {
+        let t = toy();
+        let ov = TraceOverlay::new(t.clone());
+        let (m, keys) = ov.materialize();
+        assert_eq!(m.contacts(), t.contacts());
+        assert_eq!(m.span(), t.span());
+        assert_eq!(m.num_nodes(), t.num_nodes());
+        assert_eq!(keys, (0..4).map(ContactKey).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_counted() {
+        let mut ov = TraceOverlay::new(toy());
+        assert!(ov.remove(ContactKey(1)));
+        assert!(!ov.remove(ContactKey(1)));
+        assert_eq!(ov.num_tombstoned(), 1);
+        assert_eq!(ov.num_live(), 3);
+        assert!(!ov.is_live(ContactKey(1)));
+        assert!(ov.is_live(ContactKey(0)));
+        let (m, keys) = ov.materialize();
+        assert_eq!(m.num_contacts(), 3);
+        assert!(!keys.contains(&ContactKey(1)));
+    }
+
+    #[test]
+    fn append_issues_stable_keys_and_merges_sorted() {
+        let mut ov = TraceOverlay::new(toy());
+        let k = ov.append(Contact::secs(2, 3, 50.0, 80.0));
+        assert_eq!(k, ContactKey(4));
+        assert!(ov.is_live(k));
+        assert_eq!(ov.get(k), Some(Contact::secs(2, 3, 50.0, 80.0)));
+        let (m, keys) = ov.materialize();
+        assert_eq!(m.num_contacts(), 5);
+        // The appended contact sorts between start=0 and start=100.
+        assert_eq!(m.contacts()[1], Contact::secs(2, 3, 50.0, 80.0));
+        assert_eq!(keys[1], k);
+        // Key column matches the contacts behind the keys.
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(ov.get(key), Some(m.contacts()[i]));
+        }
+    }
+
+    #[test]
+    fn removal_only_overlay_matches_batch_transform() {
+        let t = toy();
+        for seed in 0..16u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let batch = remove_random(&t, 0.5, &mut rng);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ov = TraceOverlay::new(t.clone());
+            for i in 0..t.num_contacts() {
+                if rng.gen::<f64>() < 0.5 {
+                    ov.remove(ContactKey(i as u32));
+                }
+            }
+            let (m, _) = ov.materialize();
+            assert_eq!(m.contacts(), batch.contacts());
+        }
+    }
+
+    #[test]
+    fn compact_renumbers_and_reports_old_keys() {
+        let mut ov = TraceOverlay::new(toy());
+        ov.remove(ContactKey(0));
+        let appended = ov.append(Contact::secs(2, 3, 50.0, 80.0));
+        let before = ov.materialize();
+        let old = ov.compact();
+        assert_eq!(ov.num_tombstoned(), 0);
+        assert_eq!(ov.num_live(), 4);
+        assert_eq!(ov.num_keys(), 4);
+        // New base == pre-compaction materialization; old-key column maps
+        // each new id to the key it had before.
+        assert_eq!(ov.base().contacts(), before.0.contacts());
+        assert_eq!(old, before.1);
+        assert!(old.contains(&appended));
+        let (after, keys) = ov.materialize();
+        assert_eq!(after.contacts(), before.0.contacts());
+        assert_eq!(keys, (0..4).map(ContactKey).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the observation window")]
+    fn append_rejects_out_of_window() {
+        let mut ov = TraceOverlay::new(toy());
+        ov.append(Contact::secs(0, 1, 900.0, 1100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside node universe")]
+    fn append_rejects_out_of_universe() {
+        let mut ov = TraceOverlay::new(toy());
+        ov.append(Contact::secs(0, 9, 0.0, 10.0));
+    }
+
+    #[test]
+    fn tail_tombstones_work() {
+        let mut ov = TraceOverlay::new(toy());
+        let k = ov.append(Contact::secs(2, 3, 50.0, 80.0));
+        assert!(ov.remove(k));
+        assert!(!ov.is_live(k));
+        let (m, _) = ov.materialize();
+        assert_eq!(m.contacts(), toy().contacts());
+    }
+}

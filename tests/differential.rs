@@ -13,8 +13,8 @@
 //! `strict-invariants` job.
 
 use omnet_core::{
-    cross_check, AllPairsProfiles, ArcPruning, Arcs, CrossCheckOptions, HopBound, LevelStorage,
-    ProfileOptions, SourceProfiles,
+    cross_check, AllPairsProfiles, ArcPruning, Arcs, ContactDelta, CrossCheckOptions, HopBound,
+    IncrementalProfiles, LevelStorage, ProfileOptions, SourceProfiles,
 };
 use omnet_temporal::invariant::{self, InvariantViolation};
 use omnet_temporal::{Contact, ContactSeq, NodeId, Time, Trace, TraceBuilder};
@@ -418,4 +418,110 @@ proptest! {
             }
         }
     }
+
+    /// The incremental engine's maintained rows are byte-identical (as
+    /// `SourceProfileParts`) to a fresh batch compute of the merged trace
+    /// after every step of a random append/remove delta sequence — with
+    /// occasional overlay compactions interleaved — for every
+    /// `ArcPruning × LevelStorage` knob combination.
+    #[test]
+    fn incremental_engine_matches_fresh_batch_after_delta_sequences(
+        trace in trace_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        for opts in knob_combos() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut engine = IncrementalProfiles::new(&trace, opts);
+            for step in 0..4usize {
+                let delta = random_delta(&mut rng, &engine);
+                engine.apply(&delta);
+                if rng.gen::<f64>() < 0.25 {
+                    engine.compact();
+                }
+                let n = engine.trace().num_nodes();
+                let fresh = AllPairsProfiles::compute_range(engine.trace(), opts, 0..n);
+                prop_assert_eq!(engine.rows().len(), fresh.len());
+                for (e, f) in engine.rows().iter().zip(&fresh) {
+                    prop_assert_eq!(
+                        e.to_parts(),
+                        f.to_parts(),
+                        "source {} diverged after step {} with {:?}",
+                        e.source(),
+                        step,
+                        opts
+                    );
+                }
+            }
+        }
+    }
+
+    /// `compute_range` over any ordered partition of `0..n` — empty ranges
+    /// included (duplicate cut points) — concatenates byte-identically to
+    /// the whole-range `compute`, for every knob combination. This is the
+    /// shard-boundary oracle: `omnet precompute` shards are independent
+    /// `compute_range` calls.
+    #[test]
+    fn compute_range_partition_concats_to_compute(
+        trace in trace_strategy(),
+        cuts in prop::collection::vec(0u32..8, 0..4),
+    ) {
+        let n = trace.num_nodes();
+        for opts in knob_combos() {
+            let mut bounds: Vec<u32> = cuts.iter().map(|&c| c % (n + 1)).collect();
+            bounds.sort_unstable();
+            bounds.push(n);
+            let whole = AllPairsProfiles::compute(&trace, opts);
+            let mut cat: Vec<SourceProfiles> = Vec::new();
+            let mut lo = 0u32;
+            for &b in &bounds {
+                cat.extend(AllPairsProfiles::compute_range(&trace, opts, lo..b));
+                lo = b;
+            }
+            prop_assert_eq!(cat.len(), whole.rows().len());
+            for (c, w) in cat.iter().zip(whole.rows()) {
+                prop_assert_eq!(
+                    c.to_parts(),
+                    w.to_parts(),
+                    "source {} diverged with {:?}",
+                    w.source(),
+                    opts
+                );
+            }
+        }
+    }
+}
+
+/// A random delta against the engine's current substrate: each live
+/// contact tombstoned with probability 0.3 (occasionally with a duplicate
+/// key thrown in), plus up to two appended contacts drawn inside the
+/// observation window.
+fn random_delta(rng: &mut StdRng, engine: &IncrementalProfiles) -> ContactDelta {
+    let trace = engine.trace();
+    let span = trace.span();
+    let n = trace.num_nodes();
+    let mut delta = ContactDelta::default();
+    for (key, _) in engine.overlay().live() {
+        if rng.gen::<f64>() < 0.3 {
+            delta.remove.push(key);
+        }
+    }
+    if let Some(&k) = delta.remove.first() {
+        if rng.gen::<f64>() < 0.5 {
+            delta.remove.push(k); // duplicate — removal must stay idempotent
+        }
+    }
+    if span.start.is_finite() && span.end.is_finite() {
+        let (lo, hi) = (span.start.as_secs(), span.end.as_secs());
+        for _ in 0..rng.gen_range(0..3) {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let s = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+            let e = (s + rng.gen_range(0.0f64..50.0)).min(hi);
+            delta.append.push(Contact::secs(u, v, s, e));
+        }
+    }
+    delta
 }
