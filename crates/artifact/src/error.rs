@@ -57,6 +57,41 @@ pub enum ArtifactError {
     InvalidProfile(ProfilePartsError),
 }
 
+impl Clone for ArtifactError {
+    /// Clones the rejection. `std::io::Error` is not `Clone`, so the
+    /// [`ArtifactError::Io`] variant clones as a new error of the same
+    /// kind carrying the original's rendered message — the typed context
+    /// and path are preserved exactly. Needed so a lazily-verified shard
+    /// can cache its rejection once and hand it to every later caller.
+    fn clone(&self) -> ArtifactError {
+        match self {
+            ArtifactError::Io {
+                context,
+                path,
+                source,
+            } => ArtifactError::Io {
+                context,
+                path: path.clone(),
+                source: std::io::Error::new(source.kind(), source.to_string()),
+            },
+            ArtifactError::BadMagic { found } => ArtifactError::BadMagic { found: *found },
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                ArtifactError::UnsupportedVersion {
+                    found: *found,
+                    supported: *supported,
+                }
+            }
+            ArtifactError::Truncated { context } => ArtifactError::Truncated { context },
+            ArtifactError::ChecksumMismatch { what } => ArtifactError::ChecksumMismatch { what },
+            ArtifactError::Corrupt { context } => ArtifactError::Corrupt { context },
+            ArtifactError::SetInconsistent { context } => ArtifactError::SetInconsistent {
+                context: context.clone(),
+            },
+            ArtifactError::InvalidProfile(e) => ArtifactError::InvalidProfile(*e),
+        }
+    }
+}
+
 impl fmt::Display for ArtifactError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

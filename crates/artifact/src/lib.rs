@@ -20,11 +20,24 @@
 //! A profile set is N independent shard files ([`set::write_set`] /
 //! [`set::load_set`]), each covering a contiguous source range, so shards
 //! load, verify, and answer queries independently.
+//!
+//! Two load paths share one decoder:
+//!
+//! * the **buffered** path ([`load_shard`] / [`load_set`]) reads, verifies,
+//!   and decodes everything eagerly — the right shape for one-shot CLI
+//!   commands and for differential testing;
+//! * the **mapped** path ([`map_shard`] / [`map_set`]) memory-maps each
+//!   shard, validates only the header eagerly, and defers the ROWS
+//!   checksum + frontier validation to first access per shard — the
+//!   server's cold-start path, bounded by page faults instead of full
+//!   reads.
 
 #![deny(missing_docs)]
 
 pub mod codec;
 pub mod format;
+pub mod mapped;
+pub mod mmap;
 pub mod set;
 pub mod shard;
 
@@ -32,6 +45,7 @@ mod error;
 
 pub use error::ArtifactError;
 pub use format::{ArtifactMeta, ShardRange, FORMAT_VERSION, MAGIC};
+pub use mapped::{map_set, map_shard, MappedSet, MappedShard};
 pub use set::{load_set, shard_ranges, write_set, ArtifactSet};
 pub use shard::{load_shard, write_shard, ShardArtifact};
 

@@ -1,0 +1,244 @@
+//! Read-only memory-mapped file access with a buffered fallback.
+//!
+//! The artifact loaders originally slurped every shard with
+//! `std::fs::read`, so cold-starting a server over a large set paid a
+//! full sequential read of every byte before the first query. [`Mmap`]
+//! maps the file `PROT_READ`/`MAP_PRIVATE` instead: the loader touches
+//! only the header pages eagerly, and row bytes fault in lazily when a
+//! shard is first queried. No mapping crate is vendored, so the handful
+//! of `mmap`/`munmap` calls are declared directly against the C library
+//! std already links on unix.
+//!
+//! On non-unix targets (or when the kernel refuses the mapping) the type
+//! degrades to an owned buffer read the old way — callers see the same
+//! `&[u8]` either way and can ask [`Mmap::is_mapped`] which path they
+//! got.
+//!
+//! Caveat shared by every mmap consumer: if the underlying file is
+//! truncated by another process while mapped, touching the vanished
+//! pages raises `SIGBUS`. Artifact shards are written once and renamed
+//! into place, never truncated in place, so the loaders accept this.
+//!
+//! Safety: the only unsafe code is the FFI pair plus the
+//! pointer-to-slice view of a successful mapping; see the SAFETY
+//! comments at each site. The module-level `allow` below is the only
+//! place this crate lifts the workspace-wide `deny(unsafe_code)`.
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use core::ffi::c_void;
+
+    /// `PROT_READ` on every unix this crate targets.
+    pub(super) const PROT_READ: i32 = 1;
+    /// `MAP_PRIVATE` on Linux and the BSDs.
+    pub(super) const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        /// POSIX `mmap(2)`. `off_t` is 64-bit on every 64-bit unix, which
+        /// the enclosing `target_pointer_width = "64"` gate guarantees.
+        pub(super) fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        /// POSIX `munmap(2)`.
+        pub(super) fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+enum Inner {
+    /// A live `PROT_READ` mapping; unmapped on drop.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    },
+    /// The whole file, read eagerly (empty files, non-unix targets, or a
+    /// kernel that refused the mapping).
+    Buffered(Vec<u8>),
+}
+
+// SAFETY: a `Mapped` variant is an exclusively owned, read-only,
+// private, fixed-size mapping — no interior mutability, no aliasing
+// handles — so moving the owner across threads is sound. `Buffered`
+// is a plain `Vec<u8>`.
+unsafe impl Send for Inner {}
+// SAFETY: all access through `&Mmap` is `&[u8]` reads of immutable
+// pages; concurrent readers are sound.
+unsafe impl Sync for Inner {}
+
+/// A read-only view of one file: memory-mapped where the platform
+/// supports it, an owned buffer otherwise. Dereferences to `&[u8]`.
+pub struct Mmap {
+    inner: Inner,
+}
+
+impl Mmap {
+    /// Opens `path` read-only and maps (or reads) its current contents.
+    pub fn map(path: &Path) -> io::Result<Mmap> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                "file larger than the address space",
+            )
+        })?;
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            if len == 0 {
+                // A zero-length mmap is EINVAL; an empty buffer is the
+                // same observable value.
+                return Ok(Mmap {
+                    inner: Inner::Buffered(Vec::new()),
+                });
+            }
+            // SAFETY: plain FFI call; a NULL hint with PROT_READ |
+            // MAP_PRIVATE over a freshly opened fd has no preconditions.
+            // `len` is the exact file size, nonzero, checked above.
+            let ptr = unsafe {
+                sys::mmap(
+                    core::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize != usize::MAX {
+                // The fd can close now: POSIX keeps the mapping alive
+                // independently of the descriptor.
+                return Ok(Mmap {
+                    inner: Inner::Mapped { ptr, len },
+                });
+            }
+            // MAP_FAILED: fall through to the buffered path (e.g. a
+            // filesystem without mmap support).
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Buffered(buf),
+        })
+    }
+
+    /// The file's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: `ptr` is a successful, still-live mapping of
+                // exactly `len` readable bytes (unmapped only in Drop,
+                // which cannot run while `&self` is borrowed), and the
+                // pages are never written through this or any other
+                // handle.
+                unsafe { std::slice::from_raw_parts(*ptr as *const u8, *len) }
+            }
+            Inner::Buffered(v) => v,
+        }
+    }
+
+    /// Whether the bytes come from a live mapping rather than an owned
+    /// buffer (observable in stats and asserted by the scaling tests).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Inner::Mapped { .. } => true,
+            Inner::Buffered(_) => false,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: `(ptr, len)` came from the successful mmap in
+            // `Mmap::map` and is unmapped exactly once, here. Failure is
+            // unactionable in a destructor and leaks at worst.
+            let _ = unsafe { sys::munmap(ptr, len) };
+        }
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.as_slice().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("omna-mmap-{tag}-{}", std::process::id()));
+        std::fs::write(&p, bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let payload: Vec<u8> = (0u32..10_000).flat_map(u32::to_le_bytes).collect();
+        let p = tmp("exact", &payload);
+        let m = Mmap::map(&p).unwrap();
+        assert_eq!(m.as_slice(), &payload[..]);
+        assert_eq!(&m[..8], &payload[..8]);
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(m.is_mapped());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_is_empty_slice() {
+        let p = tmp("empty", &[]);
+        let m = Mmap::map(&p).unwrap();
+        assert!(m.as_slice().is_empty());
+        assert!(!m.is_mapped());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let p = std::env::temp_dir().join("omna-mmap-definitely-missing");
+        assert!(Mmap::map(&p).is_err());
+    }
+
+    #[test]
+    fn shareable_across_threads() {
+        let payload = vec![7u8; 4096 * 3];
+        let p = tmp("threads", &payload);
+        let m = std::sync::Arc::new(Mmap::map(&p).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || m.as_slice().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * 4096 * 3);
+        }
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -81,7 +81,9 @@ fn encode_rows(rows: &[SourceProfiles]) -> Vec<u8> {
 
 /// Decodes and validates the ROWS section body, reconstructing each row
 /// through [`SourceProfiles::from_parts`] (which re-checks every frontier).
-fn decode_rows(
+/// Shared by the buffered loader here and the lazy mapped loader
+/// ([`crate::mapped`]), so both decode byte-identically.
+pub(crate) fn decode_rows(
     body: &[u8],
     meta: &ArtifactMeta,
     range: &ShardRange,
@@ -207,13 +209,21 @@ fn load_shard_inner(path: &Path) -> Result<ShardArtifact, ArtifactError> {
         let len = usize::try_from(len).map_err(|_| ArtifactError::Truncated {
             context: "section body",
         })?;
-        if offset + len > file.len() {
+        // `checked_add`: a corrupt header can claim a section length near
+        // `usize::MAX`; the unchecked sum wraps in release builds and a
+        // wrapped `offset + len` would pass the bounds check below, turning
+        // the slice below into an out-of-bounds panic instead of a typed
+        // rejection.
+        let end = offset.checked_add(len).ok_or(ArtifactError::Truncated {
+            context: "section body",
+        })?;
+        if end > file.len() {
             return Err(ArtifactError::Truncated {
                 context: "section body",
             });
         }
-        let body = &file[offset..offset + len];
-        offset += len;
+        let body = &file[offset..end];
+        offset = end;
         if id != SECTION_ROWS {
             // Unknown sections are additive extensions: skip, don't reject.
             continue;
@@ -344,6 +354,79 @@ mod tests {
         // Interior corruption caught even if the checksum is recomputed:
         // swap two pair fields and fix up the section checksum — the
         // frontier validation still rejects.
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a corrupt section-table length near `u64::MAX` used to
+    /// wrap the `offset + len` bounds check in release builds and panic on
+    /// the body slice instead of returning a typed rejection. The header
+    /// checksum is fixed up after the patch so the corrupt length actually
+    /// reaches the section walk in both loaders.
+    #[test]
+    fn huge_section_length_rejected_not_panicking() {
+        let (t, meta) = toy();
+        let rows = AllPairsProfiles::compute(&t, meta.options).into_rows();
+        let dir = std::env::temp_dir().join(format!("omna-huge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.omna");
+        let range = ShardRange {
+            index: 0,
+            count: 1,
+            begin: 0,
+            end: 4,
+        };
+        write_shard(&path, &meta, range, &rows).unwrap();
+        let mut file = std::fs::read(&path).unwrap();
+        let header_len = u32::from_le_bytes(file[12..16].try_into().unwrap()) as usize;
+        // Single-section table: trailing ck (8) + one entry (20); the len
+        // field sits 4 bytes into the entry.
+        let len_at = header_len - 8 - 20 + 4;
+        file[len_at..len_at + 8].copy_from_slice(&(u64::MAX - 7).to_le_bytes());
+        let ck = fnv1a64(&file[..header_len - 8]);
+        file[header_len - 8..header_len].copy_from_slice(&ck.to_le_bytes());
+        std::fs::write(&path, &file).unwrap();
+        assert!(matches!(
+            load_shard(&path),
+            Err(ArtifactError::Truncated { .. })
+        ));
+        // The mapped loader walks the same table at map time.
+        assert!(matches!(
+            crate::mapped::map_shard(&path),
+            Err(ArtifactError::Truncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression companion: a file cut mid-body (truncated tail) is a
+    /// typed `Truncated` from both the buffered and the mapped loader —
+    /// the mapped path must catch it at map time, before any row access.
+    #[test]
+    fn truncated_tail_rejected_by_both_loaders() {
+        let (t, meta) = toy();
+        let rows = AllPairsProfiles::compute(&t, meta.options).into_rows();
+        let dir = std::env::temp_dir().join(format!("omna-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.omna");
+        let range = ShardRange {
+            index: 0,
+            count: 1,
+            begin: 0,
+            end: 4,
+        };
+        write_shard(&path, &meta, range, &rows).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        for cut in [1usize, 10, good.len() / 2] {
+            std::fs::write(&path, &good[..good.len() - cut]).unwrap();
+            let buffered = load_shard(&path);
+            let mapped = crate::mapped::map_shard(&path);
+            match buffered {
+                Err(ArtifactError::Truncated { .. }) => assert!(
+                    matches!(mapped, Err(ArtifactError::Truncated { .. })),
+                    "loaders disagree at cut {cut}"
+                ),
+                other => panic!("cut {cut} not rejected as truncated: {other:?}"),
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -4,7 +4,7 @@
 //! `(dest, bound)` profile query identically to the in-memory engine —
 //! and random corruption is always rejected, never mis-decoded.
 
-use omnet_artifact::{load_set, load_shard, write_set, ArtifactError, ArtifactMeta};
+use omnet_artifact::{load_set, load_shard, map_shard, write_set, ArtifactError, ArtifactMeta};
 use omnet_core::{
     AllPairsProfiles, ArcPruning, HopBound, LevelStorage, ProfileOptions, SourceProfiles,
 };
@@ -143,6 +143,64 @@ proptest! {
                     let row = &loaded.rows[s as usize];
                     assert_rows_equivalent(&all, row, s);
                 }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Differential corruption oracle: the buffered loader and the mapped
+    /// (lazy-verify) loader must reach the same verdict on the same bytes
+    /// — identical rows on accept, the same rejection class on reject. The
+    /// only behavioral difference allowed is *when* the rejection happens
+    /// (map time vs first row access), never *whether* or *which*.
+    #[test]
+    fn corruption_verdicts_match_between_loaders(
+        trace in trace_strategy(),
+        byte_seed in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let opts = ProfileOptions::default();
+        let all = AllPairsProfiles::compute(&trace, opts);
+        let meta = ArtifactMeta {
+            dataset_key: "diff".into(),
+            num_nodes: trace.num_nodes(),
+            num_internal: trace.num_internal(),
+            window: trace.span(),
+            options: opts,
+        };
+        let dir = tmp_dir("diff");
+        let paths = write_set(&dir, "diff", &meta, all.rows(), 1).expect("write");
+        let good = std::fs::read(&paths[0]).expect("read back");
+        let mut bad = good.clone();
+        let idx = byte_seed % bad.len();
+        bad[idx] ^= 1 << bit;
+        std::fs::write(&paths[0], &bad).expect("rewrite");
+        let buffered = load_shard(&paths[0]);
+        // Compose the mapped path's two stages (eager header + lazy rows)
+        // into one verdict.
+        let mapped: Result<Vec<_>, ArtifactError> =
+            map_shard(&paths[0]).and_then(|s| s.rows().map(<[_]>::to_vec));
+        match (buffered, mapped) {
+            (Ok(b), Ok(m)) => {
+                prop_assert_eq!(b.rows.len(), m.len());
+                for (br, mr) in b.rows.iter().zip(&m) {
+                    prop_assert_eq!(br.to_parts(), mr.to_parts());
+                }
+            }
+            (Err(be), Err(me)) => {
+                prop_assert_eq!(
+                    std::mem::discriminant(&be),
+                    std::mem::discriminant(&me),
+                    "rejection classes diverged: buffered {be}, mapped {me}"
+                );
+            }
+            (b, m) => {
+                prop_assert!(
+                    false,
+                    "loaders disagree: buffered {:?}, mapped {:?}",
+                    b.map(|s| s.rows.len()),
+                    m.map(|r| r.len())
+                );
             }
         }
         std::fs::remove_dir_all(&dir).ok();

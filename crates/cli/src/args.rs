@@ -41,6 +41,8 @@ pub enum Command {
     Precompute(PrecomputeArgs),
     /// `omnet query <artifacts> (<query...> | --stdin) [--trace FILE]`
     Query(QueryArgs),
+    /// `omnet serve <addr> <name>=<artifacts>... [--trace NAME=FILE]...`
+    Serve(ServeArgs),
 }
 
 /// Arguments of `omnet delivery`.
@@ -79,7 +81,8 @@ pub struct PrecomputeArgs {
 /// Arguments of `omnet query`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryArgs {
-    /// Directory holding the `*.omna` artifact shards.
+    /// Directory holding the `*.omna` artifact shards — or, with
+    /// `--remote`, the server-side dataset name.
     pub artifacts: PathBuf,
     /// One inline query, tokenized (empty with `--stdin`).
     pub tokens: Vec<String>,
@@ -87,6 +90,21 @@ pub struct QueryArgs {
     pub stdin: bool,
     /// Optional source trace, enabling concrete `path` routes.
     pub trace: Option<PathBuf>,
+    /// Send the queries to an `omnet serve` instance at this `host:port`
+    /// instead of loading artifacts locally.
+    pub remote: Option<String>,
+}
+
+/// Arguments of `omnet serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Listen address, `host:port` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Datasets to route, as `(name, artifact directory)` pairs.
+    pub datasets: Vec<(String, PathBuf)>,
+    /// Source traces to attach, as `(dataset name, trace file)` pairs —
+    /// attaching one enables `path` routes and wire deltas.
+    pub traces: Vec<(String, PathBuf)>,
 }
 
 /// Arguments of `omnet flood`.
@@ -355,6 +373,38 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
                 tokens: tokens.iter().map(|s| s.to_string()).collect(),
                 stdin: flags.iter().any(|(k, _)| *k == "--stdin"),
                 trace: flag_str(&flags, "--trace").map(PathBuf::from),
+                remote: flag_str(&flags, "--remote").map(String::from),
+            })
+        }
+        "serve" => {
+            let (pos, flags) = split_flags(&rest)?;
+            let Some((addr, specs)) = pos.split_first() else {
+                return Err(CliError::usage(
+                    "expected: omnet serve <addr> <name>=<artifacts>... [--trace NAME=FILE]...",
+                ));
+            };
+            let datasets = specs
+                .iter()
+                .map(|spec| {
+                    let (name, dir) = split_binding(spec, "dataset")?;
+                    Ok((name.to_string(), PathBuf::from(dir)))
+                })
+                .collect::<Result<Vec<_>, CliError>>()?;
+            let traces = flag_all(&flags, "--trace")
+                .map(|spec| {
+                    let (name, file) = split_binding(spec, "--trace")?;
+                    Ok((name.to_string(), PathBuf::from(file)))
+                })
+                .collect::<Result<Vec<_>, CliError>>()?;
+            if datasets.is_empty() && traces.is_empty() {
+                return Err(CliError::usage(
+                    "serve needs at least one dataset (<name>=<artifacts> or --trace NAME=FILE)",
+                ));
+            }
+            Command::Serve(ServeArgs {
+                addr: addr.to_string(),
+                datasets,
+                traces,
             })
         }
         "prune" => {
@@ -481,6 +531,27 @@ fn positional<const N: usize>(args: &[&str], usage: &str) -> Result<[String; N],
 
 fn flag_str<'a>(flags: &[(&str, Option<&'a str>)], name: &str) -> Option<&'a str> {
     flags.iter().find(|(k, _)| *k == name).and_then(|(_, v)| *v)
+}
+
+/// Every value of a repeatable flag, in argv order.
+fn flag_all<'a, 'f>(
+    flags: &'f [(&str, Option<&'a str>)],
+    name: &'f str,
+) -> impl Iterator<Item = &'a str> + 'f {
+    flags
+        .iter()
+        .filter(move |(k, _)| *k == name)
+        .filter_map(|(_, v)| *v)
+}
+
+/// Splits a `name=value` binding (dataset specs, `--trace` values).
+fn split_binding<'a>(spec: &'a str, what: &str) -> Result<(&'a str, &'a str), CliError> {
+    match spec.split_once('=') {
+        Some((name, value)) if !name.is_empty() && !value.is_empty() => Ok((name, value)),
+        _ => Err(CliError::usage(format!(
+            "{what} binding '{spec}' must have the form NAME=PATH"
+        ))),
+    }
 }
 
 fn flag_value<T: std::str::FromStr>(
@@ -662,7 +733,53 @@ mod tests {
         };
         assert!(b.stdin && b.tokens.is_empty());
         assert_eq!(b.trace, Some(PathBuf::from("t.trace")));
+        assert!(b.remote.is_none());
         assert!(parse(&argv("query")).is_err());
+    }
+
+    #[test]
+    fn query_remote_parses() {
+        let ParsedArgs::Run(Command::Query(a)) = parse(&argv(
+            "query reality delivery 0 3 120 --remote 127.0.0.1:7070",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.remote.as_deref(), Some("127.0.0.1:7070"));
+        assert_eq!(a.artifacts, PathBuf::from("reality"));
+        assert_eq!(a.tokens, vec!["delivery", "0", "3", "120"]);
+    }
+
+    #[test]
+    fn serve_parses_bindings() {
+        let ParsedArgs::Run(Command::Serve(a)) = parse(&argv(
+            "serve 127.0.0.1:0 reality=shards/reality toy=shards/toy --trace toy=toy.trace",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.addr, "127.0.0.1:0");
+        assert_eq!(
+            a.datasets,
+            vec![
+                ("reality".to_string(), PathBuf::from("shards/reality")),
+                ("toy".to_string(), PathBuf::from("shards/toy")),
+            ]
+        );
+        assert_eq!(
+            a.traces,
+            vec![("toy".to_string(), PathBuf::from("toy.trace"))]
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_shapes() {
+        // No datasets, malformed bindings, missing --trace value name.
+        assert!(parse(&argv("serve 127.0.0.1:0")).is_err());
+        assert!(parse(&argv("serve 127.0.0.1:0 reality")).is_err());
+        assert!(parse(&argv("serve 127.0.0.1:0 =shards")).is_err());
+        assert!(parse(&argv("serve 127.0.0.1:0 reality= ")).is_err());
+        assert!(parse(&argv("serve 127.0.0.1:0 r=shards --trace t.trace")).is_err());
     }
 
     #[test]

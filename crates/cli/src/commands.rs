@@ -16,7 +16,7 @@ use omnet_core::{
 };
 use omnet_flooding::{flood, simulate, uniform_workload, Routing, SimConfig};
 use omnet_mobility::Dataset;
-use omnet_serve::{Engine, Query, QueryError};
+use omnet_serve::{wire, Engine, Query, QueryError, Server};
 use omnet_temporal::stats::TraceStats;
 use omnet_temporal::{io, transform, Dur, NodeId, Time, Trace};
 use std::fmt::Write as _;
@@ -58,6 +58,12 @@ fn query_err(e: QueryError) -> CliError {
         QueryError::Parse { message } => CliError::parse(message),
         other => CliError::domain(other.to_string()),
     }
+}
+
+/// Maps wire-layer failures (transport, framing, server-side protocol
+/// errors) onto domain errors.
+fn wire_err(e: wire::WireError) -> CliError {
+    CliError::domain(format!("remote: {e}"))
 }
 
 /// `omnet stats`.
@@ -293,8 +299,13 @@ pub fn precompute(a: &PrecomputeArgs) -> Result<String, CliError> {
 }
 
 /// `omnet query`: loads an artifact set and answers one inline query or a
-/// stdin batch, never re-running the profile induction.
+/// stdin batch, never re-running the profile induction. With `--remote`
+/// the first positional is a server-side dataset *name* and the queries
+/// travel over the wire instead — same queries, same rendered bytes.
 pub fn query(a: &QueryArgs) -> Result<String, CliError> {
+    if let Some(addr) = &a.remote {
+        return query_remote(a, addr);
+    }
     let mut engine = Engine::load_dir(&a.artifacts).map_err(artifact_err)?;
     if let Some(tp) = &a.trace {
         let trace = load(tp)?;
@@ -363,6 +374,129 @@ pub fn query_batch(engine: &Engine, text: &str) -> String {
         }
     }
     out
+}
+
+/// The `--remote` arm of `omnet query`: ships the query lines to an
+/// `omnet serve` instance and renders the decoded answers with the same
+/// renderers as the local path, so output is byte-identical.
+fn query_remote(a: &QueryArgs, addr: &str) -> Result<String, CliError> {
+    if a.trace.is_some() {
+        return Err(CliError::usage(
+            "--trace is a local-load option; attach traces server-side at `omnet serve` time",
+        ));
+    }
+    let dataset = a.artifacts.to_string_lossy().into_owned();
+    let (lines, batch) = if a.stdin {
+        if !a.tokens.is_empty() {
+            return Err(CliError::usage(
+                "--stdin and an inline query are mutually exclusive",
+            ));
+        }
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut text).map_err(|e| {
+            CliError::io(
+                "cannot read queries",
+                Path::new("<stdin>"),
+                io::IoError::Io(e),
+            )
+        })?;
+        (text.lines().map(String::from).collect::<Vec<_>>(), true)
+    } else {
+        if a.tokens.is_empty() {
+            return Err(CliError::usage(
+                "expected a query (delivery|path|diameter|stats) or --stdin",
+            ));
+        }
+        // Tokens re-split identically server-side: the query grammar is
+        // whitespace-separated, so joining is lossless.
+        (vec![a.tokens.join(" ")], false)
+    };
+    let mut client = wire::Client::connect(addr).map_err(wire_err)?;
+    let resp = client
+        .call(&wire::Request::Query { dataset, lines })
+        .map_err(wire_err)?;
+    let wire::Response::Results(results) = resp else {
+        return Err(CliError::domain("remote: unexpected response type"));
+    };
+    if batch {
+        // Mirror `query_batch`: render answers, keep `error:` lines inline.
+        let mut out = String::new();
+        for r in results {
+            match r {
+                Ok(resp) => out.push_str(&render::response(&resp)),
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                }
+            }
+        }
+        Ok(out)
+    } else {
+        match results.into_iter().next() {
+            Some(Ok(resp)) => Ok(render::response(&resp)),
+            Some(Err(e)) => Err(query_err(e)),
+            None => Err(CliError::domain("remote: server returned no result")),
+        }
+    }
+}
+
+/// `omnet serve`: loads the named datasets and serves the wire protocol
+/// until SIGINT/SIGTERM, then drains and reports. `name=dir` bindings are
+/// artifact-backed (immutable); a `--trace NAME=FILE` either attaches the
+/// source trace to artifact dataset NAME (enabling `path` routes) or, when
+/// NAME has no artifact binding, serves FILE as a trace-backed dataset
+/// that also accepts wire deltas.
+pub fn serve(a: &ServeArgs) -> Result<String, CliError> {
+    let mut engines: Vec<(String, Engine)> = Vec::new();
+    for (name, dir) in &a.datasets {
+        if engines.iter().any(|(n, _)| n == name) {
+            return Err(CliError::usage(format!("dataset '{name}' is bound twice")));
+        }
+        let mut engine = Engine::load_dir(dir).map_err(artifact_err)?;
+        if let Some((_, tp)) = a.traces.iter().find(|(n, _)| n == name) {
+            let trace = load(tp)?;
+            engine = engine.with_trace(Arc::new(trace)).map_err(artifact_err)?;
+        }
+        engines.push((name.clone(), engine));
+    }
+    for (name, tp) in &a.traces {
+        if a.datasets.iter().any(|(n, _)| n == name) {
+            continue; // attached above
+        }
+        if engines.iter().any(|(n, _)| n == name) {
+            return Err(CliError::usage(format!("dataset '{name}' is bound twice")));
+        }
+        let trace = load(tp)?;
+        let engine = Engine::from_trace(Arc::new(trace), ProfileOptions::default(), &trace_key(tp));
+        engines.push((name.clone(), engine));
+    }
+    let names: Vec<&str> = engines.iter().map(|(n, _)| n.as_str()).collect();
+    let summary = names.join(", ");
+    let server = Server::bind(&a.addr, engines)
+        .map_err(|e| CliError::io("cannot bind", Path::new(&a.addr), io::IoError::Io(e)))?;
+    let addr = server.local_addr().map_err(|e| {
+        CliError::io(
+            "cannot resolve bound address",
+            Path::new(&a.addr),
+            io::IoError::Io(e),
+        )
+    })?;
+    Server::install_signal_handlers();
+    // Announce the bound address up front (port 0 resolves here) so
+    // scripts and the CI smoke can connect; the command's return value
+    // only appears after shutdown.
+    {
+        use std::io::Write as _;
+        let mut out = std::io::stdout().lock();
+        let _ = writeln!(out, "listening on {addr} (datasets: {summary})");
+        let _ = out.flush();
+    }
+    let report = server
+        .run()
+        .map_err(|e| CliError::io("serve failed", Path::new(&a.addr), io::IoError::Io(e)))?;
+    Ok(format!(
+        "served {} connections, {} requests ({} rejected during shutdown)\n",
+        report.connections, report.requests, report.rejected
+    ))
 }
 
 /// `omnet prune`.
@@ -990,6 +1124,7 @@ mod tests {
                 tokens: tokens.iter().map(|s| s.to_string()).collect(),
                 stdin: false,
                 trace: trace.map(Path::to_path_buf),
+                remote: None,
             })
             .unwrap()
         };
@@ -1063,6 +1198,7 @@ mod tests {
             tokens: vec![],
             stdin: false,
             trace: None,
+            remote: None,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
@@ -1071,6 +1207,7 @@ mod tests {
             tokens: vec!["frobnicate".into()],
             stdin: false,
             trace: None,
+            remote: None,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Parse(_)), "{err}");
@@ -1080,6 +1217,7 @@ mod tests {
             tokens: vec!["stats".into()],
             stdin: false,
             trace: None,
+            remote: None,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Io { .. }), "{err}");
@@ -1100,15 +1238,23 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
         std::fs::write(&shard, &bytes).unwrap();
+        // Shard verification is deferred to first row access, so query a
+        // row: the corruption is rejected either at load (header damage)
+        // or on that first access (ROWS damage) — never answered from.
         let err = query(&QueryArgs {
             artifacts: art,
-            tokens: vec!["stats".into()],
+            tokens: vec!["delivery".into(), "0".into(), "3".into(), "0".into()],
             stdin: false,
             trace: None,
+            remote: None,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Domain(_)), "{err}");
-        assert!(err.to_string().contains("artifact:"), "{err}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("artifact:") || msg.contains("failed verification"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! omnet delivery  <trace> <src> <dst> <t>       earliest delivery under a hop budget
 //! omnet precompute <trace> <outdir> [...]       trace -> sharded profile artifacts
 //! omnet query     <artifacts> [...]             typed queries over persisted artifacts
+//! omnet serve     <addr> <name>=<artifacts>...  serve datasets over TCP (wire protocol)
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,6 +52,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Delivery(a) => commands::delivery(&a),
         Command::Precompute(a) => commands::precompute(&a),
         Command::Query(a) => commands::query(&a),
+        Command::Serve(a) => commands::serve(&a),
     }
 }
 
@@ -78,8 +80,13 @@ USAGE:
   omnet precompute <trace> <outdir> [--shards N] [--store-levels K]
                  [--max-levels K] [--dataset-key S]
   omnet query    <artifacts> (<query...> | --stdin) [--trace FILE]
+                 [--remote HOST:PORT]   (first positional = dataset name)
                  queries: delivery <s> <d> <t> [K] | path <s> <d> <t>
                           | diameter [eps [K]] [internal] | stats
+  omnet serve    <addr> <name>=<artifacts>... [--trace NAME=FILE]...
+                 serves datasets over TCP; --trace attaches a source trace
+                 (or, for an unbound NAME, serves the trace directly and
+                 accepts wire deltas); SIGINT/SIGTERM drain and exit
 
 Traces are plain text: optional `# nodes/internal/window` headers, then one
 `a b start end` row per contact; `convert` also accepts Haggle/CRAWDAD-style

@@ -274,6 +274,30 @@ impl IncrementalProfiles {
             }
         }
 
+        // Validate every append before the first overlay edit.
+        // `TraceOverlay::append` panics on a bad contact; if that fired
+        // mid-loop — after the removals below — the engine would be left
+        // half-applied: some contacts tombstoned, a prefix of the appends
+        // in, rows describing neither trace. Front-loading the same checks
+        // makes a rejected delta all-or-nothing: the panic fires while the
+        // overlay is still untouched.
+        let universe = self.overlay.base().num_nodes();
+        let window = self.overlay.base().span();
+        for c in &delta.append {
+            assert!(
+                c.b.0 < universe,
+                "appended contact endpoint outside node universe"
+            );
+            assert!(
+                window.start <= c.start() && c.end() <= window.end,
+                "appended contact outside the observation window"
+            );
+        }
+        assert!(
+            self.overlay.num_keys() + delta.append.len() < u32::MAX as usize,
+            "contact key space exhausted"
+        );
+
         // Edit the overlay and rematerialize.
         for &k in &removed {
             self.overlay.remove(ContactKey(k));
@@ -856,6 +880,44 @@ mod tests {
         engine.apply(&delta);
         assert_rows_match_fresh(&engine);
         assert_eq!(engine.trace().num_contacts(), 2);
+    }
+
+    /// Regression (half-applied delta bug): `apply` used to edit the
+    /// overlay remove-by-remove and append-by-append, with the appends
+    /// validated only inside `TraceOverlay::append` — so a mixed delta
+    /// whose *last* append was invalid panicked after the removals and the
+    /// earlier appends had already mutated the overlay, leaving rows that
+    /// described neither the old nor the new trace. The batch must now be
+    /// validated up front: a rejected delta leaves the engine untouched.
+    #[test]
+    fn rejected_mixed_delta_leaves_engine_untouched() {
+        let mut engine = IncrementalProfiles::new(&chain(), ProfileOptions::default());
+        let before: Vec<_> = engine.rows().iter().map(|r| r.to_parts()).collect();
+        let delta = ContactDelta {
+            remove: vec![ContactKey(0)],
+            append: vec![
+                Contact::secs(2, 3, 500.0, 520.0),   // valid
+                Contact::secs(0, 1, 2000.0, 2100.0), // outside the window
+            ],
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.apply(&delta);
+        }));
+        assert!(outcome.is_err(), "out-of-window append must be rejected");
+        // Nothing was applied: no tombstone, no appended tail, rows
+        // byte-identical.
+        assert_eq!(engine.trace().num_contacts(), 2);
+        assert_eq!(engine.overlay().num_tombstoned(), 0);
+        let after: Vec<_> = engine.rows().iter().map(|r| r.to_parts()).collect();
+        assert_eq!(before, after);
+        assert_rows_match_fresh(&engine);
+        // The valid prefix of the same batch still applies cleanly.
+        let stats = engine.apply(&ContactDelta {
+            remove: vec![ContactKey(0)],
+            append: vec![Contact::secs(2, 3, 500.0, 520.0)],
+        });
+        assert_eq!((stats.removed, stats.appended), (1, 1));
+        assert_rows_match_fresh(&engine);
     }
 
     #[test]

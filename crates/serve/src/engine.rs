@@ -4,7 +4,7 @@ use crate::query::{
     DeliveryAnswer, DiameterAnswer, PathAnswer, PathHop, Query, QueryError, QueryResponse,
     StatsAnswer,
 };
-use omnet_artifact::{load_set, ArtifactError, ArtifactMeta, ArtifactSet};
+use omnet_artifact::{map_set, ArtifactError, ArtifactMeta, MappedSet};
 use omnet_core::incremental::{record_external_delta, row_may_use, ContactDelta};
 use omnet_core::{
     earliest_arrival, Arcs, CurveOptions, HopBound, ProfileOptions, SourceProfiles, SuccessCurves,
@@ -16,9 +16,10 @@ use std::sync::{Arc, Mutex};
 
 /// Where answers come from.
 enum Backend {
-    /// A persisted artifact set; rows were reconstructed at load time and
-    /// the §4.4 induction never runs on this path.
-    Shards(ArtifactSet),
+    /// A persisted artifact set, memory-mapped: headers verified at load
+    /// time, each shard's rows checksum-verified and decoded on first
+    /// query against it. The §4.4 induction never runs on this path.
+    Shards(MappedSet),
     /// An in-memory trace; rows are computed on first use per source and
     /// memoized, so interactive one-shot commands stay cheap. The flat CSR
     /// arc index is built once here and shared by every memoized per-source
@@ -43,6 +44,26 @@ pub struct Engine {
     /// [`Engine::with_trace`]; enables concrete route reconstruction for
     /// [`Query::Path`].
     trace: Option<Arc<Trace>>,
+    /// Contact-key epoch: bumped every time delta application renumbers
+    /// the key space (the engine compacts on every applied delta), so
+    /// removal keys minted against an older trace are rejected instead of
+    /// silently addressing the wrong contact.
+    key_epoch: u64,
+}
+
+/// Outcome of a successfully applied [`ContactDelta`]
+/// ([`Engine::apply_delta`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaApplied {
+    /// Memoized rows the delta invalidated (they recompute lazily).
+    pub rows_invalidated: usize,
+    /// The key epoch *after* application. Removal keys in later deltas
+    /// must quote this epoch; the engine rejects any other with
+    /// [`QueryError::StaleKeyEpoch`].
+    pub key_epoch: u64,
+    /// Contacts in the rebuilt trace — the new key space is
+    /// `0..num_contacts`.
+    pub num_contacts: usize,
 }
 
 /// A row handle that is either borrowed from a loaded shard or shared out
@@ -62,20 +83,25 @@ impl Row<'_> {
 }
 
 impl Engine {
-    /// Loads every `*.omna` shard under `dir` into an artifact-backed
-    /// engine. Emits one `serve.load` span; the underlying loads verify
-    /// every checksum and frontier, so a corrupted or version-bumped
-    /// artifact is rejected here, never answered from.
+    /// Maps every `*.omna` shard under `dir` into an artifact-backed
+    /// engine. Emits one `serve.load` span. Shard headers (magic, version,
+    /// header checksum, section extents) are verified here; each shard's
+    /// ROWS checksum and frontier validation run on the first query
+    /// against it, so cold-start is bounded by page faults, not full
+    /// reads — and a corrupted shard is still rejected (with
+    /// [`QueryError::ShardRejected`]) before a single row is answered
+    /// from it.
     pub fn load_dir(dir: &Path) -> Result<Engine, ArtifactError> {
         let mut span = omnet_obs::span("serve.load").with("dir", dir.display().to_string());
-        let set = load_set(dir)?;
-        span.record("shards", set.shards.len());
+        let set = map_set(dir)?;
+        span.record("shards", set.shards().len());
         span.record("rows", set.num_rows());
         crate::LOADS.inc();
         Ok(Engine {
             meta: set.meta.clone(),
             backend: Backend::Shards(set),
             trace: None,
+            key_epoch: 0,
         })
     }
 
@@ -98,6 +124,7 @@ impl Engine {
                 memo: Mutex::new(HashMap::new()),
             },
             trace: Some(trace),
+            key_epoch: 0,
         }
     }
 
@@ -124,6 +151,20 @@ impl Engine {
         &self.meta
     }
 
+    /// The current contact-key epoch. Removal keys address the trace the
+    /// engine held at this epoch; [`Engine::apply_delta`] rejects deltas
+    /// quoting any other epoch, because every applied delta compacts (and
+    /// so renumbers) the key space.
+    pub fn key_epoch(&self) -> u64 {
+        self.key_epoch
+    }
+
+    /// Whether [`Engine::apply_delta`] can succeed: true for trace-backed
+    /// engines, false for immutable artifact-backed sets.
+    pub fn supports_deltas(&self) -> bool {
+        matches!(self.backend, Backend::Lazy { .. })
+    }
+
     /// Answers one query. Emits one `serve.query` span per call and bumps
     /// the `serve.queries` / `serve.query_errors` counters.
     pub fn answer(&self, q: &Query) -> Result<QueryResponse, QueryError> {
@@ -139,8 +180,20 @@ impl Engine {
 
     /// Answers a batch on the work-stealing executor, preserving input
     /// order. Each query still gets its own `serve.query` span.
+    ///
+    /// `stats` reports memoization state (rows materialized, max useful
+    /// hops) that other queries in the same batch mutate concurrently, so
+    /// those answers are snapshotted before the parallel fan-out: a batch
+    /// always renders the same bytes regardless of executor scheduling.
     pub fn answer_batch(&self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
-        omnet_analysis::par_map(queries.len(), |i| self.answer(&queries[i]))
+        let snapshots: Vec<Option<Result<QueryResponse, QueryError>>> = queries
+            .iter()
+            .map(|q| matches!(q, Query::Stats).then(|| self.answer(q)))
+            .collect();
+        omnet_analysis::par_map(queries.len(), |i| match &snapshots[i] {
+            Some(answered) => answered.clone(),
+            None => self.answer(&queries[i]),
+        })
     }
 
     fn dispatch(&self, q: &Query) -> Result<QueryResponse, QueryError> {
@@ -179,10 +232,14 @@ impl Engine {
     /// memo (computing and caching it on first use).
     fn row(&self, source: u32) -> Result<Row<'_>, QueryError> {
         match &self.backend {
-            Backend::Shards(set) => set
-                .row(source)
-                .map(Row::Borrowed)
-                .ok_or(QueryError::ShardMissing { source }),
+            Backend::Shards(set) => match set.row(source) {
+                Ok(Some(row)) => Ok(Row::Borrowed(row)),
+                Ok(None) => Err(QueryError::ShardMissing { source }),
+                Err(e) => Err(QueryError::ShardRejected {
+                    source,
+                    message: e.to_string(),
+                }),
+            },
             Backend::Lazy { trace, arcs, memo } => {
                 {
                     let cache = memo.lock().unwrap_or_else(|p| p.into_inner());
@@ -297,11 +354,19 @@ impl Engine {
                 } else {
                     self.meta.num_nodes
                 };
-                let rows = set
-                    .rows_prefix(limit)
-                    .ok_or_else(|| QueryError::ShardMissing {
-                        source: set.first_missing(limit).unwrap_or(limit),
-                    })?;
+                let mut rows = Vec::with_capacity(limit as usize);
+                for s in 0..limit {
+                    match set.row(s) {
+                        Ok(Some(row)) => rows.push(row),
+                        Ok(None) => return Err(QueryError::ShardMissing { source: s }),
+                        Err(e) => {
+                            return Err(QueryError::ShardRejected {
+                                source: s,
+                                message: e.to_string(),
+                            })
+                        }
+                    }
+                }
                 // Exactness guard: a hop class beyond what a row stores is
                 // answered by its unlimited profile, which is only exact
                 // once the row converged within its stored levels.
@@ -344,12 +409,28 @@ impl Engine {
     /// cannot board a contact never used it). Dropped rows recompute
     /// lazily on next use; retained rows stay byte-identical answers.
     ///
-    /// Removal keys address the **current** trace's contact ids (the
-    /// engine compacts on every delta). Returns the number of memoized
-    /// rows invalidated. Artifact-backed engines are immutable and answer
+    /// Removal keys address the trace the engine held at `key_epoch` —
+    /// every applied delta compacts, renumbering the key space and
+    /// bumping [`Engine::key_epoch`], so a delta quoting any other epoch
+    /// is rejected with [`QueryError::StaleKeyEpoch`] (a stale key that
+    /// happens to still be in range would otherwise silently remove the
+    /// *wrong* contact).
+    ///
+    /// Application is **all-or-nothing**: every removal key and every
+    /// appended contact is validated before any state is touched, the new
+    /// substrate is built on the side, and only then swapped in. A
+    /// rejected delta — stale epoch, bad key, out-of-universe or
+    /// out-of-window append, anywhere in the batch — leaves the engine
+    /// answering exactly as before, epoch included.
+    ///
+    /// Artifact-backed engines are immutable and answer
     /// [`QueryError::BadParameter`] — rebuild and reload the shards
     /// instead.
-    pub fn apply_delta(&mut self, delta: &ContactDelta) -> Result<usize, QueryError> {
+    pub fn apply_delta(
+        &mut self,
+        delta: &ContactDelta,
+        key_epoch: u64,
+    ) -> Result<DeltaApplied, QueryError> {
         let Backend::Lazy { trace, arcs, memo } = &mut self.backend else {
             return Err(QueryError::BadParameter {
                 message: "deltas need a trace-backed engine; artifact sets are immutable — \
@@ -357,14 +438,30 @@ impl Engine {
                     .into(),
             });
         };
+        if key_epoch != self.key_epoch {
+            return Err(QueryError::StaleKeyEpoch {
+                presented: key_epoch,
+                current: self.key_epoch,
+            });
+        }
+        if delta.is_empty() {
+            // Nothing renumbers: the epoch must not move.
+            return Ok(DeltaApplied {
+                rows_invalidated: 0,
+                key_epoch: self.key_epoch,
+                num_contacts: trace.num_contacts(),
+            });
+        }
+        // Validate the WHOLE batch before touching anything — the Nth bad
+        // entry must not leave the first N−1 applied.
         let m = trace.num_contacts();
         let window = trace.span();
         for &k in &delta.remove {
             if k.0 as usize >= m {
                 return Err(QueryError::BadParameter {
                     message: format!(
-                        "remove key {} out of range: the trace has {m} contacts",
-                        k.0
+                        "remove key {} out of range: the trace has {m} contacts at epoch {}",
+                        k.0, self.key_epoch
                     ),
                 });
             }
@@ -389,7 +486,8 @@ impl Engine {
             .with("appended", delta.append.len())
             .with("removed", delta.remove.len());
 
-        // Contacts the delta touches — the memo invalidation probes.
+        // Build the post-delta substrate on the side; the engine's own
+        // state is untouched until the swap below.
         let mut touched: Vec<Contact> = delta.append.clone();
         let mut overlay = TraceOverlay::new(Trace::clone(trace));
         let mut removed = 0usize;
@@ -404,29 +502,41 @@ impl Engine {
         }
         let (merged, _keys) = overlay.materialize();
 
+        // Point of no return: everything validated and built — swap.
         let cache = memo.get_mut().unwrap_or_else(|p| p.into_inner());
         let before = cache.len();
         cache.retain(|_, row| !touched.iter().any(|c| row_may_use(row, c)));
         let dropped = before - cache.len();
 
         let new_trace = Arc::new(merged);
+        let num_contacts = new_trace.num_contacts();
         *arcs = Arcs::of(&new_trace);
         *trace = Arc::clone(&new_trace);
         self.trace = Some(new_trace);
+        // The materialized trace renumbered the contact/key space.
+        self.key_epoch += 1;
 
         record_external_delta(delta.append.len(), removed, dropped);
         span.record("rows_invalidated", dropped);
-        Ok(dropped)
+        span.record("key_epoch", self.key_epoch);
+        Ok(DeltaApplied {
+            rows_invalidated: dropped,
+            key_epoch: self.key_epoch,
+            num_contacts,
+        })
     }
 
     fn stats(&self) -> StatsAnswer {
         let (shards, rows, max_useful_hops) = match &self.backend {
+            // `max_useful_hops` reads only the shards already verified —
+            // a stats query must not force the whole set to decode.
             Backend::Shards(set) => (
-                set.shards.len(),
+                set.shards().len(),
                 set.num_rows(),
-                set.shards
+                set.shards()
                     .iter()
-                    .flat_map(|s| s.rows.iter())
+                    .filter_map(omnet_artifact::MappedShard::materialized_rows)
+                    .flatten()
                     .map(SourceProfiles::converged_at)
                     .max(),
             ),
@@ -748,6 +858,21 @@ mod tests {
         assert_eq!(s.num_internal, 4);
         assert_eq!(s.shards, 2);
         assert_eq!(s.rows, 5);
+        // Shards verify lazily: before any row query nothing is decoded,
+        // so there is no converged_at to report yet...
+        assert!(s.max_useful_hops.is_none());
+        engine
+            .answer(&Query::Delivery {
+                src: 0,
+                dst: 1,
+                at: Time::secs(0.0),
+                bound: HopBound::Unlimited,
+            })
+            .unwrap();
+        let QueryResponse::Stats(s) = engine.answer(&Query::Stats).unwrap() else {
+            panic!("wrong variant")
+        };
+        // ...and after one query the touched shard has materialized.
         assert!(s.max_useful_hops.is_some());
         // The lazy engine starts empty and fills as it answers.
         let lazy = Engine::from_trace(Arc::new(t), ProfileOptions::default(), "toy");
@@ -788,8 +913,12 @@ mod tests {
             remove: vec![ContactKey(1)],
             append: vec![Contact::secs(1, 2, 300.0, 340.0)],
         };
-        let dropped = lazy.apply_delta(&delta).unwrap();
-        assert!(dropped > 0, "the 1—2 relay is used by memoized rows");
+        let applied = lazy.apply_delta(&delta, lazy.key_epoch()).unwrap();
+        assert!(
+            applied.rows_invalidated > 0,
+            "the 1—2 relay is used by memoized rows"
+        );
+        assert_eq!(applied.key_epoch, 1, "an applied delta bumps the epoch");
         // Every answer must now match a from-scratch engine over the
         // edited trace — including Path, which reads the rebuilt trace.
         let mut ov = TraceOverlay::new(t.clone());
@@ -828,14 +957,151 @@ mod tests {
         }
         // Typed errors: bad removal keys, and artifact-backed immutability.
         assert!(matches!(
-            lazy.apply_delta(&ContactDelta::remove_only([ContactKey(999)])),
+            lazy.apply_delta(
+                &ContactDelta::remove_only([ContactKey(999)]),
+                lazy.key_epoch()
+            ),
             Err(QueryError::BadParameter { .. })
         ));
         let mut shards = shards_engine(&t, opts, 1);
         assert!(matches!(
-            shards.apply_delta(&delta),
+            shards.apply_delta(&delta, shards.key_epoch()),
             Err(QueryError::BadParameter { .. })
         ));
+    }
+
+    /// Regression (stale-key bug): `apply_delta` used to validate removal
+    /// keys only against `trace.num_contacts()`, but every applied delta
+    /// compacts — renumbering the key space — so a client holding
+    /// pre-compaction keys could silently remove the *wrong* contact
+    /// whenever the stale key was still in range. Stale keys must be
+    /// rejected with a typed error, and the engine left untouched.
+    #[test]
+    fn stale_keys_rejected_after_compaction() {
+        use omnet_temporal::ContactKey;
+        let t = toy();
+        let opts = ProfileOptions::default();
+        let mut engine = Engine::from_trace(Arc::new(t.clone()), opts, "toy");
+        assert_eq!(engine.key_epoch(), 0);
+
+        // Epoch 0: the client learns keys 0..6 (base contact ids) and
+        // removes key 0 — the 0–1 contact at [0, 120].
+        let applied = engine
+            .apply_delta(&ContactDelta::remove_only([ContactKey(0)]), 0)
+            .unwrap();
+        assert_eq!(applied.key_epoch, 1);
+        assert_eq!(applied.num_contacts, 5);
+
+        // The same client now tries to remove key 1, still believing it
+        // addresses the 1–2 contact at [100, 260] — but the compaction
+        // renumbered, and key 1 now addresses a different contact. Key 1
+        // is in range (5 contacts live), so the old validation would have
+        // applied it: the silent wrong-contact removal.
+        let stale = engine.apply_delta(&ContactDelta::remove_only([ContactKey(1)]), 0);
+        assert!(
+            matches!(
+                stale,
+                Err(QueryError::StaleKeyEpoch {
+                    presented: 0,
+                    current: 1
+                })
+            ),
+            "stale-epoch delta must be rejected, got {stale:?}"
+        );
+        // Rejection is side-effect free: answers match an engine that only
+        // ever saw the first (valid) delta.
+        let mut ov = TraceOverlay::new(t.clone());
+        ov.remove(ContactKey(0));
+        let (reference, _) = ov.materialize();
+        let fresh = Engine::from_trace(Arc::new(reference), opts, "toy");
+        for s in 0..t.num_nodes() {
+            for d in 0..t.num_nodes() {
+                let q = Query::Delivery {
+                    src: s,
+                    dst: d,
+                    at: Time::secs(0.0),
+                    bound: HopBound::Unlimited,
+                };
+                assert_eq!(engine.answer(&q).unwrap(), fresh.answer(&q).unwrap());
+            }
+        }
+        // Quoting the *current* epoch works.
+        assert!(engine
+            .apply_delta(&ContactDelta::remove_only([ContactKey(1)]), 1)
+            .is_ok());
+    }
+
+    /// Regression (half-applied delta bug): a mixed delta whose Nth append
+    /// is invalid must be rejected as a whole — no contact removed, no
+    /// earlier append applied, no memo dropped, no epoch bump.
+    #[test]
+    fn rejected_mixed_delta_is_all_or_nothing() {
+        use omnet_temporal::ContactKey;
+        let t = toy();
+        let opts = ProfileOptions::default();
+        let mut engine = Engine::from_trace(Arc::new(t.clone()), opts, "toy");
+        // Memoize every row so a half-applied delta would be visible as
+        // either changed answers or a shrunken memo.
+        for s in 0..t.num_nodes() {
+            engine
+                .answer(&Query::Delivery {
+                    src: s,
+                    dst: 0,
+                    at: Time::secs(0.0),
+                    bound: HopBound::Unlimited,
+                })
+                .unwrap();
+        }
+        let reference = Engine::from_trace(Arc::new(t.clone()), opts, "toy");
+        // Valid removal + valid append, then an append outside the
+        // observation window as the last entry.
+        let mixed = ContactDelta {
+            remove: vec![ContactKey(1)],
+            append: vec![
+                Contact::secs(1, 2, 300.0, 340.0),
+                Contact::secs(0, 2, 5_000.0, 6_000.0),
+            ],
+        };
+        let err = engine.apply_delta(&mixed, engine.key_epoch()).unwrap_err();
+        assert!(matches!(err, QueryError::BadParameter { .. }), "{err}");
+        assert_eq!(
+            engine.key_epoch(),
+            0,
+            "rejected delta must not bump the epoch"
+        );
+        let QueryResponse::Stats(s) = engine.answer(&Query::Stats).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert_eq!(s.rows, 5, "rejected delta must not drop memoized rows");
+        let mut queries = vec![Query::Diameter {
+            eps: 0.01,
+            max_hops: 6,
+            internal_only: false,
+        }];
+        for s in 0..t.num_nodes() {
+            for d in 0..t.num_nodes() {
+                queries.push(Query::Delivery {
+                    src: s,
+                    dst: d,
+                    at: Time::secs(50.0),
+                    bound: HopBound::Unlimited,
+                });
+            }
+        }
+        for q in &queries {
+            assert_eq!(
+                engine.answer(q).unwrap(),
+                reference.answer(q).unwrap(),
+                "rejected delta changed the engine on {q:?}"
+            );
+        }
+        // The valid prefix of the same batch still applies cleanly.
+        let valid = ContactDelta {
+            remove: vec![ContactKey(1)],
+            append: vec![Contact::secs(1, 2, 300.0, 340.0)],
+        };
+        assert!(engine.apply_delta(&valid, 0).is_ok());
+        assert_eq!(engine.key_epoch(), 1);
     }
 
     #[test]

@@ -16,20 +16,35 @@
 //! the work-stealing executor (`omnet_analysis::par_map`) while preserving
 //! input order.
 //!
-//! Observability: `serve.load` / `serve.query` spans, plus `serve.queries`,
-//! `serve.query_errors` and `serve.loads` counters.
+//! The same engines also serve over the network: [`Server`] routes
+//! length-prefixed JSON frames ([`wire`]) to named datasets, interleaving
+//! concurrent query batches (read lock) with wire deltas (write lock) —
+//! see DESIGN.md §16 for the protocol.
+//!
+//! Observability: `serve.load` / `serve.query` / `serve.delta` spans plus
+//! per-connection `serve.conn` and per-request `serve.request` spans, and
+//! `serve.queries`, `serve.query_errors`, `serve.loads`, `serve.accepted`,
+//! `serve.rejected`, `serve.requests`, `serve.in_flight_max` counters.
 
 #![deny(missing_docs)]
 
 mod engine;
 mod query;
+mod server;
+pub mod wire;
 
-pub use engine::Engine;
+pub use engine::{DeltaApplied, Engine};
 pub use query::{
     DeliveryAnswer, DiameterAnswer, PathAnswer, PathHop, Query, QueryError, QueryResponse,
     StatsAnswer,
 };
+pub use server::{ServeReport, Server, ServerHandle};
 
 pub(crate) static QUERIES: omnet_obs::Counter = omnet_obs::Counter::new("serve.queries");
 pub(crate) static QUERY_ERRORS: omnet_obs::Counter = omnet_obs::Counter::new("serve.query_errors");
 pub(crate) static LOADS: omnet_obs::Counter = omnet_obs::Counter::new("serve.loads");
+pub(crate) static ACCEPTED: omnet_obs::Counter = omnet_obs::Counter::new("serve.accepted");
+pub(crate) static REJECTED: omnet_obs::Counter = omnet_obs::Counter::new("serve.rejected");
+pub(crate) static REQUESTS: omnet_obs::Counter = omnet_obs::Counter::new("serve.requests");
+pub(crate) static IN_FLIGHT_MAX: omnet_obs::Counter =
+    omnet_obs::Counter::new("serve.in_flight_max");

@@ -190,6 +190,25 @@ pub enum QueryError {
         /// Hop classes the artifact can answer exactly.
         stored: usize,
     },
+    /// The shard covering this source failed its (deferred) verification —
+    /// checksum mismatch or invalid row content discovered at first
+    /// access. The set needs to be re-precomputed or restored.
+    ShardRejected {
+        /// The source whose covering shard was rejected.
+        source: u32,
+        /// The artifact-layer rejection, rendered.
+        message: String,
+    },
+    /// A delta quoted removal keys from an older key epoch. Every applied
+    /// delta compacts the trace and renumbers the contact-key space; a
+    /// stale key still in range would silently remove the wrong contact,
+    /// so the whole delta is rejected instead.
+    StaleKeyEpoch {
+        /// The epoch the client's keys belong to.
+        presented: u64,
+        /// The engine's current epoch.
+        current: u64,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -208,6 +227,15 @@ impl fmt::Display for QueryError {
                 f,
                 "query needs {requested} hop classes but the artifact stores only {stored}; \
                  re-run precompute with --store-levels {requested} or higher"
+            ),
+            QueryError::ShardRejected { source, message } => write!(
+                f,
+                "shard covering source {source} failed verification: {message}"
+            ),
+            QueryError::StaleKeyEpoch { presented, current } => write!(
+                f,
+                "removal keys are stale: delta quotes key epoch {presented} but the engine \
+                 is at epoch {current}; re-read the key space and resubmit"
             ),
         }
     }

@@ -29,6 +29,7 @@ pub const CONCURRENCY_MODULES: &[&str] = &[
     "crates/obs/src/counter.rs",
     "crates/obs/src/lib.rs",
     "crates/obs/src/sync.rs",
+    "crates/serve/src/server.rs",
 ];
 
 /// Concurrency modules that are pure tallies: `Ordering::Relaxed` needs no
